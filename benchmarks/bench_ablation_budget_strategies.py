@@ -1,0 +1,36 @@
+"""Ablation — how much does the Section-5 budget model buy?
+
+Compares the model-driven split against uniform, geometric (the same
+growing-towards-the-leaves shape as the model, without its calibration)
+and reverse-geometric (shrinking towards the leaves — the allocation
+shape Cormode et al. recommend for aggregate DP releases, which the
+paper's Section 7 argues is wrong for the GeoInd setting) over the same
+two-level index.  Expected: no structure-oblivious split beats the
+model by a meaningful margin on this workload.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_budget_strategy_ablation
+
+from conftest import emit, run_once
+
+
+@pytest.mark.benchmark(group="ablation-budget")
+@pytest.mark.parametrize("granularity", [3, 4])
+def test_budget_strategy_ablation(benchmark, gowalla, config, granularity):
+    table = run_once(
+        benchmark,
+        run_budget_strategy_ablation,
+        gowalla,
+        granularity=granularity,
+        height=2,
+        config=config,
+    )
+    emit(table, f"ablation_budget_g{granularity}")
+    losses = dict(zip(table.column("strategy"), table.column("loss_d_km")))
+    model = losses["model (Algorithm 2)"]
+    # The model split is never beaten by more than 15% by any
+    # structure-oblivious split on this workload.
+    for name, loss in losses.items():
+        assert model <= loss * 1.15, (name, loss, model)

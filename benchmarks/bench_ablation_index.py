@@ -1,0 +1,30 @@
+"""Ablation — MSM over the paper's future-work index structures.
+
+Runs MSM over the balanced hierarchical grid (the paper's GIHI) and the
+two adaptive structures named in Section 8 (quadtree, k-d split tree)
+on the same dataset and total budget.  The adaptive structures are an
+extension, not a paper result, so the bench asserts only sanity: every
+index yields a working mechanism with bounded loss and sub-second
+queries.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_index_ablation
+
+from conftest import emit, run_once
+
+
+@pytest.mark.benchmark(group="ablation-index")
+@pytest.mark.parametrize("dataset_name", ["gowalla", "yelp"])
+def test_index_ablation(benchmark, gowalla, yelp, config, dataset_name):
+    dataset = gowalla if dataset_name == "gowalla" else yelp
+    table = run_once(benchmark, run_index_ablation, dataset, config=config)
+    emit(table, f"ablation_index_{dataset_name}")
+
+    assert len(table) == 4
+    side = dataset.bounds.side
+    for loss, ms in zip(table.column("loss_d_km"),
+                        table.column("ms_per_query")):
+        assert 0 < loss < side / 2
+        assert ms < 1000.0

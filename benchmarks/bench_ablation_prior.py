@@ -1,0 +1,32 @@
+"""Ablation — personalised priors (the paper's future-work direction).
+
+Section 8 proposes "more advanced cost models to better capture prior
+information".  The simplest such refinement: tune OPT to the target
+user's own check-in history instead of the global average-user
+histogram.  By OPT's optimality the personal mechanism can only be
+better *in expectation under that user's prior*; the bench measures the
+margin on the most active users of each dataset.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_prior_ablation
+
+from conftest import emit, run_once
+
+
+@pytest.mark.benchmark(group="ablation-prior")
+@pytest.mark.parametrize("dataset_name", ["gowalla", "yelp"])
+def test_prior_ablation(benchmark, gowalla, yelp, config, dataset_name):
+    dataset = gowalla if dataset_name == "gowalla" else yelp
+    table = run_once(
+        benchmark, run_prior_ablation, dataset,
+        granularity=4, n_users=5, config=config,
+    )
+    emit(table, f"ablation_prior_{dataset_name}")
+
+    improvements = table.column("improvement_pct")
+    # Optimality: personal tuning never hurts in expectation.
+    assert all(i >= -1e-6 for i in improvements)
+    # And it helps at least one heavy user measurably.
+    assert max(improvements) > 0.1

@@ -1,0 +1,52 @@
+"""Ablation — spanner constraint reduction for flat OPT.
+
+Bordenabe et al.'s spanner trick (Section 7's reference [2], implemented
+in :mod:`repro.mechanisms.spanner`) trades a controlled utility penalty
+for a large cut in LP constraints.  Expected: constraints drop by an
+order of magnitude at dilation 2.0, solve time drops with them, utility
+degrades monotonically (edges run at eps / dilation), and the mechanism
+remains verifiably eps-GeoInd (asserted in the unit tests).
+"""
+
+import pytest
+
+from repro.eval.experiments import run_spanner_ablation
+
+from conftest import emit, run_once
+
+
+@pytest.mark.benchmark(group="ablation-spanner")
+def test_spanner_ablation(benchmark, gowalla, config):
+    table = run_once(
+        benchmark,
+        run_spanner_ablation,
+        gowalla,
+        granularities=(3, 4, 5),
+        dilations=(1.2, 1.5, 2.0),
+        config=config,
+    )
+    emit(table, "ablation_spanner")
+
+    for g in (3, 4, 5):
+        sub = table.filtered(g=g)
+        by_dilation = {
+            d: (c, s, u)
+            for d, c, s, u in zip(
+                sub.column("dilation"),
+                sub.column("n_constraints"),
+                sub.column("solve_seconds"),
+                sub.column("utility_loss_km"),
+            )
+        }
+        exact_constraints = by_dilation[1.0][0]
+        # The reduction factor grows with n: ~3x already at the tiny
+        # 9-cell grid, an order of magnitude at 25 cells.
+        assert by_dilation[2.0][0] < exact_constraints / 2
+        if g >= 5:
+            assert by_dilation[2.0][0] < exact_constraints / 6
+        # Utility never improves with a looser (more reduced) program.
+        assert by_dilation[2.0][2] >= by_dilation[1.0][2] - 0.05
+    # At the largest grid, the reduced solve must be faster.
+    g5 = table.filtered(g=5)
+    times = dict(zip(g5.column("dilation"), g5.column("solve_seconds")))
+    assert times[2.0] < times[1.0]

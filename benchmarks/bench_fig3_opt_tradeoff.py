@@ -1,0 +1,33 @@
+"""Figure 3 — flat OPT's utility/runtime trade-off vs granularity.
+
+Paper shape: utility loss falls from ~4.5 km to ~2 km as g grows from
+2 to 11 while solver time explodes super-linearly (hours past g = 11;
+g = 12 did not finish in 24 h).  At laptop scale we sweep g = 2..8 with
+a per-solve time limit standing in for the paper's 24-hour cutoff.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_fig3
+
+from conftest import emit, run_once
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_opt_tradeoff(benchmark, gowalla, config):
+    table = run_once(
+        benchmark,
+        run_fig3,
+        gowalla,
+        granularities=(2, 3, 4, 5, 6, 7, 8),
+        config=config,
+        time_limit=120.0,
+    )
+    emit(table, "fig3_opt_tradeoff")
+
+    solved = [row for row in table.rows if row[4] == "optimal"]
+    losses = [row[2] for row in solved]
+    times = [row[3] for row in solved]
+    # Paper shape: utility improves with g, time grows super-linearly.
+    assert losses[0] > losses[-1]
+    assert times[-1] > 10 * times[0]

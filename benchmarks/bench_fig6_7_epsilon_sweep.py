@@ -1,0 +1,62 @@
+"""Figures 6 and 7 — utility loss vs epsilon: MSM against planar Laplace.
+
+Paper shape, both datasets and both utility metrics: MSM beats PL at
+every epsilon; the gap is largest at tight privacy (about 3x at
+eps = 0.1 under d, about 5x under d^2) and narrows as eps approaches 1.
+"""
+
+import pytest
+
+from repro.eval.experiments import run_fig6_7
+
+from conftest import emit, run_once
+
+
+def _assert_paper_shape(table):
+    for g in set(table.column("g")):
+        msm = table.filtered(mechanism="MSM", g=g)
+        pl = table.filtered(mechanism="PL", g=g)
+        gaps_d = [
+            p / m
+            for m, p in zip(msm.column("loss_d_km"), pl.column("loss_d_km"))
+        ]
+        # MSM wins everywhere, most at the tightest epsilon.
+        assert all(gap > 1.0 for gap in gaps_d)
+        assert gaps_d[0] == max(gaps_d)
+        assert gaps_d[0] > 1.8
+        # The d^2 gap at eps = 0.1 exceeds the d gap (paper: ~5x vs ~3x).
+        gap_d2 = (
+            pl.column("loss_d2_km2")[0] / msm.column("loss_d2_km2")[0]
+        )
+        assert gap_d2 > gaps_d[0]
+        # Both mechanisms improve with budget.
+        assert msm.column("loss_d_km")[0] > msm.column("loss_d_km")[-1]
+        assert pl.column("loss_d_km")[0] > pl.column("loss_d_km")[-1]
+
+
+@pytest.mark.benchmark(group="fig6-7")
+def test_fig6a_7a_gowalla(benchmark, gowalla, config):
+    table = run_once(
+        benchmark,
+        run_fig6_7,
+        gowalla,
+        granularities=(4, 6),
+        epsilons=(0.1, 0.3, 0.5, 0.7, 0.9),
+        config=config,
+    )
+    emit(table, "fig6a_7a_gowalla")
+    _assert_paper_shape(table)
+
+
+@pytest.mark.benchmark(group="fig6-7")
+def test_fig6b_7b_yelp(benchmark, yelp, config):
+    table = run_once(
+        benchmark,
+        run_fig6_7,
+        yelp,
+        granularities=(4, 6),
+        epsilons=(0.1, 0.3, 0.5, 0.7, 0.9),
+        config=config,
+    )
+    emit(table, "fig6b_7b_yelp")
+    _assert_paper_shape(table)

@@ -1,0 +1,57 @@
+"""Figures 8 and 9 — MSM utility vs grid granularity.
+
+Paper shape: a U-shaped dependency — loss falls as g grows from 2
+(finer reporting), then rises again once cells are small enough that
+the walk often leaves the true cell and budget starvation bites.  The
+optimum granularity is dataset-dependent (g = 5 for Gowalla, g = 4 for
+Yelp in the paper); the bench asserts the U-shape's signature — the
+coarsest grid does not win — for the low and mid rho settings.  At
+rho = 0.9 the allocation is so top-loaded that a fully-funded two-level
+g = 2 hierarchy can edge out the single-level mid granularities on the
+corridor-shaped Yelp prior; EXPERIMENTS.md records that as the one
+dataset-dependent deviation, in line with the paper's own caveat that
+"the ideal granularity may also vary with the dataset".
+"""
+
+import pytest
+
+from repro.eval.experiments import run_fig8_9
+
+from conftest import emit, run_once
+
+
+def _assert_u_shape(table, rho):
+    sub = table.filtered(rho=rho)
+    losses = sub.column("loss_d_km")
+    # g = 2 must lose to the best mid granularity.
+    assert min(losses[1:]) < losses[0]
+
+
+@pytest.mark.benchmark(group="fig8-9")
+def test_fig8a_9a_gowalla(benchmark, gowalla, config):
+    table = run_once(
+        benchmark,
+        run_fig8_9,
+        gowalla,
+        granularities=(2, 3, 4, 5, 6),
+        rhos=(0.5, 0.7, 0.9),
+        config=config,
+    )
+    emit(table, "fig8a_9a_gowalla")
+    for rho in (0.5, 0.7, 0.9):
+        _assert_u_shape(table, rho)
+
+
+@pytest.mark.benchmark(group="fig8-9")
+def test_fig8b_9b_yelp(benchmark, yelp, config):
+    table = run_once(
+        benchmark,
+        run_fig8_9,
+        yelp,
+        granularities=(2, 3, 4, 5, 6),
+        rhos=(0.5, 0.7, 0.9),
+        config=config,
+    )
+    emit(table, "fig8b_9b_yelp")
+    for rho in (0.5, 0.7):
+        _assert_u_shape(table, rho)

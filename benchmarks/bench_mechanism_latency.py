@@ -1,0 +1,78 @@
+"""Section 6.2 timing claims — online sanitisation latency.
+
+Paper numbers (2008-era C++/Gurobi): PL ~10 ms per query, MSM
+100-200 ms average and always under a second.  Absolute numbers shift
+with hardware and solver; the ordering (PL fastest, warm-cache MSM
+close behind, cold-cache MSM paying per-node LP solves) must hold, and
+every mechanism must stay under the paper's one-second online budget.
+
+This bench also times the primitive operations with proper
+pytest-benchmark statistics: PL sampling, warm MSM sampling, and the
+per-node OPT solve MSM performs on a cache miss.
+"""
+
+import numpy as np
+import pytest
+
+from repro.eval.experiments import run_latency
+from repro.geo.metric import EUCLIDEAN
+from repro.grid.regular import RegularGrid
+from repro.mechanisms.optimal import optimal_mechanism_from_locations
+from repro.mechanisms.planar_laplace import PlanarLaplaceMechanism
+from repro.priors.empirical import empirical_prior
+from repro.core.msm import MultiStepMechanism
+
+from conftest import emit, run_once
+
+
+@pytest.mark.benchmark(group="latency")
+def test_latency_table(benchmark, gowalla, config):
+    table = run_once(
+        benchmark, run_latency, gowalla, granularity=4, config=config
+    )
+    emit(table, "latency")
+    by_name = dict(
+        zip(table.column("mechanism"), table.column("ms_per_query"))
+    )
+    assert by_name["PL"] < by_name["MSM (warm cache)"]
+    assert by_name["MSM (warm cache)"] <= by_name["MSM (cold cache)"] * 1.5
+    assert all(ms < 1000.0 for ms in by_name.values())
+
+
+@pytest.fixture(scope="module")
+def warm_msm(gowalla):
+    prior = empirical_prior(
+        RegularGrid(gowalla.bounds, 16), gowalla.points(), smoothing=0.1
+    )
+    msm = MultiStepMechanism.build(0.9, 4, prior, rho=0.8)
+    msm.precompute()
+    return msm
+
+
+@pytest.mark.benchmark(group="latency-micro")
+def test_pl_sample_micro(benchmark, gowalla):
+    pl = PlanarLaplaceMechanism(0.5, grid=RegularGrid(gowalla.bounds, 16))
+    rng = np.random.default_rng(0)
+    x = gowalla.point(0)
+    benchmark(pl.sample, x, rng)
+
+
+@pytest.mark.benchmark(group="latency-micro")
+def test_msm_warm_sample_micro(benchmark, gowalla, warm_msm):
+    rng = np.random.default_rng(0)
+    x = gowalla.point(0)
+    benchmark(warm_msm.sample, x, rng)
+
+
+@pytest.mark.benchmark(group="latency-micro")
+def test_per_node_opt_solve_micro(benchmark, gowalla):
+    """The LP MSM solves on a cache miss (g = 4 -> 16 locations)."""
+    grid = RegularGrid(gowalla.bounds, 4)
+    prior = empirical_prior(grid, gowalla.points(), smoothing=0.1)
+    benchmark(
+        optimal_mechanism_from_locations,
+        0.5,
+        grid.centers(),
+        prior.probabilities,
+        EUCLIDEAN,
+    )

@@ -1,0 +1,59 @@
+"""Shared fixtures and reporting helpers for the benchmark suite.
+
+Every bench regenerates one table or figure of the paper via the
+functions in :mod:`repro.eval.experiments`, prints the paper-style
+table, and writes a CSV under ``benchmarks/results/``.  Wall-clock of
+the full regeneration is captured by pytest-benchmark (one round — the
+tables themselves are the artefact, the timing is bookkeeping).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import load_gowalla_austin, load_yelp_las_vegas
+from repro.eval import ExperimentConfig
+from repro.eval.results import ResultTable
+
+#: Where bench CSVs land.
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Shared measurement protocol for the benches: more requests than the
+#: test suite, fewer than the paper's 3000 to keep wall-clock sane.
+BENCH_CONFIG = ExperimentConfig(n_requests=1000, seed=42)
+
+
+@pytest.fixture(scope="session")
+def gowalla():
+    """The full-size synthetic Gowalla Austin dataset."""
+    return load_gowalla_austin()
+
+
+@pytest.fixture(scope="session")
+def yelp():
+    """The full-size synthetic Yelp Las Vegas dataset."""
+    return load_yelp_las_vegas()
+
+
+@pytest.fixture(scope="session")
+def config() -> ExperimentConfig:
+    return BENCH_CONFIG
+
+
+def emit(table: ResultTable, slug: str) -> ResultTable:
+    """Print a result table and persist it as CSV."""
+    print()
+    print(table.format())
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    table.to_csv(RESULTS_DIR / f"{slug}.csv")
+    return table
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(
+        func, args=args, kwargs=kwargs, rounds=1, iterations=1,
+        warmup_rounds=0,
+    )

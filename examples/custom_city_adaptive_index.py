@@ -1,0 +1,90 @@
+"""Bring your own city, and walk MSM over adaptive indexes.
+
+Demonstrates the extension surface of the library: define a custom
+synthetic city (a coastal strip town), generate check-ins, and run MSM
+over three interchangeable index structures — the paper's balanced
+hierarchical grid, a data-adaptive quadtree, and a k-d split tree (the
+structures named in the paper's future work, Section 8).
+
+Run with::
+
+    python examples/custom_city_adaptive_index.py
+"""
+
+import numpy as np
+
+from repro import EUCLIDEAN, RegularGrid, empirical_prior
+from repro.core.budget import uniform_split
+from repro.core.msm import MultiStepMechanism
+from repro.datasets.synthetic import CityModel, Cluster, generate_checkins
+from repro.eval import evaluate_mechanism
+from repro.geo import BoundingBox, Point
+from repro.grid import HierarchicalGrid, KDTreeIndex, QuadtreeIndex
+
+
+def build_strip_town() -> CityModel:
+    """A narrow coastal town: everything happens along the waterfront."""
+    return CityModel(
+        name="strip-town",
+        bounds=BoundingBox.square(Point(0.0, 0.0), 16.0),
+        clusters=(
+            Cluster(cx=0.20, cy=0.15, std=0.03, weight=0.30),  # old port
+            Cluster(cx=0.45, cy=0.15, std=0.04, weight=0.30),  # boardwalk
+            Cluster(cx=0.70, cy=0.18, std=0.05, weight=0.25),  # marina
+            Cluster(cx=0.50, cy=0.60, std=0.15, weight=0.15),  # inland sprawl
+        ),
+        n_pois=800,
+        zipf_exponent=1.2,
+        n_checkins=30_000,
+        n_users=2_500,
+        background_fraction=0.05,
+    )
+
+
+def main() -> None:
+    epsilon = 0.6
+    model = build_strip_town()
+    dataset = generate_checkins(model, seed=5)
+    print(f"custom city: {dataset.name}, {dataset.n_checkins} check-ins "
+          f"on a {dataset.bounds.side:.0f} km square")
+
+    rng = np.random.default_rng(17)
+    prior = empirical_prior(
+        RegularGrid(dataset.bounds, 16), dataset.points(), smoothing=0.1
+    )
+    requests = dataset.sample_requests(400, rng)
+    sample = dataset.sample_requests(4000, np.random.default_rng(3))
+
+    indexes = [
+        ("hierarchical grid g=3, h=2",
+         HierarchicalGrid(dataset.bounds, granularity=3, height=2)),
+        ("adaptive quadtree",
+         QuadtreeIndex(dataset.bounds, sample, capacity=400, max_depth=4)),
+        ("k-d split tree",
+         KDTreeIndex(dataset.bounds, sample, max_depth=4)),
+    ]
+
+    print(f"\nMSM over three index structures at eps = {epsilon} "
+          f"(uniform per-level split):\n")
+    header = (f"{'index':<28}{'nodes':>7}{'height':>8}"
+              f"{'loss d (km)':>13}{'ms/query':>10}")
+    print(header)
+    print("-" * len(header))
+    for name, index in indexes:
+        height = index.max_height()
+        msm = MultiStepMechanism(
+            index, uniform_split(epsilon, height), prior
+        )
+        result = evaluate_mechanism(msm, requests, rng, metrics=(EUCLIDEAN,))
+        print(f"{name:<28}{index.node_count():>7}{height:>8}"
+              f"{result.loss(EUCLIDEAN):>13.3f}"
+              f"{result.ms_per_query:>10.3f}")
+
+    print("\nThe adaptive structures spend their resolution where the "
+          "check-ins are — along the waterfront — which is exactly the "
+          "refinement the paper's future work anticipates for skewed "
+          "priors.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""A day of check-ins under one lifetime privacy budget.
+
+Every sanitised report spends privacy budget (sequential composition),
+so a deployed client must ration a lifetime allowance across repeated
+check-ins.  This example simulates a user's day — home, commute, office,
+lunch, bar — through a :class:`SanitizationSession` that owns the
+accounting: it builds one MSM per report budget, spends through an
+auditable ledger, and refuses reports once the allowance is gone.
+
+Run with::
+
+    python examples/day_of_checkins.py
+"""
+
+import numpy as np
+
+from repro import RegularGrid, empirical_prior, load_gowalla_austin
+from repro.core import SanitizationSession
+from repro.exceptions import BudgetError
+from repro.geo import Point
+
+
+def a_day_in_austin(bounds) -> list[tuple[str, Point]]:
+    """A plausible day of places, scaled into the dataset window."""
+    s = bounds.side
+
+    def at(fx: float, fy: float) -> Point:
+        return Point(bounds.min_x + fx * s, bounds.min_y + fy * s)
+
+    return [
+        ("home",        at(0.42, 0.31)),
+        ("coffee",      at(0.47, 0.36)),
+        ("office",      at(0.60, 0.43)),
+        ("lunch",       at(0.61, 0.45)),
+        ("office",      at(0.60, 0.43)),
+        ("gym",         at(0.55, 0.40)),
+        ("bar",         at(0.62, 0.41)),
+        ("home",        at(0.42, 0.31)),
+    ]
+
+
+def main() -> None:
+    dataset = load_gowalla_austin(checkin_fraction=0.1)
+    prior = empirical_prior(
+        RegularGrid(dataset.bounds, 16), dataset.points(), smoothing=0.1
+    )
+
+    session = SanitizationSession(
+        lifetime_epsilon=3.0,       # today's total allowance
+        per_report_epsilon=0.5,     # protection level per check-in
+        prior=prior,
+        granularity=4,
+    )
+    session.precompute()           # offline, before leaving the house
+    print(f"lifetime budget 3.0, per report 0.5 -> "
+          f"{session.reports_remaining} check-ins available today\n")
+
+    rng = np.random.default_rng(8)
+    print(f"{'place':<10}{'actual':>18}{'reported':>18}"
+          f"{'loss km':>9}{'eps left':>10}")
+    print("-" * 65)
+    for label, x in a_day_in_austin(dataset.bounds):
+        try:
+            record = session.report(x, rng)
+        except BudgetError:
+            print(f"{label:<10}{'— refused: lifetime budget exhausted —':>46}")
+            continue
+        print(
+            f"{label:<10}"
+            f"({x.x:6.2f}, {x.y:6.2f})  "
+            f"({record.reported.x:6.2f}, {record.reported.y:6.2f})  "
+            f"{x.distance_to(record.reported):>7.2f}"
+            f"{record.epsilon_remaining:>10.2f}"
+        )
+
+    print(f"\nledger: {len(session.history)} reports, "
+          f"{session.spent:.1f} of 3.0 spent")
+    print("The last check-ins were refused *before* any location was "
+          "sampled — running out of budget never leaks a location.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+"""Compare every mechanism on utility, latency and attack resistance.
+
+Puts planar Laplace, the exponential mechanism, flat OPT and MSM side by
+side at several privacy levels: Monte-Carlo utility loss (the paper's
+protocol), per-query latency, and the adversary's success under the
+optimal Bayesian inference attack.
+
+Run with::
+
+    python examples/mechanism_comparison.py
+"""
+
+import numpy as np
+
+from repro import (
+    EUCLIDEAN,
+    ExponentialMechanism,
+    MultiStepMechanism,
+    OptimalMechanism,
+    PlanarLaplaceMechanism,
+    RegularGrid,
+    empirical_prior,
+    load_gowalla_austin,
+)
+from repro.attacks import optimal_inference_attack
+from repro.eval import evaluate_mechanism
+
+
+def main() -> None:
+    dataset = load_gowalla_austin(checkin_fraction=0.1)
+    rng = np.random.default_rng(11)
+    requests = dataset.sample_requests(500, rng)
+
+    fine_grid = RegularGrid(dataset.bounds, 16)
+    fine_prior = empirical_prior(fine_grid, dataset.points(), smoothing=0.1)
+
+    # Flat mechanisms live on a coarse grid (OPT cannot go finer), MSM
+    # reaches a finer leaf through its hierarchy.
+    flat_grid = RegularGrid(dataset.bounds, 4)
+    flat_prior = empirical_prior(flat_grid, dataset.points(), smoothing=0.1)
+
+    for epsilon in (0.1, 0.5, 0.9):
+        msm = MultiStepMechanism.build(epsilon, granularity=4, prior=fine_prior)
+        msm.precompute()
+        mechanisms = [
+            PlanarLaplaceMechanism(
+                epsilon,
+                grid=RegularGrid(dataset.bounds, msm.plan.leaf_granularity),
+            ),
+            ExponentialMechanism(epsilon, flat_grid),
+            OptimalMechanism(epsilon, flat_prior),
+            msm,
+        ]
+        print(f"\n=== eps = {epsilon} "
+              f"(MSM height {msm.height}, leaf "
+              f"{msm.plan.leaf_granularity}x{msm.plan.leaf_granularity}) ===")
+        header = (f"{'mechanism':<8}{'loss d (km)':>12}{'loss d2':>10}"
+                  f"{'ms/query':>10}{'attack err (km)':>17}{'ident rate':>12}")
+        print(header)
+        print("-" * len(header))
+        for mechanism in mechanisms:
+            result = evaluate_mechanism(mechanism, requests, rng)
+            matrix = None
+            if hasattr(mechanism, "matrix"):
+                matrix = mechanism.matrix
+                attack_prior = (
+                    flat_prior.probabilities
+                    if matrix.shape[0] == len(flat_prior)
+                    else np.full(matrix.shape[0], 1.0 / matrix.shape[0])
+                )
+            elif hasattr(mechanism, "to_matrix"):
+                # MSM: its exact end-to-end matrix over leaf cells.
+                from repro.priors import aggregate_prior
+
+                matrix = mechanism.to_matrix()
+                leaf_grid = mechanism.index.level_grid(
+                    min(mechanism.height, mechanism.index.height)
+                )
+                attack_prior = aggregate_prior(
+                    fine_prior, leaf_grid
+                ).probabilities
+            if matrix is not None:
+                attack = optimal_inference_attack(
+                    matrix, attack_prior, EUCLIDEAN
+                )
+                attack_err = f"{attack.expected_error:>17.3f}"
+                ident = f"{attack.identification_rate:>12.3f}"
+            else:
+                attack_err = f"{'(continuous)':>17}"
+                ident = f"{'-':>12}"
+            print(
+                f"{mechanism.name:<8}"
+                f"{result.loss('euclidean'):>12.3f}"
+                f"{result.loss('squared_euclidean'):>10.2f}"
+                f"{result.ms_per_query:>10.3f}"
+                f"{attack_err}{ident}"
+            )
+    print("\nReading guide: lower loss = better utility; higher attack "
+          "error / lower identification rate = stronger protection "
+          "against this prior.  OPT and MSM trade a little of PL's "
+          "simplicity for several-fold utility gains at equal epsilon.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Private nearby-POI search — the paper's motivating workload.
+
+A user asks an untrusted server for the nearest restaurants.  The device
+sanitises the location first; the server answers the k-NN query at the
+reported point, unchanged.  This example measures what the user actually
+pays for privacy: extra walking distance to the answered "nearest" POI
+and how much of the true top-k survives, for planar Laplace versus MSM
+at the same privacy level.
+
+Run with::
+
+    python examples/nearby_poi_search.py
+"""
+
+import numpy as np
+
+from repro import (
+    MultiStepMechanism,
+    PlanarLaplaceMechanism,
+    RegularGrid,
+    empirical_prior,
+    load_yelp_las_vegas,
+)
+from repro.datasets import las_vegas_city_model
+from repro.datasets.synthetic import generate_pois
+from repro.lbs import LocationBasedService, POIStore
+
+
+def main() -> None:
+    epsilon = 0.5
+    k = 5
+
+    dataset = load_yelp_las_vegas(checkin_fraction=0.1)
+    rng = np.random.default_rng(2019)
+
+    # Server-side catalogue: POIs drawn from the same city shape the
+    # check-ins come from (a real deployment would use the actual
+    # business registry).
+    model = las_vegas_city_model()
+    store = POIStore.from_coordinates(
+        generate_pois(model, np.random.default_rng(99)),
+        category="restaurant",
+    )
+    service = LocationBasedService(store)
+    print(f"server catalogue: {len(store)} POIs over "
+          f"{dataset.bounds.side:.0f} km of {dataset.name}")
+
+    # Client-side mechanisms at the same privacy level.
+    fine_grid = RegularGrid(dataset.bounds, 16)
+    prior = empirical_prior(fine_grid, dataset.points(), smoothing=0.1)
+    msm = MultiStepMechanism.build(epsilon, granularity=4, prior=prior)
+    pl = PlanarLaplaceMechanism(
+        epsilon, grid=RegularGrid(dataset.bounds, msm.plan.leaf_granularity)
+    )
+
+    requests = dataset.sample_requests(400, rng)
+    print(f"\nsimulating {len(requests)} '{k}-nearest restaurants' queries "
+          f"at eps = {epsilon}:\n")
+    header = f"{'mechanism':<22}{'extra walk (mean)':>18}{'(median)':>10}{'recall@5':>10}"
+    print(header)
+    print("-" * len(header))
+    for mechanism in (msm, pl):
+        report = service.evaluate_mechanism(mechanism, requests, rng, k=k)
+        print(
+            f"{mechanism.name:<22}"
+            f"{report.mean_extra_distance:>15.3f} km"
+            f"{report.median_extra_distance:>8.3f} km"
+            f"{report.mean_recall_at_k:>10.2f}"
+        )
+
+    # What a single interaction looks like.
+    x = requests[0]
+    z = msm.sample(x, rng)
+    answered = service.query(z, k)
+    truth = service.query(x, k)
+    print(f"\nexample query from ({x.x:.2f}, {x.y:.2f}):")
+    print(f"  reported location   ({z.x:.2f}, {z.y:.2f}), "
+          f"{x.distance_to(z):.2f} km away")
+    print(f"  true top-{k} POI ids  {truth}")
+    print(f"  answered POI ids    {answered}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""repro — utility-preserving, scalable geo-indistinguishability.
+
+A complete reimplementation of *"A Utility-Preserving and Scalable
+Technique for Protecting Location Data with Geo-Indistinguishability"*
+(Ahuja, Ghinita, Shahabi — EDBT 2019): the Multi-Step Mechanism (MSM)
+over a hierarchical spatial index, its budget-allocation model, the
+planar-Laplace and optimal-mechanism baselines, and the full evaluation
+substrate (datasets, priors, attacks, LBS simulation, benchmark
+harness).
+
+Quickstart::
+
+    import numpy as np
+    from repro import (MultiStepMechanism, RegularGrid, empirical_prior,
+                       load_gowalla_austin)
+
+    dataset = load_gowalla_austin()
+    grid = RegularGrid(dataset.bounds, 16)          # fine prior grid
+    prior = empirical_prior(grid, dataset.points())
+    msm = MultiStepMechanism.build(epsilon=0.5, granularity=4, prior=prior)
+
+    rng = np.random.default_rng(7)
+    reported = msm.sample(dataset.point(0), rng)
+"""
+
+from repro.core import (
+    BudgetPlan,
+    MultiStepMechanism,
+    allocate_budget,
+    min_epsilon_for_rho,
+    phi_for_grid,
+)
+from repro.datasets import (
+    CheckInDataset,
+    load_gowalla_austin,
+    load_yelp_las_vegas,
+)
+from repro.exceptions import ReproError
+from repro.geo import (
+    EUCLIDEAN,
+    SQUARED_EUCLIDEAN,
+    BoundingBox,
+    Point,
+)
+from repro.grid import HierarchicalGrid, RegularGrid
+from repro.mechanisms import (
+    ExponentialMechanism,
+    MechanismMatrix,
+    OptimalMechanism,
+    PlanarLaplaceMechanism,
+)
+from repro.priors import GridPrior, empirical_prior
+from repro.privacy import verify_geoind
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundingBox",
+    "BudgetPlan",
+    "CheckInDataset",
+    "EUCLIDEAN",
+    "ExponentialMechanism",
+    "GridPrior",
+    "HierarchicalGrid",
+    "MechanismMatrix",
+    "MultiStepMechanism",
+    "OptimalMechanism",
+    "PlanarLaplaceMechanism",
+    "Point",
+    "RegularGrid",
+    "ReproError",
+    "SQUARED_EUCLIDEAN",
+    "allocate_budget",
+    "empirical_prior",
+    "load_gowalla_austin",
+    "load_yelp_las_vegas",
+    "min_epsilon_for_rho",
+    "phi_for_grid",
+    "verify_geoind",
+    "__version__",
+]

@@ -1,0 +1,9 @@
+"""Adversarial evaluation: Bayesian optimal inference attacks."""
+
+from repro.attacks.bayesian import (
+    AttackReport,
+    blind_guess_error,
+    optimal_inference_attack,
+)
+
+__all__ = ["AttackReport", "blind_guess_error", "optimal_inference_attack"]

@@ -1,0 +1,99 @@
+"""Bayesian inference attacks on location mechanisms.
+
+An adversary with prior Pi observing a reported location ``z`` forms the
+posterior ``sigma(x|z) ~ Pi(x) K(x, z)`` and guesses the location
+minimising posterior-expected error — the *optimal inference attack* of
+Shokri et al. [24].  Two standard summary numbers:
+
+* **expected inference error** — the adversary's remaining expected
+  distance to the truth (higher = more private);
+* **identification rate** — probability the MAP guess hits the true
+  cell (lower = more private).
+
+GeoInd mechanisms bound the ratio of posteriors to priors regardless of
+Pi; these attacks quantify the *absolute* protection against a specific
+prior and keep the reproduction's privacy claims measurable rather than
+rhetorical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geo.metric import EUCLIDEAN, Metric
+from repro.mechanisms.matrix import MechanismMatrix
+from repro.mechanisms.remap import posterior_matrix
+
+
+@dataclass(frozen=True)
+class AttackReport:
+    """Outcome of an optimal inference attack against a mechanism.
+
+    Attributes
+    ----------
+    expected_error:
+        Adversary's expected distance (under ``metric``) between the
+        optimal guess and the true location.
+    identification_rate:
+        Probability the MAP guess equals the true location.
+    prior_error:
+        The blind (no-observation) optimal expected error — the
+        baseline an attack should be compared against.
+    prior_identification_rate:
+        Blind MAP hit rate (mass of the prior's mode).
+    """
+
+    expected_error: float
+    identification_rate: float
+    prior_error: float
+    prior_identification_rate: float
+
+    @property
+    def error_reduction(self) -> float:
+        """How much observing ``z`` shrinks the adversary error (0..1)."""
+        if self.prior_error <= 0:
+            return 0.0
+        return 1.0 - self.expected_error / self.prior_error
+
+
+def blind_guess_error(
+    prior: np.ndarray, matrix: MechanismMatrix, metric: Metric = EUCLIDEAN
+) -> float:
+    """Optimal expected error with no observation at all."""
+    prior = np.asarray(prior, dtype=float).ravel()
+    d = metric.pairwise(matrix.inputs, matrix.inputs)
+    return float(np.min(prior @ d))
+
+
+def optimal_inference_attack(
+    matrix: MechanismMatrix,
+    prior: np.ndarray,
+    metric: Metric = EUCLIDEAN,
+) -> AttackReport:
+    """Run the optimal Bayesian attack against a mechanism matrix.
+
+    The guess set is the mechanism's input location set (the grid), so
+    the reported numbers are exact expectations, not Monte-Carlo.
+    """
+    prior = np.asarray(prior, dtype=float).ravel()
+    k = matrix.k
+    sigma = posterior_matrix(matrix, prior)  # (z, x)
+    marginal = prior @ k  # (z,)
+    d = metric.pairwise(matrix.inputs, matrix.inputs)  # (x, guess)
+
+    # Distance attack: per z, best guess minimising posterior expectation.
+    per_z_error = (sigma @ d).min(axis=1)  # (z,)
+    expected_error = float(marginal @ per_z_error)
+
+    # Identification attack: per z, MAP guess; hit prob = posterior mass.
+    map_mass = sigma.max(axis=1)  # (z,)
+    identification = float(marginal @ map_mass)
+
+    return AttackReport(
+        expected_error=expected_error,
+        identification_rate=identification,
+        prior_error=blind_guess_error(prior, matrix, metric),
+        prior_identification_rate=float(prior.max()),
+    )

@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro info        --dataset gowalla            dataset statistics
+    repro plan        --epsilon 0.5 --g 4          budget allocation plan
+    repro sanitize    --epsilon 0.5 --g 4 --x --y  sanitise one location
+    repro sanitize    --bundle austin.npz --x --y  sample a saved bundle
+    repro bundle      --epsilon 0.5 --g 4 --out p  write an offline bundle
+    repro experiment  fig3|fig5|table2|fig6|fig8|fig10|latency|
+                      ablation-budget|ablation-spanner|ablation-index|
+                      ablation-prior
+                      --dataset gowalla --requests 600 [--csv out.csv]
+
+The experiment subcommand prints the same tables the benchmark suite
+produces, so paper figures can be regenerated without pytest.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.datasets import load_gowalla_austin, load_yelp_las_vegas
+from repro.datasets.checkin import CheckInDataset
+from repro.geo.point import Point
+from repro.grid.regular import RegularGrid
+from repro.priors.empirical import empirical_prior
+from repro.core.budget.allocation import allocate_budget
+from repro.core.msm import MultiStepMechanism
+from repro.eval import experiments
+from repro.eval.results import ResultTable, print_table
+
+_EXPERIMENTS = {
+    "fig3": experiments.run_fig3,
+    "fig5": experiments.run_fig5,
+    "table2": experiments.run_table2,
+    "fig6": experiments.run_fig6_7,
+    "fig8": experiments.run_fig8_9,
+    "fig10": experiments.run_fig10_11,
+    "latency": experiments.run_latency,
+    "ablation-budget": experiments.run_budget_strategy_ablation,
+    "ablation-spanner": experiments.run_spanner_ablation,
+    "ablation-index": experiments.run_index_ablation,
+    "ablation-prior": experiments.run_prior_ablation,
+}
+
+
+def _load_dataset(name: str, fraction: float) -> CheckInDataset:
+    if name == "gowalla":
+        return load_gowalla_austin(checkin_fraction=fraction)
+    if name == "yelp":
+        return load_yelp_las_vegas(checkin_fraction=fraction)
+    raise SystemExit(f"unknown dataset {name!r}; choose gowalla or yelp")
+
+
+def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset", default="gowalla", choices=("gowalla", "yelp"),
+        help="evaluation dataset (default: gowalla)",
+    )
+    parser.add_argument(
+        "--fraction", type=float, default=1.0,
+        help="synthetic-dataset scale factor in (0, 1] (default: 1.0)",
+    )
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset, args.fraction)
+    b = dataset.bounds
+    print(f"dataset      : {dataset.name}")
+    print(f"check-ins    : {dataset.n_checkins}")
+    print(f"users        : {dataset.n_users}")
+    print(f"planar side  : {b.side:.3f} km")
+    if dataset.geo_bounds is not None:
+        gb = dataset.geo_bounds
+        print(f"geo window   : lat [{gb.min_lat}, {gb.max_lat}] "
+              f"lon [{gb.min_lon}, {gb.max_lon}]")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    plan = allocate_budget(
+        args.epsilon, args.g, args.side, rho=args.rho,
+        max_height=args.max_height,
+    )
+    print(f"total budget : {plan.epsilon_total}")
+    print(f"index height : {plan.height} (leaf granularity "
+          f"{plan.leaf_granularity} x {plan.leaf_granularity})")
+    for i, (budget, req) in enumerate(
+        zip(plan.budgets, plan.requirements), start=1
+    ):
+        starved = "  STARVED" if budget < req * (1 - 1e-12) else ""
+        print(f"  level {i}: eps={budget:.4f} (requirement {req:.4f}){starved}")
+    return 0
+
+
+def _cmd_bundle(args: argparse.Namespace) -> int:
+    from repro.core.bundle import save_bundle
+
+    dataset = _load_dataset(args.dataset, args.fraction)
+    grid = RegularGrid(dataset.bounds, args.prior_granularity)
+    prior = empirical_prior(grid, dataset.points(), smoothing=0.1)
+    msm = MultiStepMechanism.build(args.epsilon, args.g, prior, rho=args.rho)
+    info = save_bundle(msm, args.out)
+    print(f"bundle       : {info.path}")
+    print(f"node LPs     : {info.n_nodes}")
+    print(f"size         : {info.size_bytes / 1024:.1f} KiB")
+    print(f"epsilon      : {info.epsilon}, height {info.height}")
+    return 0
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    x = Point(args.x, args.y)
+    if args.bundle is not None:
+        from repro.core.bundle import load_bundle
+
+        msm = load_bundle(args.bundle)
+        if not msm.index.bounds.contains(x):
+            raise SystemExit(
+                f"location ({args.x}, {args.y}) outside the bundle domain"
+            )
+        z = msm.sample(x, rng)
+        print(f"actual   : ({x.x:.4f}, {x.y:.4f}) km")
+        print(f"reported : ({z.x:.4f}, {z.y:.4f}) km")
+        print(f"distance : {x.distance_to(z):.4f} km")
+        return 0
+    if args.epsilon is None:
+        raise SystemExit("--epsilon is required when no --bundle is given")
+    dataset = _load_dataset(args.dataset, args.fraction)
+    grid = RegularGrid(dataset.bounds, args.prior_granularity)
+    prior = empirical_prior(grid, dataset.points(), smoothing=0.1)
+    msm = MultiStepMechanism.build(
+        args.epsilon, args.g, prior, rho=args.rho
+    )
+    if not dataset.bounds.contains(x):
+        raise SystemExit(
+            f"location ({args.x}, {args.y}) outside the dataset domain "
+            f"[0, {dataset.bounds.side:.2f}] km square"
+        )
+    z = msm.sample(x, rng)
+    print(f"actual   : ({x.x:.4f}, {x.y:.4f}) km")
+    print(f"reported : ({z.x:.4f}, {z.y:.4f}) km")
+    print(f"distance : {x.distance_to(z):.4f} km")
+    print(f"height   : {msm.height}, budgets "
+          + "/".join(f"{b:.3f}" for b in msm.budgets))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    dataset = _load_dataset(args.dataset, args.fraction)
+    config = experiments.ExperimentConfig(
+        n_requests=args.requests, seed=args.seed
+    )
+    run = _EXPERIMENTS[args.name]
+    table: ResultTable = run(dataset, config=config)
+    print_table(table)
+    if args.csv:
+        table.to_csv(args.csv)
+        print(f"written: {args.csv}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Geo-indistinguishability mechanisms (EDBT 2019 MSM)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_info = sub.add_parser("info", help="dataset statistics")
+    _add_dataset_args(p_info)
+    p_info.set_defaults(func=_cmd_info)
+
+    p_plan = sub.add_parser("plan", help="budget allocation plan")
+    p_plan.add_argument("--epsilon", type=float, required=True)
+    p_plan.add_argument("--g", type=int, default=4)
+    p_plan.add_argument("--side", type=float, default=20.0,
+                        help="domain side length in km (default 20)")
+    p_plan.add_argument("--rho", type=float, default=0.8)
+    p_plan.add_argument("--max-height", type=int, default=16)
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_san = sub.add_parser("sanitize", help="sanitise one location")
+    _add_dataset_args(p_san)
+    p_san.add_argument("--epsilon", type=float, default=None,
+                       help="privacy budget (required unless --bundle)")
+    p_san.add_argument("--g", type=int, default=4)
+    p_san.add_argument("--rho", type=float, default=0.8)
+    p_san.add_argument("--prior-granularity", type=int, default=16)
+    p_san.add_argument("--bundle", default=None,
+                       help="sample from a precomputed bundle instead")
+    p_san.add_argument("--x", type=float, required=True,
+                       help="planar x in km")
+    p_san.add_argument("--y", type=float, required=True,
+                       help="planar y in km")
+    p_san.add_argument("--seed", type=int, default=0)
+    p_san.set_defaults(func=_cmd_sanitize)
+
+    p_bundle = sub.add_parser(
+        "bundle", help="precompute an MSM and write an offline bundle"
+    )
+    _add_dataset_args(p_bundle)
+    p_bundle.add_argument("--epsilon", type=float, required=True)
+    p_bundle.add_argument("--g", type=int, default=4)
+    p_bundle.add_argument("--rho", type=float, default=0.8)
+    p_bundle.add_argument("--prior-granularity", type=int, default=16)
+    p_bundle.add_argument("--out", required=True, help="output .npz path")
+    p_bundle.set_defaults(func=_cmd_bundle)
+
+    p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))
+    _add_dataset_args(p_exp)
+    p_exp.add_argument("--requests", type=int, default=600)
+    p_exp.add_argument("--seed", type=int, default=42)
+    p_exp.add_argument("--csv", default=None, help="also write CSV here")
+    p_exp.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

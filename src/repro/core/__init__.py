@@ -1,0 +1,34 @@
+"""The paper's primary contribution: MSM and its budget-allocation model."""
+
+from repro.core.budget import (
+    BudgetPlan,
+    allocate_budget,
+    lattice_sum,
+    min_epsilon_for_rho,
+    min_lattice_parameter,
+    phi,
+    phi_for_grid,
+)
+from repro.core.bundle import BundleInfo, load_bundle, sample_from_bundle, save_bundle
+from repro.core.cache import NodeMechanismCache
+from repro.core.session import SanitizationSession, SessionReport
+from repro.core.msm import MultiStepMechanism, StepTrace
+
+__all__ = [
+    "BudgetPlan",
+    "BundleInfo",
+    "MultiStepMechanism",
+    "NodeMechanismCache",
+    "SanitizationSession",
+    "SessionReport",
+    "StepTrace",
+    "allocate_budget",
+    "lattice_sum",
+    "min_epsilon_for_rho",
+    "min_lattice_parameter",
+    "phi",
+    "phi_for_grid",
+    "load_bundle",
+    "sample_from_bundle",
+    "save_bundle",
+]

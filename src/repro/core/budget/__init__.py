@@ -1,0 +1,53 @@
+"""Budget-allocation model (Section 5 of the paper)."""
+
+from repro.core.budget.allocation import (
+    BudgetPlan,
+    allocate_budget,
+    allocate_budget_fixed_height,
+    min_epsilon_for_rho,
+    min_lattice_parameter,
+)
+from repro.core.budget.lattice import (
+    lattice_sum_direct,
+    same_cell_mass,
+    truncation_radius,
+)
+from repro.core.budget.phi import lattice_sum, phi, phi_for_grid
+from repro.core.budget.series import (
+    SERIES_RADIUS,
+    dirichlet_beta,
+    lattice_sum_series,
+    riemann_zeta,
+    series_coefficient,
+)
+from repro.core.budget.strategies import (
+    BudgetStrategy,
+    geometric_split,
+    named_strategy,
+    reverse_geometric_split,
+    uniform_split,
+)
+
+__all__ = [
+    "BudgetPlan",
+    "BudgetStrategy",
+    "SERIES_RADIUS",
+    "allocate_budget",
+    "allocate_budget_fixed_height",
+    "dirichlet_beta",
+    "geometric_split",
+    "lattice_sum",
+    "lattice_sum_direct",
+    "lattice_sum_series",
+    "min_epsilon_for_rho",
+    "min_lattice_parameter",
+    "named_strategy",
+    "phi",
+    "phi_for_grid",
+    "reverse_geometric_split",
+    "riemann_zeta",
+    "same_cell_mass",
+    "series_coefficient",
+    "truncation_radius",
+    "uniform_split",
+]

@@ -1,0 +1,60 @@
+"""The same-cell probability estimate ``Phi``.
+
+Section 5 of the paper approximates ``Pr[x|x]`` — the probability that a
+GeoInd mechanism over a grid maps a cell to itself — by
+
+    Phi(x) = 1 / T(eps * L / g)
+
+with T the lattice sum.  ``Phi`` drives the whole budget-allocation
+strategy: keep it at least ``rho`` at every index level, spending as
+little budget as possible.
+
+This module picks the right T evaluator for the regime and exposes the
+user-facing ``phi``/``epsilon``/``cell-side`` parametrisations.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import BudgetError
+from repro.core.budget.lattice import lattice_sum_direct
+from repro.core.budget.series import SERIES_RADIUS, lattice_sum_series
+
+#: Crossover point between the analytic series and the direct sum.  At
+#: s = 4 the series converges with ratio (4 / 2pi)^2 ~ 0.41 while the
+#: direct sum already needs only a ~10-term radius, so both are cheap
+#: and they cross-validate each other in tests.
+_SERIES_CUTOFF = 4.0
+
+
+def lattice_sum(s: float, tol: float = 1e-12) -> float:
+    """``T(s)`` by the best method for the regime of ``s``."""
+    if s <= 0:
+        raise BudgetError(f"lattice parameter s must be positive, got {s}")
+    if s < min(_SERIES_CUTOFF, SERIES_RADIUS):
+        return lattice_sum_series(s, tol)
+    return lattice_sum_direct(s, tol)
+
+
+def phi(epsilon: float, cell_side: float, tol: float = 1e-12) -> float:
+    """Estimated ``Pr[x|x]`` for a grid of square cells of side ``cell_side``.
+
+    Parameters
+    ----------
+    epsilon:
+        Privacy budget applied at this grid (per km).
+    cell_side:
+        Cell side in km (``L / g`` in the paper's notation).
+    """
+    if epsilon <= 0:
+        raise BudgetError(f"epsilon must be positive, got {epsilon}")
+    if cell_side <= 0:
+        raise BudgetError(f"cell_side must be positive, got {cell_side}")
+    return 1.0 / lattice_sum(epsilon * cell_side, tol)
+
+
+def phi_for_grid(epsilon: float, side_length: float, granularity: int,
+                 tol: float = 1e-12) -> float:
+    """``Phi`` in the paper's ``(eps, L, g)`` parametrisation (Eq. 7)."""
+    if granularity < 1:
+        raise BudgetError(f"granularity must be >= 1, got {granularity}")
+    return phi(epsilon, side_length / granularity, tol)

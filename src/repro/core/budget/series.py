@@ -1,0 +1,111 @@
+"""Analytic small-``s`` evaluation of the lattice sum ``T``.
+
+For tight privacy budgets (``eps <= 0.5`` on km-scale cells) the direct
+lattice sum needs millions of terms.  The paper (Eq. 8-9) expands T via
+two-dimensional Poisson summation: the Fourier transform of
+``exp(-s |x|)`` on the plane is ``2 pi s / (s^2 + 4 pi^2 |xi|^2)^{3/2}``,
+so
+
+    T(s) = 2 pi / s^2
+         + sum_{k >= 1} c_{2k-1} * s^{2k-1},          (|s| < 2 pi)
+
+    c_{2k-1} = 4 * C(-3/2, k-1) * (2 pi)^{-2k}
+             * zeta(k + 1/2) * beta(k + 1/2),
+
+where ``zeta`` is the Riemann zeta function, ``beta`` the Dirichlet
+L-series ``L(., chi_4)``, and ``C`` the generalised binomial
+coefficient.  The derivation (reproduced in DESIGN.md) uses the lattice
+identity ``sum_n r2(n) n^{-u} = 4 zeta(u) beta(u)`` for the number
+``r2(n)`` of representations of n as a sum of two squares; it confirms
+the paper's Eq. (9) exactly.
+
+The series converges geometrically with ratio ``(s / 2 pi)^2``; the
+library uses it for ``s <= 4`` and the direct sum elsewhere (see
+:func:`repro.core.budget.phi.lattice_sum`).
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+from scipy.special import zeta as _hurwitz_zeta
+
+from repro.exceptions import BudgetError
+
+#: The series' radius of convergence in s.
+SERIES_RADIUS = 2.0 * math.pi
+
+#: Hard cap on series terms (reached only pathologically close to 2 pi).
+_MAX_TERMS = 500
+
+
+def dirichlet_beta(u: float) -> float:
+    """Dirichlet beta ``L(u, chi_4) = 1 - 3^-u + 5^-u - 7^-u + ...``.
+
+    Evaluated exactly (not by the slowly-converging alternating series)
+    through the Hurwitz-zeta identity
+    ``beta(u) = 4^{-u} (zeta(u, 1/4) - zeta(u, 3/4))``.
+    """
+    if u <= 0:
+        raise BudgetError(f"dirichlet_beta defined here only for u > 0, got {u}")
+    if u == 1.0:
+        # The two Hurwitz-zeta poles at u = 1 cancel analytically but not
+        # in floating point; the limit is Leibniz's pi/4.
+        return math.pi / 4.0
+    return float(4.0**-u * (_hurwitz_zeta(u, 0.25) - _hurwitz_zeta(u, 0.75)))
+
+
+def riemann_zeta(u: float) -> float:
+    """Riemann zeta for ``u > 1`` (scipy's Hurwitz zeta at q = 1)."""
+    if u <= 1:
+        raise BudgetError(f"riemann zeta diverges at u <= 1, got {u}")
+    return float(_hurwitz_zeta(u, 1.0))
+
+
+@lru_cache(maxsize=None)
+def series_coefficient(k: int) -> float:
+    """The paper's Eq. (9): coefficient ``c_{2k-1}`` for ``k >= 1``."""
+    if k < 1:
+        raise BudgetError(f"series coefficients start at k = 1, got {k}")
+    # C(-3/2, k-1) by the recurrence C(-3/2, j) = C(-3/2, j-1)(-3/2 - j + 1)/j.
+    binom = 1.0
+    for j in range(1, k):
+        binom *= (-1.5 - (j - 1)) / j
+    u = k + 0.5
+    return (
+        4.0
+        * binom
+        * (2.0 * math.pi) ** (-2 * k)
+        * riemann_zeta(u)
+        * dirichlet_beta(u)
+    )
+
+
+def lattice_sum_series(s: float, tol: float = 1e-12) -> float:
+    """``T(s)`` by the Poisson/zeta series (Eq. 8); requires ``s < 2 pi``.
+
+    Raises
+    ------
+    BudgetError
+        When ``s`` is outside the series' radius of convergence — use
+        :func:`repro.core.budget.lattice.lattice_sum_direct` there.
+    """
+    if s <= 0:
+        raise BudgetError(f"lattice parameter s must be positive, got {s}")
+    if s >= SERIES_RADIUS:
+        raise BudgetError(
+            f"series diverges at s >= 2 pi (got s = {s}); use the direct sum"
+        )
+    total = 2.0 * math.pi / (s * s)
+    power = s  # s^(2k-1) for k = 1
+    for k in range(1, _MAX_TERMS + 1):
+        term = series_coefficient(k) * power
+        total += term
+        if abs(term) < tol * max(abs(total), 1.0):
+            return total
+        power *= s * s
+    raise BudgetError(
+        f"lattice series did not converge to tol={tol} within "
+        f"{_MAX_TERMS} terms at s = {s}"
+    )

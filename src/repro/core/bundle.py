@@ -1,0 +1,165 @@
+"""Offline bundles: persist a precomputed MSM to disk.
+
+The paper's deployment model (Section 3.1) has the mobile device
+"download in advance (offline) a set of maps annotated with additional
+pre-computed information ... in the order of tens of megabytes".  For
+MSM that bundle is exactly: the budget split, the index shape, and the
+solved per-node mechanism matrices.  This module serialises all of it
+to a single ``.npz`` file and restores it into a fresh mechanism whose
+online path never touches the LP solver.
+
+Only grid-backed MSM (over a :class:`HierarchicalGrid`) is bundled —
+the adaptive indexes derive their geometry from raw data samples, which
+belong to the producer, not the bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import MechanismError
+from repro.geo.bbox import BoundingBox
+from repro.geo.metric import get_metric
+from repro.geo.point import Point
+from repro.grid.hierarchy import HierarchicalGrid
+from repro.mechanisms.matrix import MechanismMatrix
+from repro.priors.base import GridPrior
+from repro.grid.regular import RegularGrid
+from repro.core.msm import MultiStepMechanism
+
+#: Bundle format version; bump on layout changes.
+FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class BundleInfo:
+    """Summary of a written bundle."""
+
+    path: Path
+    n_nodes: int
+    size_bytes: int
+    epsilon: float
+    height: int
+
+
+def save_bundle(msm: MultiStepMechanism, path: str | Path) -> BundleInfo:
+    """Precompute (if needed) and write an MSM bundle.
+
+    Raises
+    ------
+    MechanismError
+        If the mechanism does not run over a hierarchical grid.
+    """
+    index = msm.index
+    if not isinstance(index, HierarchicalGrid):
+        raise MechanismError(
+            "bundles support MSM over a HierarchicalGrid only"
+        )
+    msm.precompute()
+
+    payload: dict[str, np.ndarray] = {}
+    node_paths: list[tuple[int, ...]] = []
+    stack = [index.root]
+    while stack:
+        node = stack.pop()
+        kids = index.children(node)
+        if not kids or node.level >= msm.height:
+            continue
+        matrix = msm.cache.get(node.path)
+        if matrix is None:  # pragma: no cover - precompute covers all
+            continue
+        key = "node_" + "_".join(map(str, node.path)) if node.path else "node_root"
+        payload[key] = matrix.k
+        node_paths.append(node.path)
+        stack.extend(kids)
+
+    b = index.bounds
+    payload["meta_bounds"] = np.asarray(
+        [b.min_x, b.min_y, b.max_x, b.max_y]
+    )
+    payload["meta_scalars"] = np.asarray(
+        [FORMAT_VERSION, index.granularity, msm.height, msm.epsilon]
+    )
+    payload["meta_budgets"] = np.asarray(msm.budgets)
+    payload["meta_prior_g"] = np.asarray([msm.prior.grid.granularity])
+    payload["meta_prior"] = msm.prior.probabilities
+    payload["meta_dq"] = np.frombuffer(
+        msm._dq.name.encode(), dtype=np.uint8
+    )
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **payload)
+    return BundleInfo(
+        path=path,
+        n_nodes=len(node_paths),
+        size_bytes=path.stat().st_size,
+        epsilon=msm.epsilon,
+        height=msm.height,
+    )
+
+
+def load_bundle(path: str | Path) -> MultiStepMechanism:
+    """Restore a bundled MSM; sampling needs no further LP work.
+
+    Raises
+    ------
+    MechanismError
+        On a missing file or an unsupported format version.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise MechanismError(f"bundle not found: {path}")
+    with np.load(path) as data:
+        version, granularity, height, _epsilon = data["meta_scalars"]
+        if int(version) != FORMAT_VERSION:
+            raise MechanismError(
+                f"unsupported bundle version {int(version)} "
+                f"(supported: {FORMAT_VERSION})"
+            )
+        min_x, min_y, max_x, max_y = data["meta_bounds"]
+        bounds = BoundingBox(
+            float(min_x), float(min_y), float(max_x), float(max_y)
+        )
+        budgets = tuple(float(b) for b in data["meta_budgets"])
+        prior_grid = RegularGrid(bounds, int(data["meta_prior_g"][0]))
+        prior = GridPrior(prior_grid, data["meta_prior"], name="bundled")
+        dq = get_metric(bytes(data["meta_dq"]).decode())
+
+        index = HierarchicalGrid(bounds, int(granularity), int(height))
+        msm = MultiStepMechanism(index, budgets, prior, dq=dq)
+
+        for key in data.files:
+            if not key.startswith("node_"):
+                continue
+            if key == "node_root":
+                node_path: tuple[int, ...] = ()
+            else:
+                node_path = tuple(
+                    int(part) for part in key[len("node_"):].split("_")
+                )
+            node = _node_at(index, node_path)
+            locations = [
+                child.bounds.center for child in index.children(node)
+            ]
+            msm.cache.put(
+                node_path,
+                MechanismMatrix(locations, locations, data[key]),
+            )
+    return msm
+
+
+def _node_at(index: HierarchicalGrid, path: tuple[int, ...]):
+    node = index.root
+    for step in path:
+        node = index.children(node)[step]
+    return node
+
+
+def sample_from_bundle(
+    path: str | Path, x: Point, rng: np.random.Generator
+) -> Point:
+    """One-shot convenience: load a bundle and sanitise one location."""
+    return load_bundle(path).sample(x, rng)

@@ -1,0 +1,60 @@
+"""Per-node mechanism cache for the multi-step mechanism.
+
+The LP an MSM step solves depends only on the index node (its children's
+geometry and restricted prior) and the level budget — not on the user
+location.  Caching solved matrices per node therefore makes repeat
+queries O(h) row samples, and precomputing the whole reachable tree is
+exactly the paper's offline component: "download in advance (offline) a
+set of maps annotated with additional pre-computed information"
+(Section 3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mechanisms.matrix import MechanismMatrix
+
+
+@dataclass
+class NodeMechanismCache:
+    """Maps an index-node path to its solved step mechanism.
+
+    A plain dict with hit/miss accounting; the node path is a complete
+    key because MSM fixes the per-level budget, metric and prior at
+    construction time.
+    """
+
+    _store: dict[tuple[int, ...], MechanismMatrix] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+
+    def get(self, path: tuple[int, ...]) -> MechanismMatrix | None:
+        """Look up the solved matrix for a node, counting hit/miss."""
+        matrix = self._store.get(path)
+        if matrix is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return matrix
+
+    def put(self, path: tuple[int, ...], matrix: MechanismMatrix) -> None:
+        """Store a solved matrix for a node."""
+        self._store[path] = matrix
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def __contains__(self, path: tuple[int, ...]) -> bool:
+        return path in self._store
+
+    def clear(self) -> None:
+        """Drop all cached matrices and reset the counters."""
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """Approximate memory footprint of the cached matrices."""
+        return sum(m.k.nbytes for m in self._store.values())

@@ -1,0 +1,397 @@
+"""The Multi-Step Mechanism (MSM) — Algorithm 1 of the paper.
+
+MSM sanitises a location by walking a hierarchical spatial index from
+the root: at every level it solves (or fetches from cache) the *optimal
+mechanism* over the current node's children, snaps the true location to
+the child containing it (or a uniformly random child when the walk has
+already drifted away — Algorithm 1, lines 9-10), samples a reported
+child from the mechanism row, and descends into it.  The final level's
+sampled centre is the reported location.
+
+Each level consumes a slice of the privacy budget; by sequential
+composition the full walk satisfies GeoInd at the budget sum.  Utility
+is protected by the budget-allocation model of
+:mod:`repro.core.budget`, which keeps the probability of "staying on
+track" at least ``rho`` per level for as long as the budget lasts.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import BudgetError, MechanismError
+from repro.geo.metric import EUCLIDEAN, Metric
+from repro.geo.point import Point
+from repro.grid.hierarchy import HierarchicalGrid
+from repro.grid.index import IndexNode, SpatialIndex
+from repro.mechanisms.base import Mechanism
+from repro.mechanisms.matrix import MechanismMatrix
+from repro.mechanisms.optimal import optimal_mechanism_from_locations
+from repro.priors.base import GridPrior
+from repro.core.budget.allocation import BudgetPlan, allocate_budget
+from repro.core.cache import NodeMechanismCache
+
+
+@dataclass(frozen=True)
+class StepTrace:
+    """One level of an MSM walk, for inspection and tests."""
+
+    level: int
+    node_path: tuple[int, ...]
+    x_hat_index: int
+    x_hat_random: bool
+    reported_index: int
+
+
+class MultiStepMechanism(Mechanism):
+    """MSM over any :class:`~repro.grid.index.SpatialIndex`.
+
+    Parameters
+    ----------
+    index:
+        The hierarchical partition to walk (a
+        :class:`~repro.grid.hierarchy.HierarchicalGrid` for the paper's
+        GIHI; quadtree/k-d variants for the future-work ablations).
+    budgets:
+        Per-level privacy budgets, top level first.  The walk stops at
+        ``len(budgets)`` levels or at a leaf, whichever comes first.
+    prior:
+        Global prior on a fine regular grid over the same domain; each
+        step restricts and renormalises it to the node's children.
+    dq:
+        Utility-loss metric optimised by each per-step OPT.
+    dx:
+        Distinguishability metric of the GeoInd constraints.
+    backend:
+        LP backend name (see :mod:`repro.lp`).
+    spanner_dilation:
+        Optional constraint-reduction dilation forwarded to each OPT.
+
+    Use :meth:`build` for the end-to-end constructor that also runs the
+    budget allocator.
+    """
+
+    def __init__(
+        self,
+        index: SpatialIndex,
+        budgets: Sequence[float],
+        prior: GridPrior,
+        dq: Metric = EUCLIDEAN,
+        dx: Metric = EUCLIDEAN,
+        backend: str = "highs-ds",
+        spanner_dilation: float | None = None,
+    ):
+        budgets = tuple(float(b) for b in budgets)
+        if not budgets:
+            raise BudgetError("MSM needs at least one level budget")
+        if any(b <= 0 for b in budgets):
+            raise BudgetError(f"all level budgets must be positive: {budgets}")
+        self._index = index
+        self._budgets = budgets
+        self._prior = prior
+        self._dq = dq
+        self._dx = dx
+        self._backend = backend
+        self._spanner_dilation = spanner_dilation
+        self._cache = NodeMechanismCache()
+        self._lp_seconds = 0.0
+        self.epsilon = sum(budgets)
+        self.name = "MSM"
+
+    # ------------------------------------------------------------------
+    # constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        epsilon: float,
+        granularity: int,
+        prior: GridPrior,
+        rho: float = 0.8,
+        dq: Metric = EUCLIDEAN,
+        dx: Metric = EUCLIDEAN,
+        backend: str = "highs-ds",
+        max_height: int = 16,
+        spanner_dilation: float | None = None,
+    ) -> "MultiStepMechanism":
+        """Allocate the budget (Algorithm 2) and build MSM over a GIHI.
+
+        The index height is whatever the allocator decides; the prior's
+        grid provides the domain bounds.
+        """
+        plan = allocate_budget(
+            epsilon,
+            granularity,
+            prior.grid.bounds.side,
+            rho=rho,
+            max_height=max_height,
+        )
+        return cls.from_plan(
+            plan,
+            prior,
+            dq=dq,
+            dx=dx,
+            backend=backend,
+            spanner_dilation=spanner_dilation,
+        )
+
+    @classmethod
+    def from_plan(
+        cls,
+        plan: BudgetPlan,
+        prior: GridPrior,
+        dq: Metric = EUCLIDEAN,
+        dx: Metric = EUCLIDEAN,
+        backend: str = "highs-ds",
+        spanner_dilation: float | None = None,
+    ) -> "MultiStepMechanism":
+        """Build MSM over a GIHI shaped by an existing budget plan."""
+        index = HierarchicalGrid(
+            prior.grid.bounds, plan.granularity, plan.height
+        )
+        msm = cls(
+            index,
+            plan.budgets,
+            prior,
+            dq=dq,
+            dx=dx,
+            backend=backend,
+            spanner_dilation=spanner_dilation,
+        )
+        msm._plan = plan
+        return msm
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    _plan: BudgetPlan | None = None
+
+    @property
+    def index(self) -> SpatialIndex:
+        """The hierarchical index MSM walks."""
+        return self._index
+
+    @property
+    def budgets(self) -> tuple[float, ...]:
+        """Per-level budgets, top first."""
+        return self._budgets
+
+    @property
+    def plan(self) -> BudgetPlan | None:
+        """The budget plan, when MSM was built through the allocator."""
+        return self._plan
+
+    @property
+    def prior(self) -> GridPrior:
+        """The global fine-grained prior."""
+        return self._prior
+
+    @property
+    def cache(self) -> NodeMechanismCache:
+        """The per-node mechanism cache."""
+        return self._cache
+
+    @property
+    def lp_seconds(self) -> float:
+        """Cumulative wall-clock spent solving per-node LPs."""
+        return self._lp_seconds
+
+    @property
+    def height(self) -> int:
+        """Number of levels the walk descends."""
+        return len(self._budgets)
+
+    # ------------------------------------------------------------------
+    # the walk
+    # ------------------------------------------------------------------
+    def sample(self, x: Point, rng: np.random.Generator) -> Point:
+        point, _ = self.sample_with_trace(x, rng)
+        return point
+
+    def sample_with_trace(
+        self, x: Point, rng: np.random.Generator
+    ) -> tuple[Point, list[StepTrace]]:
+        """Sanitise ``x`` and return the per-level walk trace."""
+        node = self._index.root
+        trace: list[StepTrace] = []
+        for level, _eps in enumerate(self._budgets, start=1):
+            children = self._index.children(node)
+            if not children:
+                break
+            matrix = self._step_mechanism(node, level, children)
+            x_hat, was_random = self._x_hat_index(node, x, len(children), rng)
+            reported = matrix.sample(x_hat, rng)
+            trace.append(
+                StepTrace(
+                    level=level,
+                    node_path=node.path,
+                    x_hat_index=x_hat,
+                    x_hat_random=was_random,
+                    reported_index=reported,
+                )
+            )
+            node = children[reported]
+        if not trace:
+            raise MechanismError("index root has no children; nothing to report")
+        return (node.bounds.center, trace)
+
+    def reported_distribution(self, x: Point) -> tuple[list[Point], np.ndarray]:
+        """Exact output distribution of the walk for actual location ``x``.
+
+        Expands the full walk tree (``fanout^height`` leaves), folding
+        the lines-9-10 random fallback in closed form: when the current
+        node does not contain ``x``, the effective mechanism row is the
+        uniform mixture of all rows.  Used for exact expected-loss
+        computation and for the privacy product-matrix tests.
+        """
+        points: list[Point] = []
+        probs: list[float] = []
+
+        def walk(node: IndexNode, level: int, mass: float) -> None:
+            children = self._index.children(node)
+            if level > len(self._budgets) or not children:
+                points.append(node.bounds.center)
+                probs.append(mass)
+                return
+            matrix = self._step_mechanism(node, level, children)
+            child_of_x = self._index.locate_child(node, x)
+            if child_of_x is not None:
+                row = matrix.row(child_of_x.path[-1])
+            else:
+                row = matrix.k.mean(axis=0)
+            for j, child in enumerate(children):
+                p = float(row[j])
+                if p > 0:
+                    walk(child, level + 1, mass * p)
+
+        walk(self._index.root, 1, 1.0)
+        return (points, np.asarray(probs))
+
+    def expected_loss(self, x: Point, dq: Metric | None = None) -> float:
+        """Exact expected utility loss for actual location ``x``."""
+        metric = dq if dq is not None else self._dq
+        points, probs = self.reported_distribution(x)
+        losses = np.asarray([metric(x, z) for z in points])
+        return float(probs @ losses)
+
+    def to_matrix(self) -> MechanismMatrix:
+        """The exact end-to-end mechanism over leaf-cell centres.
+
+        Requires MSM over a :class:`~repro.grid.hierarchy.HierarchicalGrid`
+        (leaf cells then form a regular grid whose centres serve as both
+        X and Z).  The result is the dense product of the whole walk —
+        it makes MSM a first-class citizen of everything that consumes
+        matrices: GeoInd verification, Bayesian remapping, inference
+        attacks and exact expected-loss computation.  Cost is
+        O(leaves * fanout^height); meant for analysis-scale instances,
+        not the online path.
+        """
+        from repro.grid.hierarchy import HierarchicalGrid
+
+        index = self._index
+        if not isinstance(index, HierarchicalGrid):
+            raise MechanismError(
+                "to_matrix requires MSM over a HierarchicalGrid"
+            )
+        depth = min(self.height, index.height)
+        leaf_grid = index.level_grid(depth)
+        centers = leaf_grid.centers()
+        k = np.zeros((len(centers), len(centers)))
+        for i, x in enumerate(centers):
+            points, probs = self.reported_distribution(x)
+            for p, mass in zip(points, probs):
+                k[i, leaf_grid.locate(p).index] += mass
+        return MechanismMatrix(centers, centers, k)
+
+    # ------------------------------------------------------------------
+    # offline precomputation
+    # ------------------------------------------------------------------
+    def precompute(self, max_nodes: int | None = None) -> int:
+        """Solve and cache every node mechanism reachable by a walk.
+
+        Returns the number of newly solved nodes.  ``max_nodes`` caps
+        the work (useful for very deep adaptive indexes); uncapped, the
+        cache holds one matrix per internal node above the walk depth —
+        the paper's "tens of megabytes" offline bundle.
+        """
+        solved = 0
+        queue: list[tuple[IndexNode, int]] = [(self._index.root, 1)]
+        while queue:
+            node, level = queue.pop()
+            if level > len(self._budgets):
+                continue
+            children = self._index.children(node)
+            if not children:
+                continue
+            if node.path not in self._cache:
+                self._step_mechanism(node, level, children)
+                solved += 1
+                if max_nodes is not None and solved >= max_nodes:
+                    return solved
+            queue.extend((child, level + 1) for child in children)
+        return solved
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _x_hat_index(
+        self,
+        node: IndexNode,
+        x: Point,
+        n_children: int,
+        rng: np.random.Generator,
+    ) -> tuple[int, bool]:
+        """Algorithm 1 lines 8-10: snap ``x`` or pick a random child."""
+        child = self._index.locate_child(node, x)
+        if child is not None:
+            return (child.path[-1], False)
+        return (int(rng.integers(n_children)), True)
+
+    def _child_prior(self, children: Sequence[IndexNode]) -> np.ndarray:
+        """Global prior mass restricted to ``children`` and renormalised."""
+        centers = self._prior.grid.centers_array()
+        probs = self._prior.probabilities
+        masses = np.zeros(len(children))
+        for j, child in enumerate(children):
+            b = child.bounds
+            inside = (
+                (centers[:, 0] >= b.min_x)
+                & (centers[:, 0] < b.max_x)
+                & (centers[:, 1] >= b.min_y)
+                & (centers[:, 1] < b.max_y)
+            )
+            masses[j] = probs[inside].sum()
+        total = masses.sum()
+        if total <= 0:
+            return np.full(len(children), 1.0 / len(children))
+        return masses / total
+
+    def _step_mechanism(
+        self,
+        node: IndexNode,
+        level: int,
+        children: Sequence[IndexNode],
+    ) -> MechanismMatrix:
+        """The OPT matrix for one node, cached by node path."""
+        cached = self._cache.get(node.path)
+        if cached is not None:
+            return cached
+        locations = [child.bounds.center for child in children]
+        sub_prior = self._child_prior(children)
+        start = time.perf_counter()
+        result = optimal_mechanism_from_locations(
+            self._budgets[level - 1],
+            locations,
+            sub_prior,
+            self._dq,
+            dx=self._dx,
+            backend=self._backend,
+            spanner_dilation=self._spanner_dilation,
+        )
+        self._lp_seconds += time.perf_counter() - start
+        self._cache.put(node.path, result.matrix)
+        return result.matrix

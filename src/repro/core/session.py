@@ -1,0 +1,164 @@
+"""Sanitisation sessions: many reports under one lifetime budget.
+
+The paper sanitises one location per invocation; a deployed client
+reports repeatedly, and by sequential composition every report spends
+part of the user's lifetime GeoInd budget.  A
+:class:`SanitizationSession` owns that bookkeeping: it holds one
+precomputed MSM per per-report budget, spends through a
+:class:`~repro.privacy.composition.BudgetAccountant`, refuses
+overdrafts, and exposes the remaining protection level at any time.
+
+This is an engineering extension of the paper (its Section 2.2
+composability discussion, applied in the opposite direction), not one
+of its experiments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import BudgetError
+from repro.geo.metric import EUCLIDEAN, Metric
+from repro.geo.point import Point
+from repro.priors.base import GridPrior
+from repro.privacy.composition import BudgetAccountant
+from repro.core.msm import MultiStepMechanism
+
+
+@dataclass(frozen=True)
+class SessionReport:
+    """One sanitised report issued by a session."""
+
+    sequence: int
+    actual: Point
+    reported: Point
+    epsilon_spent: float
+    epsilon_remaining: float
+
+
+class SanitizationSession:
+    """Issue repeated GeoInd reports under a lifetime budget.
+
+    Parameters
+    ----------
+    lifetime_epsilon:
+        Total budget this user is willing to spend, ever.
+    per_report_epsilon:
+        Budget consumed by each report.
+    prior:
+        Global prior for the MSM built internally.
+    granularity:
+        MSM per-level fanout parameter ``g``.
+    rho:
+        Same-cell probability target for the budget allocator.
+    dq:
+        Utility metric the per-step mechanisms optimise.
+
+    The per-report mechanism is built once and reused (its randomness
+    comes from the caller-supplied generator), so a session's marginal
+    cost per report is just the MSM walk.
+    """
+
+    def __init__(
+        self,
+        lifetime_epsilon: float,
+        per_report_epsilon: float,
+        prior: GridPrior,
+        granularity: int = 4,
+        rho: float = 0.8,
+        dq: Metric = EUCLIDEAN,
+        backend: str = "highs-ds",
+    ):
+        if per_report_epsilon <= 0:
+            raise BudgetError(
+                f"per-report budget must be positive, got {per_report_epsilon}"
+            )
+        if per_report_epsilon > lifetime_epsilon:
+            raise BudgetError(
+                f"per-report budget {per_report_epsilon} exceeds lifetime "
+                f"budget {lifetime_epsilon}"
+            )
+        self._accountant = BudgetAccountant(total=lifetime_epsilon)
+        self._per_report = float(per_report_epsilon)
+        self._mechanism = MultiStepMechanism.build(
+            per_report_epsilon, granularity, prior, rho=rho, dq=dq,
+            backend=backend,
+        )
+        self._history: list[SessionReport] = []
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def mechanism(self) -> MultiStepMechanism:
+        """The underlying per-report mechanism."""
+        return self._mechanism
+
+    @property
+    def per_report_epsilon(self) -> float:
+        """Budget each report consumes."""
+        return self._per_report
+
+    @property
+    def spent(self) -> float:
+        """Budget consumed so far."""
+        return self._accountant.spent
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available."""
+        return self._accountant.remaining
+
+    @property
+    def reports_remaining(self) -> int:
+        """How many further reports the lifetime budget affords."""
+        return int(
+            (self._accountant.remaining + 1e-12) // self._per_report
+        )
+
+    @property
+    def history(self) -> list[SessionReport]:
+        """All reports issued so far, in order."""
+        return list(self._history)
+
+    def can_report(self) -> bool:
+        """Whether another report fits the remaining budget."""
+        return self._accountant.can_spend(self._per_report)
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def precompute(self) -> int:
+        """Warm the mechanism cache (the offline step)."""
+        return self._mechanism.precompute()
+
+    def report(self, x: Point, rng: np.random.Generator) -> SessionReport:
+        """Sanitise ``x``, spending one report's budget.
+
+        Raises
+        ------
+        BudgetError
+            When the lifetime budget cannot cover another report; the
+            actual location is *not* sampled in that case.
+        """
+        if not self.can_report():
+            raise BudgetError(
+                f"lifetime budget exhausted after {len(self._history)} "
+                f"reports (remaining {self.remaining:.4g} < "
+                f"per-report {self._per_report:.4g})"
+            )
+        reported = self._mechanism.sample(x, rng)
+        self._accountant.spend(
+            self._per_report, label=f"report-{len(self._history)}"
+        )
+        record = SessionReport(
+            sequence=len(self._history),
+            actual=x,
+            reported=reported,
+            epsilon_spent=self._per_report,
+            epsilon_remaining=self.remaining,
+        )
+        self._history.append(record)
+        return record

@@ -1,0 +1,40 @@
+"""Check-in datasets: containers, CSV I/O, and city generators."""
+
+from repro.datasets.checkin import CheckIn, CheckInDataset, dataset_from_geo
+from repro.datasets.gowalla import (
+    GOWALLA_AUSTIN_BOUNDS,
+    austin_city_model,
+    load_gowalla_austin,
+)
+from repro.datasets.io import read_checkins_csv, write_checkins_csv
+from repro.datasets.synthetic import (
+    CityModel,
+    Cluster,
+    generate_checkins,
+    generate_pois,
+    zipf_weights,
+)
+from repro.datasets.yelp import (
+    YELP_LAS_VEGAS_BOUNDS,
+    las_vegas_city_model,
+    load_yelp_las_vegas,
+)
+
+__all__ = [
+    "CheckIn",
+    "CheckInDataset",
+    "CityModel",
+    "Cluster",
+    "GOWALLA_AUSTIN_BOUNDS",
+    "YELP_LAS_VEGAS_BOUNDS",
+    "austin_city_model",
+    "dataset_from_geo",
+    "generate_checkins",
+    "generate_pois",
+    "las_vegas_city_model",
+    "load_gowalla_austin",
+    "load_yelp_las_vegas",
+    "read_checkins_csv",
+    "write_checkins_csv",
+    "zipf_weights",
+]

@@ -1,0 +1,206 @@
+"""Check-in records and datasets.
+
+Both evaluation datasets are sets of check-ins: ``(user id, latitude,
+longitude)`` triples inside a 20 x 20 km city window.  A
+:class:`CheckInDataset` stores them columnar (numpy arrays) because the
+Gowalla window holds 265 571 records and everything the mechanisms need —
+histogram priors and random request samples — is a bulk operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.geo.projection import EquirectangularProjection, GeoBounds
+
+
+@dataclass(frozen=True, slots=True)
+class CheckIn:
+    """A single check-in: a user reporting presence at a planar location."""
+
+    user_id: int
+    location: Point
+
+
+class CheckInDataset:
+    """A named collection of check-ins in planar (km) coordinates.
+
+    Parameters
+    ----------
+    name:
+        Dataset label used in result tables (e.g. ``"gowalla-austin"``).
+    user_ids:
+        Integer array of length n.
+    xy:
+        ``(n, 2)`` array of planar coordinates in km.
+    bounds:
+        The planar domain; every stored check-in must fall inside it.
+    geo_bounds:
+        The original latitude/longitude window, when known.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        user_ids: np.ndarray,
+        xy: np.ndarray,
+        bounds: BoundingBox,
+        geo_bounds: GeoBounds | None = None,
+    ):
+        user_ids = np.asarray(user_ids, dtype=np.int64).ravel()
+        xy = np.asarray(xy, dtype=float)
+        if xy.ndim != 2 or xy.shape[1] != 2:
+            raise DatasetError(f"xy must be (n, 2), got shape {xy.shape}")
+        if user_ids.size != xy.shape[0]:
+            raise DatasetError(
+                f"{user_ids.size} user ids for {xy.shape[0]} locations"
+            )
+        inside = (
+            (xy[:, 0] >= bounds.min_x)
+            & (xy[:, 0] <= bounds.max_x)
+            & (xy[:, 1] >= bounds.min_y)
+            & (xy[:, 1] <= bounds.max_y)
+        )
+        if not np.all(inside):
+            n_out = int((~inside).sum())
+            raise DatasetError(
+                f"{n_out} check-ins fall outside the declared bounds; "
+                "filter before constructing the dataset"
+            )
+        self._name = name
+        self._user_ids = user_ids
+        self._xy = xy
+        self._bounds = bounds
+        self._geo_bounds = geo_bounds
+        self._user_ids.setflags(write=False)
+        self._xy.setflags(write=False)
+
+    # ------------------------------------------------------------------
+    # basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Dataset label."""
+        return self._name
+
+    @property
+    def bounds(self) -> BoundingBox:
+        """Planar domain of the dataset."""
+        return self._bounds
+
+    @property
+    def geo_bounds(self) -> GeoBounds | None:
+        """Original geographic window, if the data came from lat/lon."""
+        return self._geo_bounds
+
+    @property
+    def xy(self) -> np.ndarray:
+        """Read-only ``(n, 2)`` coordinate array in km."""
+        return self._xy
+
+    @property
+    def user_ids(self) -> np.ndarray:
+        """Read-only user-id array."""
+        return self._user_ids
+
+    @property
+    def n_checkins(self) -> int:
+        """Number of check-in records."""
+        return self._xy.shape[0]
+
+    @property
+    def n_users(self) -> int:
+        """Number of distinct users."""
+        return int(np.unique(self._user_ids).size)
+
+    def __len__(self) -> int:
+        return self.n_checkins
+
+    def __iter__(self) -> Iterator[CheckIn]:
+        for uid, (x, y) in zip(self._user_ids, self._xy):
+            yield CheckIn(user_id=int(uid), location=Point(float(x), float(y)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CheckInDataset(name={self._name!r}, checkins={self.n_checkins}, "
+            f"users={self.n_users})"
+        )
+
+    # ------------------------------------------------------------------
+    # mechanism-facing operations
+    # ------------------------------------------------------------------
+    def point(self, i: int) -> Point:
+        """The i-th check-in location."""
+        x, y = self._xy[i]
+        return Point(float(x), float(y))
+
+    def points(self) -> list[Point]:
+        """All check-in locations as :class:`Point` objects."""
+        return [Point(float(x), float(y)) for x, y in self._xy]
+
+    def sample_requests(self, n: int, rng: np.random.Generator) -> list[Point]:
+        """Draw ``n`` request locations uniformly from the check-ins.
+
+        This reproduces the paper's evaluation protocol: "the utility
+        loss experienced ... over a set of 3 000 requests randomly
+        selected from the set of check-ins" (Section 6.2).  Sampling is
+        with replacement so any ``n`` is valid.
+        """
+        if n < 1:
+            raise DatasetError(f"request sample size must be >= 1, got {n}")
+        idx = rng.integers(0, self.n_checkins, size=n)
+        return [Point(float(x), float(y)) for x, y in self._xy[idx]]
+
+    def subsample(self, n: int, rng: np.random.Generator) -> "CheckInDataset":
+        """A dataset of ``n`` records drawn without replacement."""
+        if not (1 <= n <= self.n_checkins):
+            raise DatasetError(
+                f"subsample size {n} outside [1, {self.n_checkins}]"
+            )
+        idx = rng.choice(self.n_checkins, size=n, replace=False)
+        return CheckInDataset(
+            name=f"{self._name}#sub{n}",
+            user_ids=self._user_ids[idx],
+            xy=self._xy[idx],
+            bounds=self._bounds,
+            geo_bounds=self._geo_bounds,
+        )
+
+
+def dataset_from_geo(
+    name: str,
+    records: Sequence[tuple[int, float, float]],
+    geo_bounds: GeoBounds,
+) -> CheckInDataset:
+    """Build a dataset from ``(user_id, lat, lon)`` records.
+
+    Records outside the geographic window are dropped, matching the
+    paper's per-city filtering; the planar domain is the projected
+    window expanded to a square (the budget model needs a square L x L
+    region).
+    """
+    projection = EquirectangularProjection(geo_bounds)
+    kept_ids: list[int] = []
+    kept_xy: list[tuple[float, float]] = []
+    for uid, lat, lon in records:
+        if not geo_bounds.contains(lat, lon):
+            continue
+        p = projection.to_plane(lat, lon)
+        kept_ids.append(int(uid))
+        kept_xy.append((p.x, p.y))
+    if not kept_ids:
+        raise DatasetError(f"no records of {name!r} fall inside {geo_bounds}")
+    bounds = projection.planar_bbox().scaled_to_square()
+    return CheckInDataset(
+        name=name,
+        user_ids=np.asarray(kept_ids),
+        xy=np.asarray(kept_xy),
+        bounds=bounds,
+        geo_bounds=geo_bounds,
+    )

@@ -1,0 +1,77 @@
+"""CSV input/output for check-in datasets.
+
+The on-disk format is the minimal one the paper's datasets reduce to:
+``user_id,lat,lon`` with a header row.  If a real Gowalla/Yelp extract is
+dropped at the expected path (see :mod:`repro.datasets.gowalla` /
+:mod:`repro.datasets.yelp`) it is loaded instead of the synthetic
+substitute.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.exceptions import DatasetError
+from repro.geo.projection import GeoBounds
+from repro.datasets.checkin import CheckInDataset, dataset_from_geo
+
+_HEADER = ("user_id", "lat", "lon")
+
+
+def read_checkins_csv(
+    path: str | Path, name: str, geo_bounds: GeoBounds
+) -> CheckInDataset:
+    """Read ``user_id,lat,lon`` rows, filter to the window, and project.
+
+    Raises
+    ------
+    DatasetError
+        On a missing file, malformed header, or unparsable row.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"check-in file not found: {path}")
+    records: list[tuple[int, float, float]] = []
+    with path.open(newline="") as f:
+        reader = csv.reader(f)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise DatasetError(f"{path} is empty") from None
+        if tuple(h.strip().lower() for h in header) != _HEADER:
+            raise DatasetError(
+                f"{path} header {header!r} != expected {list(_HEADER)!r}"
+            )
+        for line_no, row in enumerate(reader, start=2):
+            if not row:
+                continue
+            try:
+                records.append((int(row[0]), float(row[1]), float(row[2])))
+            except (ValueError, IndexError) as exc:
+                raise DatasetError(f"{path}:{line_no}: bad row {row!r}") from exc
+    return dataset_from_geo(name, records, geo_bounds)
+
+
+def write_checkins_csv(dataset: CheckInDataset, path: str | Path) -> None:
+    """Write a dataset back to ``user_id,lat,lon`` CSV.
+
+    Requires the dataset to carry its geographic window (so planar
+    coordinates can be unprojected).
+    """
+    if dataset.geo_bounds is None:
+        raise DatasetError(
+            f"dataset {dataset.name!r} has no geographic window; "
+            "cannot emit lat/lon"
+        )
+    from repro.geo.projection import EquirectangularProjection
+
+    projection = EquirectangularProjection(dataset.geo_bounds)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as f:
+        writer = csv.writer(f)
+        writer.writerow(_HEADER)
+        for checkin in dataset:
+            lat, lon = projection.to_geo(checkin.location)
+            writer.writerow([checkin.user_id, f"{lat:.6f}", f"{lon:.6f}"])

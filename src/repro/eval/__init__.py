@@ -1,0 +1,64 @@
+"""Experiment harness: evaluation protocol, result tables, per-figure runs."""
+
+from repro.eval.experiments import (
+    DEFAULT_EPSILON,
+    PAPER_EPSILONS,
+    PAPER_RHOS,
+    ExperimentConfig,
+    run_budget_strategy_ablation,
+    run_fig3,
+    run_fig5,
+    run_fig6_7,
+    run_fig8_9,
+    run_fig10_11,
+    run_index_ablation,
+    run_latency,
+    run_prior_ablation,
+    run_spanner_ablation,
+    run_table2,
+)
+from repro.eval.harness import (
+    DEFAULT_METRICS,
+    PAPER_REQUEST_COUNT,
+    EvaluationResult,
+    evaluate_mechanism,
+)
+from repro.eval.results import ResultTable, print_table
+from repro.eval.shapes import (
+    crossover_index,
+    dominates,
+    gap_ratios,
+    is_decreasing,
+    is_increasing,
+    is_u_shaped,
+)
+
+__all__ = [
+    "DEFAULT_EPSILON",
+    "DEFAULT_METRICS",
+    "EvaluationResult",
+    "ExperimentConfig",
+    "PAPER_EPSILONS",
+    "PAPER_REQUEST_COUNT",
+    "PAPER_RHOS",
+    "ResultTable",
+    "evaluate_mechanism",
+    "crossover_index",
+    "dominates",
+    "gap_ratios",
+    "is_decreasing",
+    "is_increasing",
+    "is_u_shaped",
+    "print_table",
+    "run_budget_strategy_ablation",
+    "run_fig3",
+    "run_fig5",
+    "run_fig6_7",
+    "run_fig8_9",
+    "run_fig10_11",
+    "run_index_ablation",
+    "run_latency",
+    "run_prior_ablation",
+    "run_spanner_ablation",
+    "run_table2",
+]

@@ -1,0 +1,117 @@
+"""Result tables.
+
+Every experiment function returns a :class:`ResultTable` — an ordered,
+typed set of rows that formats itself the way the paper presents data
+(one row per configuration, utility and timing columns side by side)
+and exports to CSV for plotting.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import EvaluationError
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, float):
+        if value != value:  # NaN
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class ResultTable:
+    """A labelled grid of experiment results.
+
+    Attributes
+    ----------
+    title:
+        What the table reproduces (e.g. ``"Figure 6a"``).
+    columns:
+        Column names, fixed at construction.
+    rows:
+        Appended via :meth:`add_row`; each row must match ``columns``.
+    notes:
+        Free-text caveats printed under the table (e.g. scaled-down
+        request counts).
+    """
+
+    title: str
+    columns: list[str]
+    rows: list[tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def add_row(self, *values: Any) -> None:
+        """Append a row, enforcing the column arity."""
+        if len(values) != len(self.columns):
+            raise EvaluationError(
+                f"row has {len(values)} values for {len(self.columns)} columns"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, name: str) -> list[Any]:
+        """All values of one column, in row order."""
+        try:
+            idx = self.columns.index(name)
+        except ValueError:
+            raise EvaluationError(
+                f"no column {name!r}; columns: {self.columns}"
+            ) from None
+        return [row[idx] for row in self.rows]
+
+    def filtered(self, **criteria: Any) -> "ResultTable":
+        """Rows matching every ``column=value`` criterion."""
+        indexes = {name: self.columns.index(name) for name in criteria}
+        matching = [
+            row
+            for row in self.rows
+            if all(row[indexes[name]] == value for name, value in criteria.items())
+        ]
+        return ResultTable(
+            title=self.title, columns=list(self.columns), rows=matching,
+            notes=self.notes,
+        )
+
+    def format(self) -> str:
+        """Render as an aligned text table (paper-style)."""
+        header = list(self.columns)
+        body = [[_format_value(v) for v in row] for row in self.rows]
+        widths = [
+            max(len(header[i]), *(len(r[i]) for r in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for r in body:
+            lines.append("  ".join(v.ljust(w) for v, w in zip(r, widths)))
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+    def to_csv(self, path: str | Path) -> None:
+        """Write the table (with header) as CSV."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("w", newline="") as f:
+            writer = csv.writer(f)
+            writer.writerow(self.columns)
+            writer.writerows(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+def print_table(table: ResultTable) -> None:
+    """Print a table to stdout (the benches' reporting primitive)."""
+    print(table.format())
+    print()

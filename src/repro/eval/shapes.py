@@ -1,0 +1,114 @@
+"""Trend-shape assertions for reproduction claims.
+
+The reproduction's contract with the paper is about *shapes* — which
+series wins, in which direction a trend moves, where a crossover falls —
+not absolute numbers (the substrate differs).  These helpers give the
+benchmarks and tests one vocabulary for those claims, with a noise
+tolerance so Monte-Carlo wiggle does not produce flaky assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import EvaluationError
+
+
+def _check(values: Sequence[float]) -> list[float]:
+    out = [float(v) for v in values]
+    if len(out) < 2:
+        raise EvaluationError("trend checks need at least two values")
+    return out
+
+
+def is_decreasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    """True when each step falls, allowing ``tolerance`` relative rise.
+
+    ``tolerance = 0.05`` accepts any step that does not *rise* by more
+    than 5 % — the right reading of "decreasing" for a Monte-Carlo
+    series.
+    """
+    vals = _check(values)
+    return all(
+        b <= a * (1.0 + tolerance) for a, b in zip(vals, vals[1:])
+    ) and vals[-1] < vals[0]
+
+
+def is_increasing(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    """Mirror of :func:`is_decreasing`."""
+    vals = _check(values)
+    return all(
+        b >= a * (1.0 - tolerance) for a, b in zip(vals, vals[1:])
+    ) and vals[-1] > vals[0]
+
+
+def is_u_shaped(values: Sequence[float], tolerance: float = 0.0) -> bool:
+    """True when the series falls to an interior minimum then rises.
+
+    The defining property asserted for the paper's Figures 8-9: the
+    best value sits strictly inside the sweep, with a (tolerance-
+    relaxed) descent before it and ascent after it.
+    """
+    vals = _check(values)
+    if len(vals) < 3:
+        return False
+    arg_min = vals.index(min(vals))
+    if arg_min == 0 or arg_min == len(vals) - 1:
+        return False
+    return is_decreasing(vals[: arg_min + 1], tolerance) and is_increasing(
+        vals[arg_min:], tolerance
+    )
+
+
+def dominates(
+    better: Sequence[float],
+    worse: Sequence[float],
+    min_ratio: float = 1.0,
+) -> bool:
+    """True when ``worse[i] >= min_ratio * better[i]`` at every index.
+
+    Encodes "series A beats series B everywhere (by at least a
+    factor)" — the Figures 6-7 claim with ``min_ratio`` at 1.
+    """
+    a = _check(better)
+    b = _check(worse)
+    if len(a) != len(b):
+        raise EvaluationError(
+            f"series lengths differ: {len(a)} vs {len(b)}"
+        )
+    return all(w >= min_ratio * v for v, w in zip(a, b))
+
+
+def gap_ratios(
+    better: Sequence[float], worse: Sequence[float]
+) -> list[float]:
+    """Pointwise ``worse / better`` ratios (the "gap" of Figures 6-7)."""
+    a = _check(better)
+    b = _check(worse)
+    if len(a) != len(b):
+        raise EvaluationError(
+            f"series lengths differ: {len(a)} vs {len(b)}"
+        )
+    if any(v <= 0 for v in a):
+        raise EvaluationError("gap ratios need strictly positive baseline")
+    return [w / v for v, w in zip(a, b)]
+
+
+def crossover_index(
+    a: Sequence[float], b: Sequence[float]
+) -> int | None:
+    """First index where series ``a`` stops beating series ``b``.
+
+    Returns None when ``a`` stays below ``b`` throughout (no crossover).
+    Used for "PL catches up with MSM around eps = 0.5" style claims.
+    """
+    va = _check(a)
+    vb = _check(b)
+    if len(va) != len(vb):
+        raise EvaluationError(
+            f"series lengths differ: {len(va)} vs {len(vb)}"
+        )
+    for i, (x, y) in enumerate(zip(va, vb)):
+        if x >= y:
+            return i
+    return None

@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch a single base class at API boundaries while still being able to
+discriminate finer failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GeometryError(ReproError):
+    """A geometric argument is malformed (degenerate box, bad coordinate)."""
+
+
+class GridError(ReproError):
+    """A grid or index operation received inconsistent parameters."""
+
+
+class PriorError(ReproError):
+    """A prior distribution is malformed (negative mass, wrong shape)."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be loaded, parsed, or generated."""
+
+
+class SolverError(ReproError):
+    """The linear-programming substrate failed to produce a solution."""
+
+
+class InfeasibleProblemError(SolverError):
+    """The linear program has no feasible point."""
+
+
+class UnboundedProblemError(SolverError):
+    """The linear program is unbounded below."""
+
+
+class MechanismError(ReproError):
+    """A mechanism was constructed or invoked with invalid parameters."""
+
+
+class PrivacyViolationError(ReproError):
+    """A mechanism matrix fails the geo-indistinguishability constraints."""
+
+
+class BudgetError(ReproError):
+    """Privacy-budget accounting failed (exhausted or invalid budget)."""
+
+
+class EvaluationError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,38 @@
+"""Planar geometry substrate: points, boxes, metrics and projection."""
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.metric import (
+    EUCLIDEAN,
+    MANHATTAN,
+    SQUARED_EUCLIDEAN,
+    EuclideanMetric,
+    ManhattanMetric,
+    Metric,
+    SquaredEuclideanMetric,
+    get_metric,
+)
+from repro.geo.point import Point, centroid
+from repro.geo.projection import (
+    EARTH_RADIUS_KM,
+    EquirectangularProjection,
+    GeoBounds,
+    haversine_km,
+)
+
+__all__ = [
+    "BoundingBox",
+    "EARTH_RADIUS_KM",
+    "EUCLIDEAN",
+    "EquirectangularProjection",
+    "EuclideanMetric",
+    "GeoBounds",
+    "MANHATTAN",
+    "ManhattanMetric",
+    "Metric",
+    "Point",
+    "SQUARED_EUCLIDEAN",
+    "SquaredEuclideanMetric",
+    "centroid",
+    "get_metric",
+    "haversine_km",
+]

@@ -1,0 +1,148 @@
+"""Axis-aligned bounding boxes in the planar coordinate system.
+
+The paper's data domain is a square region of side length ``L`` (20 km for
+both evaluation cities).  :class:`BoundingBox` represents any axis-aligned
+rectangle; :meth:`BoundingBox.square` asserts the square assumption the
+budget-allocation model relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import GeometryError
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class BoundingBox:
+    """An axis-aligned rectangle ``[min_x, max_x] x [min_y, max_y]`` in km.
+
+    The box is closed on all sides; :meth:`contains` treats boundary points
+    as inside so that snapping a domain-boundary location never fails.
+    """
+
+    min_x: float
+    min_y: float
+    max_x: float
+    max_y: float
+
+    def __post_init__(self) -> None:
+        if not (self.min_x < self.max_x and self.min_y < self.max_y):
+            raise GeometryError(
+                f"degenerate bounding box: "
+                f"[{self.min_x}, {self.max_x}] x [{self.min_y}, {self.max_y}]"
+            )
+
+    @staticmethod
+    def square(origin: Point, side: float) -> "BoundingBox":
+        """Return the square box with lower-left corner ``origin`` and side ``side``."""
+        if side <= 0:
+            raise GeometryError(f"square side must be positive, got {side}")
+        return BoundingBox(origin.x, origin.y, origin.x + side, origin.y + side)
+
+    @property
+    def width(self) -> float:
+        """Extent along the x axis in km."""
+        return self.max_x - self.min_x
+
+    @property
+    def height(self) -> float:
+        """Extent along the y axis in km."""
+        return self.max_y - self.min_y
+
+    @property
+    def side(self) -> float:
+        """Side length ``L`` of a square box.
+
+        Raises
+        ------
+        GeometryError
+            If the box is not square (within floating-point tolerance).
+        """
+        if not math.isclose(self.width, self.height, rel_tol=1e-9, abs_tol=1e-12):
+            raise GeometryError(
+                f"box is not square: width={self.width}, height={self.height}"
+            )
+        return self.width
+
+    @property
+    def area(self) -> float:
+        """Area of the box in km^2."""
+        return self.width * self.height
+
+    @property
+    def center(self) -> Point:
+        """Centre point of the box."""
+        return Point((self.min_x + self.max_x) / 2.0, (self.min_y + self.max_y) / 2.0)
+
+    @property
+    def lower_left(self) -> Point:
+        """Lower-left (minimum) corner."""
+        return Point(self.min_x, self.min_y)
+
+    @property
+    def upper_right(self) -> Point:
+        """Upper-right (maximum) corner."""
+        return Point(self.max_x, self.max_y)
+
+    def contains(self, p: Point) -> bool:
+        """Return True if ``p`` lies inside or on the boundary of the box."""
+        return (
+            self.min_x <= p.x <= self.max_x and self.min_y <= p.y <= self.max_y
+        )
+
+    def clamp(self, p: Point) -> Point:
+        """Return the closest point to ``p`` inside the box."""
+        return Point(
+            min(max(p.x, self.min_x), self.max_x),
+            min(max(p.y, self.min_y), self.max_y),
+        )
+
+    def intersects(self, other: "BoundingBox") -> bool:
+        """Return True if the two boxes share at least a boundary point."""
+        return not (
+            self.max_x < other.min_x
+            or other.max_x < self.min_x
+            or self.max_y < other.min_y
+            or other.max_y < self.min_y
+        )
+
+    def contains_box(self, other: "BoundingBox") -> bool:
+        """Return True if ``other`` lies entirely within this box."""
+        return (
+            self.min_x <= other.min_x
+            and self.min_y <= other.min_y
+            and other.max_x <= self.max_x
+            and other.max_y <= self.max_y
+        )
+
+    def scaled_to_square(self) -> "BoundingBox":
+        """Return the smallest enclosing square box sharing this box's centre.
+
+        The paper assumes a square domain; rectangular regions "can be scaled
+        in advance of executing our algorithm to equalize the range in each
+        dimension" (Section 4, footnote 3).  Expanding to the enclosing
+        square is the loss-free way to do that.
+        """
+        side = max(self.width, self.height)
+        c = self.center
+        half = side / 2.0
+        return BoundingBox(c.x - half, c.y - half, c.x + half, c.y + half)
+
+    def split(self, g: int) -> list["BoundingBox"]:
+        """Split the box into a ``g x g`` regular grid of sub-boxes.
+
+        Returned in row-major order: index ``row * g + col`` with row 0 at
+        the bottom (minimum y) and col 0 at the left (minimum x).
+        """
+        if g < 1:
+            raise GeometryError(f"grid granularity must be >= 1, got {g}")
+        xs = [self.min_x + self.width * i / g for i in range(g + 1)]
+        ys = [self.min_y + self.height * j / g for j in range(g + 1)]
+        return [
+            BoundingBox(xs[col], ys[row], xs[col + 1], ys[row + 1])
+            for row in range(g)
+            for col in range(g)
+        ]

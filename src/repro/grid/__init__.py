@@ -1,0 +1,20 @@
+"""Spatial grids and hierarchical indexes (GIHI, quadtree, k-d tree)."""
+
+from repro.grid.cell import Cell
+from repro.grid.hierarchy import HierarchicalGrid
+from repro.grid.index import IndexNode, SpatialIndex
+from repro.grid.kdtree import KDTreeIndex
+from repro.grid.quadtree import QuadtreeIndex
+from repro.grid.regular import RegularGrid
+from repro.grid.str_index import STRIndex
+
+__all__ = [
+    "Cell",
+    "HierarchicalGrid",
+    "IndexNode",
+    "KDTreeIndex",
+    "QuadtreeIndex",
+    "RegularGrid",
+    "STRIndex",
+    "SpatialIndex",
+]

@@ -1,0 +1,49 @@
+"""Grid cells.
+
+A :class:`Cell` is an addressed rectangle inside a regular grid: its
+``(row, col)`` position, its spatial ``bounds``, and its linear ``index``
+in row-major order.  Cell centres are the *logical locations* of the paper
+(Section 3.1): both actual and reported locations are snapped to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class Cell:
+    """One cell of a regular grid.
+
+    Attributes
+    ----------
+    row, col:
+        Zero-based position; row 0 is the southernmost row, col 0 the
+        westernmost column.
+    index:
+        Row-major linear index, ``row * g + col``.
+    bounds:
+        The spatial extent of the cell.
+    """
+
+    row: int
+    col: int
+    index: int
+    bounds: BoundingBox
+
+    @property
+    def center(self) -> Point:
+        """The logical location of the cell (its centre)."""
+        return self.bounds.center
+
+    @property
+    def side(self) -> float:
+        """Side length of a square cell in km."""
+        return self.bounds.side
+
+    def contains(self, p: Point) -> bool:
+        """Return True if ``p`` lies within the cell bounds (closed)."""
+        return self.bounds.contains(p)

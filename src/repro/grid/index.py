@@ -1,0 +1,119 @@
+"""Generic spatial-index protocol for the multi-step mechanism.
+
+The paper presents MSM over a hierarchical grid but notes (Section 4,
+footnote 4) that "the MSM concept applies to any hierarchical data
+structure without node overlap, e.g. R+-trees or k-d-trees".  This module
+defines the small protocol MSM actually needs so that
+:class:`~repro.grid.hierarchy.HierarchicalGrid`,
+:class:`~repro.grid.quadtree.QuadtreeIndex` and
+:class:`~repro.grid.kdtree.KDTreeIndex` are interchangeable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class IndexNode:
+    """A node of a hierarchical space partition.
+
+    Attributes
+    ----------
+    bounds:
+        The node's spatial extent.  Children partition the parent's
+        extent exactly (no overlap, no gap).
+    level:
+        Depth below the (virtual) root; the root has level 0.
+    path:
+        The sequence of child positions leading from the root to this
+        node.  ``path`` uniquely identifies the node and is hashable, so
+        it doubles as a cache key for precomputed mechanisms.
+    """
+
+    bounds: BoundingBox
+    level: int
+    path: tuple[int, ...]
+
+    @property
+    def center(self) -> Point:
+        """Centre of the node's extent."""
+        return self.bounds.center
+
+
+class SpatialIndex(abc.ABC):
+    """A hierarchical, non-overlapping partition of a bounding box.
+
+    MSM only requires: a root covering the domain, an ordered child list
+    for every internal node, and point location among a node's children.
+    """
+
+    @property
+    @abc.abstractmethod
+    def bounds(self) -> BoundingBox:
+        """Extent of the whole indexed domain."""
+
+    @property
+    @abc.abstractmethod
+    def root(self) -> IndexNode:
+        """The virtual root node covering :attr:`bounds`."""
+
+    @abc.abstractmethod
+    def children(self, node: IndexNode) -> list[IndexNode]:
+        """Ordered children of ``node``; empty list if ``node`` is a leaf."""
+
+    def is_leaf(self, node: IndexNode) -> bool:
+        """Return True if ``node`` has no children."""
+        return not self.children(node)
+
+    def locate_child(self, node: IndexNode, p: Point) -> IndexNode | None:
+        """Return the child of ``node`` whose extent contains ``p``.
+
+        Returns None when ``p`` is outside ``node`` (or ``node`` is a
+        leaf).  The default implementation scans children; concrete
+        indexes override it with O(1) arithmetic where possible.
+        """
+        for child in self.children(node):
+            if child.bounds.contains(p):
+                return child
+        return None
+
+    def max_height(self) -> int:
+        """Maximum leaf depth of the index (root is depth 0)."""
+        height = 0
+        stack = [(self.root, 0)]
+        while stack:
+            node, depth = stack.pop()
+            kids = self.children(node)
+            if not kids:
+                height = max(height, depth)
+            else:
+                stack.extend((k, depth + 1) for k in kids)
+        return height
+
+    def leaves(self) -> list[IndexNode]:
+        """All leaf nodes, in depth-first order."""
+        out: list[IndexNode] = []
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            kids = self.children(node)
+            if not kids:
+                out.append(node)
+            else:
+                stack.extend(reversed(kids))
+        return out
+
+    def node_count(self) -> int:
+        """Total number of nodes, including the root."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(self.children(node))
+        return count

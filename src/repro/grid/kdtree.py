@@ -1,0 +1,121 @@
+"""Data-adaptive k-d split tree index.
+
+A binary space partition with alternating axis-median splits, the second
+adaptive structure the paper's future work (Section 8) calls out.  Each
+internal node has exactly two children that partition its extent at the
+median coordinate of the sample points it holds, so dense regions end up
+with many narrow cells.
+
+The fanout of 2 makes each per-level OPT subproblem trivial (a 2 x 2
+stochastic matrix); the interest of this index for MSM is how its
+*adaptive geometry* redistributes utility loss, which the ablation
+benchmarks measure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import GridError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.grid.index import IndexNode, SpatialIndex
+
+#: Minimum fraction of the parent extent each child must keep.  Stops a
+#: heavily-skewed median from producing sliver cells that would make the
+#: per-node OPT numerically useless.
+_MIN_SPLIT_FRACTION = 0.2
+
+
+class KDTreeIndex(SpatialIndex):
+    """A k-d split tree over a point sample.
+
+    Parameters
+    ----------
+    bounds:
+        Domain to index.
+    points:
+        Sample driving the median splits; points outside ``bounds`` are
+        ignored.
+    max_depth:
+        Number of binary levels (root is depth 0).
+    min_points:
+        Nodes with fewer sample points stop splitting early and fall
+        back to a midpoint split only if ``always_split`` is set.
+    always_split:
+        When True the tree is complete (every node splits down to
+        ``max_depth``), using the midpoint where the sample is too thin.
+        MSM requires the walk to reach *some* leaf in every branch, so a
+        complete tree keeps its depth predictable.
+    """
+
+    def __init__(
+        self,
+        bounds: BoundingBox,
+        points: Sequence[Point],
+        max_depth: int = 6,
+        min_points: int = 16,
+        always_split: bool = True,
+    ):
+        if max_depth < 1:
+            raise GridError(f"max_depth must be >= 1, got {max_depth}")
+        self._bounds = bounds
+        self._max_depth = max_depth
+        self._min_points = min_points
+        self._always_split = always_split
+        self._root = IndexNode(bounds=bounds, level=0, path=())
+        self._children: dict[tuple[int, ...], list[IndexNode]] = {}
+        inside = [p for p in points if bounds.contains(p)]
+        self._build(self._root, inside)
+
+    def _split_coord(self, values: list[float], lo: float, hi: float) -> float:
+        """Pick the split coordinate: clamped median, or midpoint if thin."""
+        if values:
+            values = sorted(values)
+            median = values[len(values) // 2]
+        else:
+            median = (lo + hi) / 2.0
+        span = hi - lo
+        return min(max(median, lo + _MIN_SPLIT_FRACTION * span),
+                   hi - _MIN_SPLIT_FRACTION * span)
+
+    def _build(self, node: IndexNode, points: list[Point]) -> None:
+        if node.level >= self._max_depth:
+            return
+        if len(points) < self._min_points and not self._always_split:
+            return
+        b = node.bounds
+        axis = node.level % 2  # 0: split along x, 1: along y
+        if axis == 0:
+            coord = self._split_coord([p.x for p in points], b.min_x, b.max_x)
+            left = BoundingBox(b.min_x, b.min_y, coord, b.max_y)
+            right = BoundingBox(coord, b.min_y, b.max_x, b.max_y)
+            buckets = ([p for p in points if p.x < coord],
+                       [p for p in points if p.x >= coord])
+        else:
+            coord = self._split_coord([p.y for p in points], b.min_y, b.max_y)
+            left = BoundingBox(b.min_x, b.min_y, b.max_x, coord)
+            right = BoundingBox(b.min_x, coord, b.max_x, b.max_y)
+            buckets = ([p for p in points if p.y < coord],
+                       [p for p in points if p.y >= coord])
+        kids = [
+            IndexNode(bounds=left, level=node.level + 1, path=node.path + (0,)),
+            IndexNode(bounds=right, level=node.level + 1, path=node.path + (1,)),
+        ]
+        self._children[node.path] = kids
+        for kid, bucket in zip(kids, buckets):
+            self._build(kid, bucket)
+
+    # ------------------------------------------------------------------
+    # SpatialIndex protocol
+    # ------------------------------------------------------------------
+    @property
+    def bounds(self) -> BoundingBox:
+        return self._bounds
+
+    @property
+    def root(self) -> IndexNode:
+        return self._root
+
+    def children(self, node: IndexNode) -> list[IndexNode]:
+        return list(self._children.get(node.path, ()))

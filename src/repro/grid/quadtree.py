@@ -1,0 +1,98 @@
+"""Data-adaptive point quadtree index.
+
+The paper's future work (Section 8) proposes replacing the balanced grid
+with structures that "adjust better to skewed distributions of priors".
+:class:`QuadtreeIndex` is such a structure: a node splits into its four
+quadrants only while it holds more than ``capacity`` data points and is
+above ``max_depth``, so dense downtown areas get deep, fine-grained
+subtrees while empty suburbs stay coarse.
+
+Like every index MSM can walk, the children of a node partition the
+node's extent exactly (all four quadrants are materialised when a node
+splits), so the multi-step composition argument is unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.exceptions import GridError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.grid.index import IndexNode, SpatialIndex
+from repro.grid.regular import RegularGrid
+
+
+class QuadtreeIndex(SpatialIndex):
+    """A region quadtree driven by a point sample.
+
+    Parameters
+    ----------
+    bounds:
+        Square domain to index.
+    points:
+        The sample (e.g. historical check-ins) that drives splitting.
+        Points outside ``bounds`` are ignored.
+    capacity:
+        A node holding more than this many sample points is split,
+        depth permitting.
+    max_depth:
+        Hard depth limit (root is depth 0).
+    """
+
+    def __init__(
+        self,
+        bounds: BoundingBox,
+        points: Sequence[Point],
+        capacity: int = 64,
+        max_depth: int = 6,
+    ):
+        if capacity < 1:
+            raise GridError(f"capacity must be >= 1, got {capacity}")
+        if max_depth < 1:
+            raise GridError(f"max_depth must be >= 1, got {max_depth}")
+        self._bounds = bounds
+        self._capacity = capacity
+        self._max_depth = max_depth
+        self._root = IndexNode(bounds=bounds, level=0, path=())
+        self._children: dict[tuple[int, ...], list[IndexNode]] = {}
+        inside = [p for p in points if bounds.contains(p)]
+        self._build(self._root, inside)
+
+    def _build(self, node: IndexNode, points: list[Point]) -> None:
+        if node.level >= self._max_depth or len(points) <= self._capacity:
+            return
+        sub = RegularGrid(node.bounds, 2)
+        kids = [
+            IndexNode(bounds=sub.cell_by_index(i).bounds,
+                      level=node.level + 1,
+                      path=node.path + (i,))
+            for i in range(4)
+        ]
+        self._children[node.path] = kids
+        buckets: list[list[Point]] = [[] for _ in range(4)]
+        for p in points:
+            buckets[sub.locate(p).index].append(p)
+        for kid, bucket in zip(kids, buckets):
+            self._build(kid, bucket)
+
+    # ------------------------------------------------------------------
+    # SpatialIndex protocol
+    # ------------------------------------------------------------------
+    @property
+    def bounds(self) -> BoundingBox:
+        return self._bounds
+
+    @property
+    def root(self) -> IndexNode:
+        return self._root
+
+    def children(self, node: IndexNode) -> list[IndexNode]:
+        return list(self._children.get(node.path, ()))
+
+    def locate_child(self, node: IndexNode, p: Point) -> IndexNode | None:
+        kids = self._children.get(node.path)
+        if kids is None or not node.bounds.contains(p):
+            return None
+        index = RegularGrid(node.bounds, 2).locate(p).index
+        return kids[index]

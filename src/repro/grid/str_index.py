@@ -1,0 +1,175 @@
+"""Sort-Tile-Recursive (STR) packed index — an R+-tree-flavoured GIHI.
+
+The paper's future work (Section 8) names R+-trees as a candidate
+replacement for the balanced grid.  A *queryable* R+-tree is more
+machinery than MSM needs; what MSM actually requires is the R+-tree's
+defining property — **non-overlapping rectangles adapted to the data
+distribution**.  STR bulk-loading delivers exactly that: at every node,
+sample points are sorted into ``f`` vertical slabs of equal population,
+and each slab into ``f`` horizontal cells of equal population, giving
+``f^2`` children per node (the same fanout shape as the paper's grid)
+whose cells are small where data is dense.
+
+Slab boundaries are data quantiles clamped away from slivers, so every
+child keeps a usable extent even under extreme skew.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import GridError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.grid.index import IndexNode, SpatialIndex
+
+#: Minimum fraction of the parent extent each slab/cell must keep.
+_MIN_FRACTION = 0.08
+
+
+def _quantile_breaks(
+    values: np.ndarray, parts: int, lo: float, hi: float
+) -> list[float]:
+    """Interior break coordinates: population quantiles, sliver-clamped."""
+    span = hi - lo
+    if values.size:
+        qs = np.quantile(values, [i / parts for i in range(1, parts)])
+    else:
+        qs = np.asarray([lo + span * i / parts for i in range(1, parts)])
+    breaks: list[float] = []
+    floor = lo
+    for i, q in enumerate(qs, start=1):
+        remaining = parts - i
+        low_limit = floor + _MIN_FRACTION * span
+        high_limit = hi - remaining * _MIN_FRACTION * span
+        q = min(max(float(q), low_limit), high_limit)
+        breaks.append(q)
+        floor = q
+    return breaks
+
+
+class STRIndex(SpatialIndex):
+    """An STR-packed, non-overlapping hierarchical index.
+
+    Parameters
+    ----------
+    bounds:
+        Domain to index.
+    points:
+        Sample (e.g. historical check-ins) the tiling adapts to; points
+        outside ``bounds`` are ignored.
+    fanout:
+        Slabs per axis ``f``; each internal node has ``f^2`` children.
+    height:
+        Number of levels (the tree is complete — every branch reaches
+        ``height``, using even splits where the sample runs dry).
+    """
+
+    def __init__(
+        self,
+        bounds: BoundingBox,
+        points: Sequence[Point],
+        fanout: int = 3,
+        height: int = 2,
+    ):
+        if fanout < 2:
+            raise GridError(f"fanout must be >= 2, got {fanout}")
+        if height < 1:
+            raise GridError(f"height must be >= 1, got {height}")
+        self._bounds = bounds
+        self._fanout = fanout
+        self._height = height
+        self._root = IndexNode(bounds=bounds, level=0, path=())
+        self._children: dict[tuple[int, ...], list[IndexNode]] = {}
+        xy = np.asarray(
+            [(p.x, p.y) for p in points if bounds.contains(p)], dtype=float
+        ).reshape(-1, 2)
+        self._build(self._root, xy)
+
+    def _build(self, node: IndexNode, xy: np.ndarray) -> None:
+        if node.level >= self._height:
+            return
+        f = self._fanout
+        b = node.bounds
+        x_breaks = _quantile_breaks(xy[:, 0], f, b.min_x, b.max_x)
+        x_edges = [b.min_x, *x_breaks, b.max_x]
+        kids: list[IndexNode] = []
+        buckets: list[np.ndarray] = []
+        for col in range(f):
+            in_slab = xy[
+                (xy[:, 0] >= x_edges[col]) & (xy[:, 0] < x_edges[col + 1])
+            ] if xy.size else xy
+            y_breaks = _quantile_breaks(
+                in_slab[:, 1] if in_slab.size else np.empty(0),
+                f, b.min_y, b.max_y,
+            )
+            y_edges = [b.min_y, *y_breaks, b.max_y]
+            for row in range(f):
+                child_bounds = BoundingBox(
+                    x_edges[col], y_edges[row],
+                    x_edges[col + 1], y_edges[row + 1],
+                )
+                position = row * f + col
+                kids.append(
+                    IndexNode(
+                        bounds=child_bounds,
+                        level=node.level + 1,
+                        path=node.path + (position,),
+                    )
+                )
+                if in_slab.size:
+                    mask = (
+                        (in_slab[:, 1] >= y_edges[row])
+                        & (in_slab[:, 1] < y_edges[row + 1])
+                    )
+                    buckets.append(in_slab[mask])
+                else:
+                    buckets.append(np.empty((0, 2)))
+        # Children are stored in path-position order (row * f + col).
+        order = np.argsort([k.path[-1] for k in kids])
+        kids = [kids[i] for i in order]
+        buckets = [buckets[i] for i in order]
+        self._children[node.path] = kids
+        for kid, bucket in zip(kids, buckets):
+            self._build(kid, bucket)
+
+    # ------------------------------------------------------------------
+    # SpatialIndex protocol
+    # ------------------------------------------------------------------
+    @property
+    def bounds(self) -> BoundingBox:
+        return self._bounds
+
+    @property
+    def root(self) -> IndexNode:
+        return self._root
+
+    @property
+    def fanout(self) -> int:
+        """Slabs per axis (children per node = fanout^2)."""
+        return self._fanout
+
+    @property
+    def height(self) -> int:
+        """Number of levels below the root."""
+        return self._height
+
+    def children(self, node: IndexNode) -> list[IndexNode]:
+        return list(self._children.get(node.path, ()))
+
+    def locate_child(self, node: IndexNode, p: Point) -> IndexNode | None:
+        kids = self._children.get(node.path)
+        if kids is None or not node.bounds.contains(p):
+            return None
+        # Children tile the node exactly; shared edges resolve to the
+        # higher cell, domain boundary folds inward (scan is O(f^2)).
+        best = None
+        for kid in kids:
+            b = kid.bounds
+            if b.min_x <= p.x < b.max_x and b.min_y <= p.y < b.max_y:
+                return kid
+            if kid.bounds.contains(p):
+                best = kid
+        return best

@@ -1,0 +1,18 @@
+"""Location-based-service simulation (POI store, k-NN, QoS metrics)."""
+
+from repro.lbs.poi import POI, POIStore
+from repro.lbs.service import (
+    LocationBasedService,
+    QueryOutcome,
+    ServiceReport,
+    required_radius_expansion,
+)
+
+__all__ = [
+    "LocationBasedService",
+    "POI",
+    "POIStore",
+    "QueryOutcome",
+    "ServiceReport",
+    "required_radius_expansion",
+]

@@ -1,0 +1,106 @@
+"""Points of interest.
+
+The paper's motivating workload is a mobile user querying an untrusted
+server for nearby POIs (restaurants, bars, shops).  :class:`POIStore`
+is the server-side substrate for the example applications and the
+quality-of-service evaluation: a static set of categorised POIs with
+vectorised k-NN and range search.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import DatasetError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+
+
+@dataclass(frozen=True, slots=True)
+class POI:
+    """A point of interest."""
+
+    poi_id: int
+    name: str
+    category: str
+    location: Point
+
+
+class POIStore:
+    """An in-memory POI database with exact nearest-neighbour search.
+
+    Search is brute-force over a coordinate array; for the city-scale
+    catalogues of the examples (thousands of POIs) that is faster than
+    maintaining an index, and exactness keeps the quality-of-service
+    numbers unambiguous.
+    """
+
+    def __init__(self, pois: Sequence[POI]):
+        if not pois:
+            raise DatasetError("a POI store needs at least one POI")
+        self._pois = list(pois)
+        self._xy = np.asarray(
+            [(p.location.x, p.location.y) for p in self._pois], dtype=float
+        )
+
+    @classmethod
+    def from_coordinates(
+        cls,
+        xy: np.ndarray,
+        category: str = "poi",
+        name_prefix: str = "poi",
+    ) -> "POIStore":
+        """Build a store from an ``(n, 2)`` coordinate array."""
+        xy = np.asarray(xy, dtype=float)
+        pois = [
+            POI(
+                poi_id=i,
+                name=f"{name_prefix}-{i}",
+                category=category,
+                location=Point(float(x), float(y)),
+            )
+            for i, (x, y) in enumerate(xy)
+        ]
+        return cls(pois)
+
+    def __len__(self) -> int:
+        return len(self._pois)
+
+    def __getitem__(self, poi_id: int) -> POI:
+        return self._pois[poi_id]
+
+    @property
+    def pois(self) -> list[POI]:
+        """All POIs in id order."""
+        return list(self._pois)
+
+    def bounds(self) -> BoundingBox:
+        """The tight bounding box of the catalogue."""
+        return BoundingBox(
+            float(self._xy[:, 0].min()),
+            float(self._xy[:, 1].min()),
+            float(self._xy[:, 0].max()),
+            float(self._xy[:, 1].max()),
+        )
+
+    def knn(self, query: Point, k: int) -> list[POI]:
+        """The ``k`` POIs nearest to ``query``, closest first."""
+        if k < 1:
+            raise DatasetError(f"k must be >= 1, got {k}")
+        k = min(k, len(self._pois))
+        d = np.hypot(self._xy[:, 0] - query.x, self._xy[:, 1] - query.y)
+        order = np.argpartition(d, k - 1)[:k]
+        order = order[np.argsort(d[order])]
+        return [self._pois[i] for i in order]
+
+    def within_radius(self, query: Point, radius: float) -> list[POI]:
+        """All POIs within ``radius`` km of ``query``, closest first."""
+        if radius <= 0:
+            raise DatasetError(f"radius must be positive, got {radius}")
+        d = np.hypot(self._xy[:, 0] - query.x, self._xy[:, 1] - query.y)
+        idx = np.nonzero(d <= radius)[0]
+        idx = idx[np.argsort(d[idx])]
+        return [self._pois[i] for i in idx]

@@ -1,0 +1,71 @@
+"""Linear-programming substrate.
+
+Two interchangeable backends solve :class:`~repro.lp.problem.LinearProgram`
+instances:
+
+* ``"highs-ds"`` / ``"highs-ipm"`` / ``"highs"`` — scipy's HiGHS solver
+  (the production default, mirroring the paper's Gurobi dual simplex);
+* ``"simplex"`` — the library's own dense two-phase simplex, useful as an
+  independent correctness oracle and for dependency-free deployments.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import (
+    InfeasibleProblemError,
+    SolverError,
+    UnboundedProblemError,
+)
+from repro.lp.problem import LinearProgram, LinearProgramBuilder
+from repro.lp.result import LPResult, LPStatus
+from repro.lp.scipy_backend import solve_scipy
+from repro.lp.simplex import solve_simplex
+
+#: Backend names accepted by :func:`solve`.
+BACKENDS = ("highs-ds", "highs-ipm", "highs", "simplex")
+
+
+def solve(
+    problem: LinearProgram,
+    backend: str = "highs-ds",
+    time_limit: float | None = None,
+) -> LPResult:
+    """Solve a linear program with the named backend.
+
+    Returns the raw :class:`LPResult`; use :func:`solve_or_raise` when a
+    non-optimal outcome should be an exception.
+    """
+    if backend == "simplex":
+        return solve_simplex(problem)
+    if backend in ("highs-ds", "highs-ipm", "highs"):
+        return solve_scipy(problem, method=backend, time_limit=time_limit)
+    raise SolverError(f"unknown LP backend {backend!r}; known: {BACKENDS}")
+
+
+def solve_or_raise(
+    problem: LinearProgram,
+    backend: str = "highs-ds",
+    time_limit: float | None = None,
+) -> LPResult:
+    """Solve and raise a typed error unless the solve is optimal."""
+    result = solve(problem, backend=backend, time_limit=time_limit)
+    if result.is_optimal:
+        return result
+    if result.status is LPStatus.INFEASIBLE:
+        raise InfeasibleProblemError("linear program is infeasible")
+    if result.status is LPStatus.UNBOUNDED:
+        raise UnboundedProblemError("linear program is unbounded")
+    raise SolverError(f"LP solve failed with status {result.status.value}")
+
+
+__all__ = [
+    "BACKENDS",
+    "LPResult",
+    "LPStatus",
+    "LinearProgram",
+    "LinearProgramBuilder",
+    "solve",
+    "solve_or_raise",
+    "solve_scipy",
+    "solve_simplex",
+]

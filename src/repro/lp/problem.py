@@ -1,0 +1,194 @@
+"""Linear-program representation.
+
+A :class:`LinearProgram` is the standard ``min c'x`` subject to
+``A_ub x <= b_ub``, ``A_eq x = b_eq`` and box bounds, with the constraint
+matrices stored sparsely — the optimal GeoInd mechanism over ``n``
+locations has ``n^2`` variables and ``n^2 (n - 1)`` inequality rows of
+just two non-zeros each, so dense storage is out of the question beyond
+toy sizes.
+
+:class:`LinearProgramBuilder` offers a convenient incremental API for
+small hand-built programs (tests, the budget model); hot paths such as
+:mod:`repro.mechanisms.optimal` assemble the COO arrays directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.exceptions import SolverError
+
+
+@dataclass
+class LinearProgram:
+    """``min c'x  s.t.  A_ub x <= b_ub,  A_eq x = b_eq,  lb <= x <= ub``.
+
+    Either constraint block may be None.  Bounds default to
+    ``x >= 0`` when not provided.
+    """
+
+    c: np.ndarray
+    a_ub: sp.csr_matrix | None = None
+    b_ub: np.ndarray | None = None
+    a_eq: sp.csr_matrix | None = None
+    b_eq: np.ndarray | None = None
+    lb: np.ndarray | None = None
+    ub: np.ndarray | None = None
+
+    def __post_init__(self) -> None:
+        self.c = np.asarray(self.c, dtype=float).ravel()
+        n = self.c.size
+        if n == 0:
+            raise SolverError("linear program has no variables")
+        for name in ("a_ub", "a_eq"):
+            mat = getattr(self, name)
+            if mat is not None:
+                mat = sp.csr_matrix(mat)
+                if mat.shape[1] != n:
+                    raise SolverError(
+                        f"{name} has {mat.shape[1]} columns but c has {n} entries"
+                    )
+                setattr(self, name, mat)
+        for mat_name, rhs_name in (("a_ub", "b_ub"), ("a_eq", "b_eq")):
+            mat = getattr(self, mat_name)
+            rhs = getattr(self, rhs_name)
+            if (mat is None) != (rhs is None):
+                raise SolverError(f"{mat_name} and {rhs_name} must be given together")
+            if rhs is not None:
+                rhs = np.asarray(rhs, dtype=float).ravel()
+                if rhs.size != mat.shape[0]:
+                    raise SolverError(
+                        f"{rhs_name} has {rhs.size} entries but {mat_name} has "
+                        f"{mat.shape[0]} rows"
+                    )
+                setattr(self, rhs_name, rhs)
+        if self.lb is None:
+            self.lb = np.zeros(n)
+        else:
+            self.lb = np.asarray(self.lb, dtype=float).ravel()
+        if self.ub is None:
+            self.ub = np.full(n, np.inf)
+        else:
+            self.ub = np.asarray(self.ub, dtype=float).ravel()
+        if self.lb.size != n or self.ub.size != n:
+            raise SolverError("bounds must have one entry per variable")
+        if np.any(self.lb > self.ub):
+            raise SolverError("some lower bound exceeds its upper bound")
+
+    @property
+    def n_vars(self) -> int:
+        """Number of decision variables."""
+        return self.c.size
+
+    @property
+    def n_constraints(self) -> int:
+        """Total number of inequality plus equality rows."""
+        n = 0
+        if self.a_ub is not None:
+            n += self.a_ub.shape[0]
+        if self.a_eq is not None:
+            n += self.a_eq.shape[0]
+        return n
+
+
+@dataclass
+class _Row:
+    indices: list[int] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+    rhs: float = 0.0
+
+
+class LinearProgramBuilder:
+    """Incrementally assemble a sparse :class:`LinearProgram`."""
+
+    def __init__(self, n_vars: int):
+        if n_vars < 1:
+            raise SolverError(f"n_vars must be >= 1, got {n_vars}")
+        self._n = n_vars
+        self._c = np.zeros(n_vars)
+        self._le_rows: list[_Row] = []
+        self._eq_rows: list[_Row] = []
+        self._lb = np.zeros(n_vars)
+        self._ub = np.full(n_vars, np.inf)
+
+    def set_objective(self, coeffs: dict[int, float] | np.ndarray) -> None:
+        """Set the objective vector, densely or as a sparse dict."""
+        if isinstance(coeffs, dict):
+            self._c[:] = 0.0
+            for j, v in coeffs.items():
+                self._check_var(j)
+                self._c[j] = v
+        else:
+            arr = np.asarray(coeffs, dtype=float).ravel()
+            if arr.size != self._n:
+                raise SolverError(
+                    f"objective has {arr.size} entries, expected {self._n}"
+                )
+            self._c = arr.copy()
+
+    def add_le(self, coeffs: dict[int, float], rhs: float) -> None:
+        """Add a constraint ``sum coeffs[j] * x[j] <= rhs``."""
+        self._le_rows.append(self._make_row(coeffs, rhs))
+
+    def add_ge(self, coeffs: dict[int, float], rhs: float) -> None:
+        """Add ``sum coeffs[j] * x[j] >= rhs`` (stored as a negated <=)."""
+        negated = {j: -v for j, v in coeffs.items()}
+        self._le_rows.append(self._make_row(negated, -rhs))
+
+    def add_eq(self, coeffs: dict[int, float], rhs: float) -> None:
+        """Add a constraint ``sum coeffs[j] * x[j] == rhs``."""
+        self._eq_rows.append(self._make_row(coeffs, rhs))
+
+    def set_bounds(self, var: int, lb: float = 0.0, ub: float = np.inf) -> None:
+        """Set the box bounds of a single variable."""
+        self._check_var(var)
+        self._lb[var] = lb
+        self._ub[var] = ub
+
+    def build(self) -> LinearProgram:
+        """Produce the immutable sparse program."""
+        return LinearProgram(
+            c=self._c,
+            a_ub=self._stack(self._le_rows),
+            b_ub=self._rhs(self._le_rows),
+            a_eq=self._stack(self._eq_rows),
+            b_eq=self._rhs(self._eq_rows),
+            lb=self._lb,
+            ub=self._ub,
+        )
+
+    def _make_row(self, coeffs: dict[int, float], rhs: float) -> _Row:
+        if not coeffs:
+            raise SolverError("a constraint needs at least one coefficient")
+        row = _Row(rhs=float(rhs))
+        for j, v in coeffs.items():
+            self._check_var(j)
+            row.indices.append(j)
+            row.values.append(float(v))
+        return row
+
+    def _check_var(self, j: int) -> None:
+        if not (0 <= j < self._n):
+            raise SolverError(f"variable index {j} outside [0, {self._n})")
+
+    def _stack(self, rows: list[_Row]) -> sp.csr_matrix | None:
+        if not rows:
+            return None
+        data: list[float] = []
+        row_idx: list[int] = []
+        col_idx: list[int] = []
+        for i, row in enumerate(rows):
+            data.extend(row.values)
+            col_idx.extend(row.indices)
+            row_idx.extend([i] * len(row.indices))
+        return sp.csr_matrix(
+            (data, (row_idx, col_idx)), shape=(len(rows), self._n)
+        )
+
+    def _rhs(self, rows: list[_Row]) -> np.ndarray | None:
+        if not rows:
+            return None
+        return np.asarray([r.rhs for r in rows], dtype=float)

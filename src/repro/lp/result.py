@@ -1,0 +1,52 @@
+"""Solver-independent LP result type."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+
+class LPStatus(enum.Enum):
+    """Outcome of an LP solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+    ITERATION_LIMIT = "iteration_limit"
+    NUMERICAL = "numerical"
+
+
+@dataclass(frozen=True)
+class LPResult:
+    """Solution of a :class:`~repro.lp.problem.LinearProgram`.
+
+    Attributes
+    ----------
+    status:
+        Solve outcome; ``x``/``objective`` are meaningful only when
+        :attr:`status` is :attr:`LPStatus.OPTIMAL`.
+    x:
+        Optimal variable values (empty array on failure).
+    objective:
+        Optimal objective value (NaN on failure).
+    iterations:
+        Solver iteration count, when the backend reports one.
+    backend:
+        Name of the backend that produced the result.
+    solve_seconds:
+        Wall-clock time spent inside the backend.
+    """
+
+    status: LPStatus
+    x: np.ndarray
+    objective: float
+    iterations: int
+    backend: str
+    solve_seconds: float
+
+    @property
+    def is_optimal(self) -> bool:
+        """True when the solve reached a proven optimum."""
+        return self.status is LPStatus.OPTIMAL

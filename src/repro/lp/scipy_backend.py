@@ -1,0 +1,75 @@
+"""HiGHS backend (via :func:`scipy.optimize.linprog`).
+
+The paper solved OPT with Gurobi's dual simplex; HiGHS is the strongest
+open solver scipy ships and exposes the same algorithm family.  The
+``"highs-ds"`` method (dual simplex) is the default for the same
+numerical-stability reason the paper cites (Section 6.1).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPResult, LPStatus
+
+#: scipy ``status`` codes -> our enum.
+_STATUS_MAP = {
+    0: LPStatus.OPTIMAL,
+    1: LPStatus.ITERATION_LIMIT,
+    2: LPStatus.INFEASIBLE,
+    3: LPStatus.UNBOUNDED,
+    4: LPStatus.NUMERICAL,
+}
+
+
+def solve_scipy(
+    problem: LinearProgram,
+    method: str = "highs-ds",
+    time_limit: float | None = None,
+) -> LPResult:
+    """Solve ``problem`` with scipy/HiGHS.
+
+    Parameters
+    ----------
+    problem:
+        The program to solve.
+    method:
+        A scipy ``linprog`` method; ``"highs-ds"`` (dual simplex),
+        ``"highs-ipm"`` (interior point) and ``"highs"`` (automatic) are
+        the useful choices.
+    time_limit:
+        Optional wall-clock cap in seconds, forwarded to HiGHS.  A run
+        stopped by the limit reports :attr:`LPStatus.ITERATION_LIMIT`.
+    """
+    bounds = np.column_stack([problem.lb, problem.ub])
+    options: dict[str, float] = {}
+    if time_limit is not None:
+        options["time_limit"] = float(time_limit)
+    start = time.perf_counter()
+    res = linprog(
+        c=problem.c,
+        A_ub=problem.a_ub,
+        b_ub=problem.b_ub,
+        A_eq=problem.a_eq,
+        b_eq=problem.b_eq,
+        bounds=bounds,
+        method=method,
+        options=options or None,
+    )
+    elapsed = time.perf_counter() - start
+    status = _STATUS_MAP.get(res.status, LPStatus.NUMERICAL)
+    x = np.asarray(res.x, dtype=float) if res.x is not None else np.empty(0)
+    objective = float(res.fun) if res.fun is not None else float("nan")
+    iterations = int(getattr(res, "nit", 0) or 0)
+    return LPResult(
+        status=status,
+        x=x,
+        objective=objective,
+        iterations=iterations,
+        backend=f"scipy:{method}",
+        solve_seconds=elapsed,
+    )

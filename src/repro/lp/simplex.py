@@ -1,0 +1,229 @@
+"""From-scratch two-phase primal simplex.
+
+A dependency-free dense LP solver used (a) as an independent oracle to
+cross-validate the HiGHS backend in tests, and (b) as a fallback when a
+deployment cannot ship scipy's compiled HiGHS.  It targets the *small*
+programs MSM actually solves online (a ``g^2``-cell subproblem with
+``g <= 6`` has at most 1 296 variables); the big flat-OPT programs should
+go to HiGHS.
+
+Implementation notes: standard tableau simplex, two phases with
+artificial variables, Bland's anti-cycling rule throughout (the optimal
+mechanism's programs are massively degenerate — every row of K sums to
+one — so anti-cycling is not optional).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.exceptions import SolverError
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPResult, LPStatus
+
+_TOL = 1e-9
+
+
+def solve_simplex(problem: LinearProgram, max_iterations: int = 100_000) -> LPResult:
+    """Solve ``problem`` with the built-in dense simplex.
+
+    Raises
+    ------
+    SolverError
+        If the program has non-finite lower bounds (free variables are
+        not supported by this small backend — the library's programs
+        never need them).
+    """
+    start = time.perf_counter()
+    tableau_lp = _DenseStandardForm(problem)
+    status, x_std = tableau_lp.solve(max_iterations)
+    elapsed = time.perf_counter() - start
+    if status is not LPStatus.OPTIMAL:
+        return LPResult(
+            status=status,
+            x=np.empty(0),
+            objective=float("nan"),
+            iterations=tableau_lp.iterations,
+            backend="simplex",
+            solve_seconds=elapsed,
+        )
+    x = x_std[: problem.n_vars] + problem.lb
+    objective = float(problem.c @ x)
+    return LPResult(
+        status=LPStatus.OPTIMAL,
+        x=x,
+        objective=objective,
+        iterations=tableau_lp.iterations,
+        backend="simplex",
+        solve_seconds=elapsed,
+    )
+
+
+class _DenseStandardForm:
+    """Dense standard form ``min c'y, Ay = b, y >= 0`` plus tableau solver."""
+
+    def __init__(self, problem: LinearProgram):
+        if not np.all(np.isfinite(problem.lb)):
+            raise SolverError("simplex backend requires finite lower bounds")
+        n = problem.n_vars
+        shift = problem.lb
+
+        a_rows: list[np.ndarray] = []
+        b_vals: list[float] = []
+        senses: list[str] = []  # "le" or "eq" after the shift
+
+        if problem.a_ub is not None:
+            dense = problem.a_ub.toarray()
+            rhs = problem.b_ub - dense @ shift
+            for row, r in zip(dense, rhs):
+                a_rows.append(row)
+                b_vals.append(float(r))
+                senses.append("le")
+        if problem.a_eq is not None:
+            dense = problem.a_eq.toarray()
+            rhs = problem.b_eq - dense @ shift
+            for row, r in zip(dense, rhs):
+                a_rows.append(row)
+                b_vals.append(float(r))
+                senses.append("eq")
+        # Finite upper bounds become explicit rows y_j <= ub_j - lb_j.
+        for j in range(n):
+            ub = problem.ub[j]
+            if np.isfinite(ub):
+                row = np.zeros(n)
+                row[j] = 1.0
+                a_rows.append(row)
+                b_vals.append(float(ub - shift[j]))
+                senses.append("le")
+
+        m = len(a_rows)
+        n_slack = sum(1 for s in senses if s == "le")
+        total = n + n_slack
+        a = np.zeros((m, total))
+        b = np.zeros(m)
+        slack_col = n
+        for i, (row, rhs, sense) in enumerate(zip(a_rows, b_vals, senses)):
+            a[i, :n] = row
+            b[i] = rhs
+            if sense == "le":
+                a[i, slack_col] = 1.0
+                slack_col += 1
+        # Normalise to b >= 0 for phase 1.
+        negative = b < 0
+        a[negative] *= -1.0
+        b[negative] *= -1.0
+
+        self.a = a
+        self.b = b
+        self.c = np.concatenate([problem.c, np.zeros(n_slack)])
+        self.n_structural = total
+        self.iterations = 0
+
+    def solve(self, max_iterations: int) -> tuple[LPStatus, np.ndarray]:
+        m, total = self.a.shape
+        if m == 0:
+            # Unconstrained over y >= 0: optimum is y = 0 unless some cost
+            # coefficient is negative, in which case the LP is unbounded.
+            if np.any(self.c < -_TOL):
+                return (LPStatus.UNBOUNDED, np.empty(0))
+            return (LPStatus.OPTIMAL, np.zeros(total))
+
+        # ---------------- phase 1: artificial variables ----------------
+        tableau = np.zeros((m, total + m + 1))
+        tableau[:, :total] = self.a
+        tableau[:, total : total + m] = np.eye(m)
+        tableau[:, -1] = self.b
+        basis = list(range(total, total + m))
+        phase1_cost = np.zeros(total + m)
+        phase1_cost[total:] = 1.0
+
+        status = self._iterate(tableau, basis, phase1_cost, max_iterations)
+        if status is not LPStatus.OPTIMAL:
+            return (status, np.empty(0))
+        if self._objective(tableau, basis, phase1_cost) > 1e-7:
+            return (LPStatus.INFEASIBLE, np.empty(0))
+        self._drive_out_artificials(tableau, basis, total)
+
+        # ---------------- phase 2: original objective ------------------
+        keep = [j for j in range(total)] + [total + m]
+        tableau2 = tableau[:, keep]
+        phase2_cost = self.c.copy()
+        status = self._iterate(tableau2, basis, phase2_cost, max_iterations)
+        if status is not LPStatus.OPTIMAL:
+            return (status, np.empty(0))
+        x = np.zeros(total)
+        for i, var in enumerate(basis):
+            if var < total:
+                x[var] = tableau2[i, -1]
+        return (LPStatus.OPTIMAL, x)
+
+    def _objective(
+        self, tableau: np.ndarray, basis: list[int], cost: np.ndarray
+    ) -> float:
+        return float(sum(cost[var] * tableau[i, -1] for i, var in enumerate(basis)))
+
+    def _reduced_costs(
+        self, tableau: np.ndarray, basis: list[int], cost: np.ndarray
+    ) -> np.ndarray:
+        n_cols = tableau.shape[1] - 1
+        cb = cost[basis]
+        return cost[:n_cols] - cb @ tableau[:, :n_cols]
+
+    def _iterate(
+        self,
+        tableau: np.ndarray,
+        basis: list[int],
+        cost: np.ndarray,
+        max_iterations: int,
+    ) -> LPStatus:
+        m = tableau.shape[0]
+        for _ in range(max_iterations):
+            reduced = self._reduced_costs(tableau, basis, cost)
+            candidates = np.nonzero(reduced < -_TOL)[0]
+            if candidates.size == 0:
+                return LPStatus.OPTIMAL
+            enter = int(candidates[0])  # Bland: smallest index
+            col = tableau[:, enter]
+            positive = col > _TOL
+            if not np.any(positive):
+                return LPStatus.UNBOUNDED
+            ratios = np.full(m, np.inf)
+            ratios[positive] = tableau[positive, -1] / col[positive]
+            best = np.min(ratios)
+            # Bland tie-break: leaving variable with the smallest index.
+            tied = [i for i in range(m) if ratios[i] <= best + _TOL]
+            leave = min(tied, key=lambda i: basis[i])
+            self._pivot(tableau, basis, leave, enter)
+            self.iterations += 1
+        return LPStatus.ITERATION_LIMIT
+
+    @staticmethod
+    def _pivot(
+        tableau: np.ndarray, basis: list[int], row: int, col: int
+    ) -> None:
+        pivot = tableau[row, col]
+        tableau[row] /= pivot
+        for i in range(tableau.shape[0]):
+            if i != row and abs(tableau[i, col]) > 0:
+                tableau[i] -= tableau[i, col] * tableau[row]
+        basis[row] = col
+
+    def _drive_out_artificials(
+        self, tableau: np.ndarray, basis: list[int], total: int
+    ) -> None:
+        """Pivot remaining artificial basics onto structural columns.
+
+        A zero-value artificial left in the basis after phase 1 either
+        pivots onto any structural column with a non-zero entry in its
+        row, or its row is redundant and can stay (the entry is zero in
+        every structural column, so it never re-enters).
+        """
+        for i, var in enumerate(list(basis)):
+            if var < total:
+                continue
+            row = tableau[i, :total]
+            nonzero = np.nonzero(np.abs(row) > _TOL)[0]
+            if nonzero.size:
+                self._pivot(tableau, basis, i, int(nonzero[0]))

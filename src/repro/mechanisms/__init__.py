@@ -1,0 +1,49 @@
+"""GeoInd mechanisms: planar Laplace, exponential, optimal (LP), remap."""
+
+from repro.mechanisms.base import GridMechanism, Mechanism
+from repro.mechanisms.exponential import ExponentialMechanism, exponential_matrix
+from repro.mechanisms.matrix import MechanismMatrix
+from repro.mechanisms.optimal import (
+    OptimalMechanism,
+    OptimalMechanismResult,
+    build_optimal_program,
+    optimal_mechanism_from_locations,
+)
+from repro.mechanisms.planar_laplace import (
+    PlanarLaplaceMechanism,
+    expected_loss_continuous,
+    planar_laplace_density,
+    planar_laplace_matrix,
+    planar_laplace_radius,
+    sample_planar_laplace,
+)
+from repro.mechanisms.remap import (
+    optimal_remap_assignment,
+    posterior_matrix,
+    remap_mechanism,
+)
+from repro.mechanisms.spanner import Spanner, greedy_spanner, verify_dilation
+
+__all__ = [
+    "ExponentialMechanism",
+    "GridMechanism",
+    "Mechanism",
+    "MechanismMatrix",
+    "OptimalMechanism",
+    "OptimalMechanismResult",
+    "PlanarLaplaceMechanism",
+    "Spanner",
+    "build_optimal_program",
+    "expected_loss_continuous",
+    "exponential_matrix",
+    "greedy_spanner",
+    "optimal_mechanism_from_locations",
+    "optimal_remap_assignment",
+    "planar_laplace_density",
+    "planar_laplace_matrix",
+    "planar_laplace_radius",
+    "posterior_matrix",
+    "remap_mechanism",
+    "sample_planar_laplace",
+    "verify_dilation",
+]

@@ -1,0 +1,67 @@
+"""Mechanism interface.
+
+Every location-sanitisation technique in the library — planar Laplace,
+the optimal mechanism over a grid, the multi-step mechanism — implements
+:class:`Mechanism`: it turns an actual location into a reported one,
+consuming randomness from a caller-supplied generator so experiments are
+reproducible and mechanisms stay stateless.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from repro.geo.point import Point
+from repro.grid.regular import RegularGrid
+from repro.mechanisms.matrix import MechanismMatrix
+
+
+class Mechanism(abc.ABC):
+    """A (randomised) location-obfuscation function ``K : X -> P(Z)``."""
+
+    #: short label used in result tables (e.g. ``"PL"``, ``"OPT"``, ``"MSM"``)
+    name: str = "mechanism"
+
+    #: the privacy parameter the mechanism was built to satisfy
+    epsilon: float
+
+    @abc.abstractmethod
+    def sample(self, x: Point, rng: np.random.Generator) -> Point:
+        """Report a sanitised location for actual location ``x``."""
+
+    def sample_many(
+        self, xs: list[Point], rng: np.random.Generator
+    ) -> list[Point]:
+        """Sanitise a batch of locations (overridable for vectorisation)."""
+        return [self.sample(x, rng) for x in xs]
+
+
+class GridMechanism(Mechanism):
+    """A mechanism defined by a stochastic matrix over one grid's cells.
+
+    Input locations are snapped to their enclosing cell's centre (the
+    paper's logical locations) before the matrix row is sampled.
+    """
+
+    def __init__(self, grid: RegularGrid, matrix: MechanismMatrix,
+                 epsilon: float, name: str = "grid-mechanism"):
+        self._grid = grid
+        self._matrix = matrix
+        self.epsilon = float(epsilon)
+        self.name = name
+
+    @property
+    def grid(self) -> RegularGrid:
+        """The grid whose cell centres form X = Z."""
+        return self._grid
+
+    @property
+    def matrix(self) -> MechanismMatrix:
+        """The underlying stochastic matrix."""
+        return self._matrix
+
+    def sample(self, x: Point, rng: np.random.Generator) -> Point:
+        cell = self._grid.locate(x)
+        return self._matrix.sample_point(cell.index, rng)

@@ -1,0 +1,46 @@
+"""The discrete exponential mechanism for GeoInd.
+
+From Chatzikokolakis et al. [5]: over a discrete location set,
+
+    K(x)(z)  proportional to  exp(-(eps / 2) * d(x, z))
+
+satisfies ``eps``-GeoInd — the exponent ratio contributes at most
+``exp((eps/2) d(x, x'))`` and the two normalisation constants at most the
+same factor again.  It is a prior-oblivious middle ground between PL
+(continuous, remapped) and OPT (prior-aware LP): costless to build, often
+noticeably better than remapped PL on coarse grids, never better than
+OPT.  The library ships it as an extension baseline for the ablation
+benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import MechanismError
+from repro.geo.metric import EUCLIDEAN, Metric
+from repro.grid.regular import RegularGrid
+from repro.mechanisms.base import GridMechanism
+from repro.mechanisms.matrix import MechanismMatrix
+
+
+def exponential_matrix(
+    grid: RegularGrid, epsilon: float, dx: Metric = EUCLIDEAN
+) -> MechanismMatrix:
+    """The exponential-mechanism matrix over a grid's cell centres."""
+    if epsilon <= 0:
+        raise MechanismError(f"epsilon must be positive, got {epsilon}")
+    centers = grid.centers()
+    d = dx.pairwise(centers, centers)
+    k = np.exp(-(epsilon / 2.0) * d)
+    k /= k.sum(axis=1, keepdims=True)
+    return MechanismMatrix(centers, centers, k)
+
+
+class ExponentialMechanism(GridMechanism):
+    """Exponential mechanism over a grid, satisfying ``eps``-GeoInd."""
+
+    def __init__(self, epsilon: float, grid: RegularGrid,
+                 dx: Metric = EUCLIDEAN):
+        matrix = exponential_matrix(grid, epsilon, dx=dx)
+        super().__init__(grid, matrix, epsilon, name="EXP")

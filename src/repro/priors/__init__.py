@@ -1,0 +1,15 @@
+"""Adversary-prior models over grid cells."""
+
+from repro.priors.aggregate import aggregate_mass, aggregate_prior, restrict_prior
+from repro.priors.base import GridPrior, expected_distance_to_center
+from repro.priors.empirical import empirical_prior, empirical_prior_for_user
+
+__all__ = [
+    "GridPrior",
+    "aggregate_mass",
+    "aggregate_prior",
+    "empirical_prior",
+    "empirical_prior_for_user",
+    "expected_distance_to_center",
+    "restrict_prior",
+]

@@ -1,0 +1,80 @@
+"""Prior aggregation and restriction.
+
+The paper stores one global prior "on the finest effective granularity
+grid used in the experiments and aggregate[s] this information to obtain
+priors on coarser grids" (Section 6.1).  MSM additionally needs the prior
+*restricted* to the extent of an index node and renormalised, which is
+the same operation with a target grid that covers only part of the
+source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.grid.regular import RegularGrid
+from repro.priors.base import GridPrior
+
+
+def aggregate_mass(prior: GridPrior, target: RegularGrid) -> np.ndarray:
+    """Sum the prior mass falling inside each cell of ``target``.
+
+    Mass is attributed by source-cell centre, which is exact whenever
+    target cell edges align with source cell edges (always the case for
+    the hierarchy's nested grids).  Source cells whose centres lie
+    outside the target bounds contribute nothing, so the result may sum
+    to less than one; it is *not* renormalised here.
+    """
+    src = prior.grid
+    centers = src.centers_array()
+    probs = prior.probabilities
+    b = target.bounds
+    inside = (
+        (centers[:, 0] >= b.min_x)
+        & (centers[:, 0] <= b.max_x)
+        & (centers[:, 1] >= b.min_y)
+        & (centers[:, 1] <= b.max_y)
+    )
+    mass = np.zeros(target.n_cells)
+    if not np.any(inside):
+        return mass
+    pts = centers[inside]
+    weights = probs[inside]
+    g = target.granularity
+    cols = np.minimum(
+        ((pts[:, 0] - b.min_x) / target.cell_width).astype(np.int64), g - 1
+    )
+    rows = np.minimum(
+        ((pts[:, 1] - b.min_y) / target.cell_height).astype(np.int64), g - 1
+    )
+    np.add.at(mass, rows * g + cols, weights)
+    return mass
+
+
+def aggregate_prior(prior: GridPrior, target: RegularGrid,
+                    name: str | None = None) -> GridPrior:
+    """Aggregate ``prior`` onto a coarser (or equal) grid covering it.
+
+    Raises
+    ------
+    repro.exceptions.PriorError
+        If no mass falls inside ``target`` (caller should fall back to a
+        uniform subprior — see :func:`restrict_prior`).
+    """
+    mass = aggregate_mass(prior, target)
+    label = name if name is not None else f"{prior.name}@g{target.granularity}"
+    return GridPrior(target, mass, name=label)
+
+
+def restrict_prior(prior: GridPrior, target: RegularGrid) -> GridPrior:
+    """Restrict ``prior`` to a subgrid, renormalising; uniform on zero mass.
+
+    This is the ``Π(X_i)`` of Algorithm 1: the global prior confined to
+    the g x g cells of the current index node.  A node with no observed
+    mass gets a uniform subprior — OPT stays GeoInd under *any* prior, so
+    this choice affects utility only.
+    """
+    mass = aggregate_mass(prior, target)
+    if mass.sum() <= 0.0:
+        return GridPrior.uniform(target)
+    return GridPrior(target, mass, name=f"{prior.name}|restricted")

@@ -1,0 +1,26 @@
+"""Privacy verification and budget accounting."""
+
+from repro.privacy.composition import BudgetAccountant, sequential_composition
+from repro.privacy.geoind import (
+    GeoIndReport,
+    assert_geoind,
+    empirical_epsilon,
+    verify_geoind,
+)
+from repro.privacy.hierarchical import (
+    CompositionReport,
+    hierarchical_bound,
+    verify_msm_composition,
+)
+
+__all__ = [
+    "BudgetAccountant",
+    "CompositionReport",
+    "GeoIndReport",
+    "assert_geoind",
+    "empirical_epsilon",
+    "hierarchical_bound",
+    "sequential_composition",
+    "verify_geoind",
+    "verify_msm_composition",
+]

@@ -1,0 +1,87 @@
+"""Sequential composition and budget accounting.
+
+GeoInd inherits DP's composability (Section 2.2): mechanisms applied in
+succession with budgets ``eps_1, ..., eps_h`` jointly satisfy GeoInd at
+``sum eps_i``.  MSM is "a textbook example" of this property (Section 4);
+the :class:`BudgetAccountant` makes the bookkeeping explicit and
+auditable for applications that issue *multiple* sanitised reports from
+one user budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.exceptions import BudgetError
+
+
+def sequential_composition(epsilons: Iterable[float]) -> float:
+    """Total GeoInd level of mechanisms applied in sequence.
+
+    Raises
+    ------
+    BudgetError
+        If any step budget is non-positive.
+    """
+    total = 0.0
+    count = 0
+    for eps in epsilons:
+        if eps <= 0:
+            raise BudgetError(f"step budgets must be positive, got {eps}")
+        total += eps
+        count += 1
+    if count == 0:
+        raise BudgetError("composition of zero mechanisms is undefined")
+    return total
+
+
+@dataclass
+class BudgetAccountant:
+    """Tracks privacy-budget expenditure across reports.
+
+    Attributes
+    ----------
+    total:
+        The lifetime budget available to this user.
+    spent_items:
+        Chronological record of ``(label, epsilon)`` expenditures.
+    """
+
+    total: float
+    spent_items: list[tuple[str, float]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if self.total <= 0:
+            raise BudgetError(f"total budget must be positive, got {self.total}")
+
+    @property
+    def spent(self) -> float:
+        """Budget consumed so far."""
+        return sum(eps for _, eps in self.spent_items)
+
+    @property
+    def remaining(self) -> float:
+        """Budget still available."""
+        return self.total - self.spent
+
+    def can_spend(self, epsilon: float) -> bool:
+        """Whether a further expenditure of ``epsilon`` fits the budget."""
+        return 0 < epsilon <= self.remaining + 1e-12
+
+    def spend(self, epsilon: float, label: str = "report") -> None:
+        """Record an expenditure, refusing overdrafts.
+
+        Raises
+        ------
+        BudgetError
+            If the expenditure is non-positive or exceeds the remainder.
+        """
+        if epsilon <= 0:
+            raise BudgetError(f"expenditure must be positive, got {epsilon}")
+        if not self.can_spend(epsilon):
+            raise BudgetError(
+                f"budget exhausted: requested {epsilon:.4g}, "
+                f"remaining {self.remaining:.4g} of {self.total:.4g}"
+            )
+        self.spent_items.append((label, float(epsilon)))

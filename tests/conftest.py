@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+Heavy objects (datasets, priors) are session-scoped; anything stateful
+(RNGs, mechanisms) is function-scoped so tests stay independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import load_gowalla_austin
+from repro.geo import BoundingBox, Point
+from repro.grid import RegularGrid
+from repro.priors import GridPrior, empirical_prior
+
+
+@pytest.fixture(scope="session")
+def square20() -> BoundingBox:
+    """A 20 x 20 km square domain (the paper's city window size)."""
+    return BoundingBox.square(Point(0.0, 0.0), 20.0)
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """A scaled-down synthetic Gowalla-Austin (fast, deterministic)."""
+    return load_gowalla_austin(checkin_fraction=0.02, seed=123)
+
+
+@pytest.fixture(scope="session")
+def fine_prior(small_dataset) -> GridPrior:
+    """Empirical prior on a 16 x 16 grid over the small dataset."""
+    grid = RegularGrid(small_dataset.bounds, 16)
+    return empirical_prior(grid, small_dataset.points(), smoothing=0.1)
+
+
+@pytest.fixture(scope="session")
+def coarse_prior(small_dataset) -> GridPrior:
+    """Empirical prior on a 3 x 3 grid (small enough for fast OPT)."""
+    grid = RegularGrid(small_dataset.bounds, 3)
+    return empirical_prior(grid, small_dataset.points(), smoothing=0.1)
+
+
+@pytest.fixture(scope="session")
+def uniform3(square20) -> GridPrior:
+    """Uniform prior over a 3 x 3 grid on the standard square."""
+    return GridPrior.uniform(RegularGrid(square20, 3))
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(20190326)

@@ -1,0 +1,95 @@
+"""Public-API surface and cache-bookkeeping tests."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.exceptions import (
+    BudgetError,
+    DatasetError,
+    GeometryError,
+    GridError,
+    InfeasibleProblemError,
+    MechanismError,
+    PriorError,
+    PrivacyViolationError,
+    ReproError,
+    SolverError,
+    UnboundedProblemError,
+)
+from repro.geo.point import Point
+from repro.mechanisms.matrix import MechanismMatrix
+from repro.core.cache import NodeMechanismCache
+
+
+class TestPublicAPI:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_exports_resolve(self):
+        import repro.core as core
+        import repro.datasets as datasets
+        import repro.eval as eval_pkg
+        import repro.geo as geo
+        import repro.grid as grid
+        import repro.lbs as lbs
+        import repro.lp as lp
+        import repro.mechanisms as mechanisms
+        import repro.priors as priors
+        import repro.privacy as privacy
+
+        for module in (core, datasets, eval_pkg, geo, grid, lbs, lp,
+                       mechanisms, priors, privacy):
+            for name in module.__all__:
+                assert getattr(module, name) is not None, (
+                    module.__name__, name,
+                )
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize("exc", [
+        GeometryError, GridError, PriorError, DatasetError, SolverError,
+        MechanismError, PrivacyViolationError, BudgetError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, ReproError)
+        with pytest.raises(ReproError):
+            raise exc("boom")
+
+    def test_solver_subtypes(self):
+        assert issubclass(InfeasibleProblemError, SolverError)
+        assert issubclass(UnboundedProblemError, SolverError)
+
+
+class TestNodeMechanismCache:
+    def _matrix(self) -> MechanismMatrix:
+        pts = [Point(0, 0), Point(1, 0)]
+        return MechanismMatrix(pts, pts, np.eye(2))
+
+    def test_hit_miss_accounting(self):
+        cache = NodeMechanismCache()
+        assert cache.get(()) is None
+        assert cache.misses == 1
+        cache.put((), self._matrix())
+        assert cache.get(()) is not None
+        assert cache.hits == 1
+        assert () in cache
+        assert len(cache) == 1
+
+    def test_clear_resets_everything(self):
+        cache = NodeMechanismCache()
+        cache.put((1, 2), self._matrix())
+        cache.get((1, 2))
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_size_bytes(self):
+        cache = NodeMechanismCache()
+        cache.put((0,), self._matrix())
+        cache.put((1,), self._matrix())
+        assert cache.size_bytes == 2 * 4 * 8  # two 2x2 float64 matrices

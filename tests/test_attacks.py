@@ -1,0 +1,96 @@
+"""Tests for the Bayesian inference attack."""
+
+import numpy as np
+import pytest
+
+from repro.geo.metric import EUCLIDEAN
+from repro.geo.point import Point
+from repro.grid.regular import RegularGrid
+from repro.attacks import blind_guess_error, optimal_inference_attack
+from repro.mechanisms.exponential import exponential_matrix
+from repro.mechanisms.matrix import MechanismMatrix
+from repro.mechanisms.optimal import OptimalMechanism
+from repro.priors.base import GridPrior
+
+
+def line(n):
+    return [Point(float(i), 0.0) for i in range(n)]
+
+
+class TestBlindGuess:
+    def test_point_mass_prior_has_zero_error(self):
+        pts = line(3)
+        m = MechanismMatrix(pts, pts, np.full((3, 3), 1 / 3))
+        prior = np.array([0.0, 1.0, 0.0])
+        assert blind_guess_error(prior, m) == 0.0
+
+    def test_uniform_line_prior(self):
+        pts = line(3)
+        m = MechanismMatrix(pts, pts, np.full((3, 3), 1 / 3))
+        prior = np.full(3, 1 / 3)
+        # Best blind guess is the middle point: error (1 + 0 + 1)/3.
+        assert blind_guess_error(prior, m) == pytest.approx(2 / 3)
+
+
+class TestAttack:
+    def test_identity_mechanism_is_fully_broken(self):
+        pts = line(3)
+        m = MechanismMatrix(pts, pts, np.eye(3))
+        report = optimal_inference_attack(m, np.full(3, 1 / 3))
+        assert report.expected_error == pytest.approx(0.0)
+        assert report.identification_rate == pytest.approx(1.0)
+
+    def test_constant_mechanism_reveals_nothing(self):
+        """A mechanism ignoring its input leaves the adversary at the
+        blind-guess baseline."""
+        pts = line(3)
+        k = np.tile(np.array([0.2, 0.5, 0.3]), (3, 1))
+        m = MechanismMatrix(pts, pts, k)
+        prior = np.array([0.2, 0.5, 0.3])
+        report = optimal_inference_attack(m, prior)
+        assert report.expected_error == pytest.approx(report.prior_error)
+        assert report.identification_rate == pytest.approx(
+            report.prior_identification_rate
+        )
+        assert report.error_reduction == pytest.approx(0.0, abs=1e-12)
+
+    def test_attack_bounded_by_blind_guess(self, coarse_prior):
+        """Observing output can only help the adversary."""
+        m = exponential_matrix(coarse_prior.grid, 0.5)
+        report = optimal_inference_attack(m, coarse_prior.probabilities)
+        assert report.expected_error <= report.prior_error + 1e-9
+        assert (
+            report.identification_rate
+            >= report.prior_identification_rate - 1e-9
+        )
+
+    def test_more_budget_helps_the_adversary(self, coarse_prior):
+        errors = []
+        for eps in (0.1, 0.5, 2.0):
+            m = exponential_matrix(coarse_prior.grid, eps)
+            errors.append(
+                optimal_inference_attack(
+                    m, coarse_prior.probabilities
+                ).expected_error
+            )
+        assert errors[0] >= errors[1] >= errors[2]
+
+    def test_opt_leaks_no_more_than_its_epsilon_implies(self, square20):
+        """Sanity: at tiny eps, identification stays near the prior mode."""
+        grid = RegularGrid(square20, 3)
+        prior = GridPrior.uniform(grid)
+        opt = OptimalMechanism(0.01, prior)
+        report = optimal_inference_attack(opt.matrix, prior.probabilities)
+        assert report.identification_rate < 0.2  # prior mode is 1/9
+
+    def test_metric_parameter(self, coarse_prior):
+        from repro.geo.metric import SQUARED_EUCLIDEAN
+
+        m = exponential_matrix(coarse_prior.grid, 0.5)
+        r1 = optimal_inference_attack(
+            m, coarse_prior.probabilities, EUCLIDEAN
+        )
+        r2 = optimal_inference_attack(
+            m, coarse_prior.probabilities, SQUARED_EUCLIDEAN
+        )
+        assert r1.expected_error != pytest.approx(r2.expected_error)

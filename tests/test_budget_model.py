@@ -1,0 +1,258 @@
+"""Unit and property tests for the budget model (lattice sums, Phi,
+Problem 1, Algorithm 2)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import BudgetError
+from repro.core.budget import (
+    allocate_budget,
+    allocate_budget_fixed_height,
+    dirichlet_beta,
+    lattice_sum,
+    lattice_sum_direct,
+    lattice_sum_series,
+    min_epsilon_for_rho,
+    min_lattice_parameter,
+    phi,
+    phi_for_grid,
+    riemann_zeta,
+    series_coefficient,
+    truncation_radius,
+)
+
+
+class TestSpecialFunctions:
+    def test_dirichlet_beta_known_values(self):
+        # beta(1) = pi/4, beta(2) = Catalan, beta(3) = pi^3/32.
+        assert dirichlet_beta(1.0) == pytest.approx(math.pi / 4, abs=1e-12)
+        assert dirichlet_beta(2.0) == pytest.approx(0.9159655941772190, abs=1e-12)
+        assert dirichlet_beta(3.0) == pytest.approx(math.pi**3 / 32, abs=1e-12)
+
+    def test_dirichlet_beta_matches_series(self):
+        u = 1.5
+        direct = sum((-1) ** n / (2 * n + 1) ** u for n in range(200000))
+        assert dirichlet_beta(u) == pytest.approx(direct, abs=1e-7)
+
+    def test_riemann_zeta_known_value(self):
+        assert riemann_zeta(2.0) == pytest.approx(math.pi**2 / 6, abs=1e-12)
+
+    def test_domain_validation(self):
+        with pytest.raises(BudgetError):
+            dirichlet_beta(0.0)
+        with pytest.raises(BudgetError):
+            riemann_zeta(1.0)
+        with pytest.raises(BudgetError):
+            series_coefficient(0)
+
+
+class TestLatticeSum:
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            lattice_sum_direct(0.0)
+        with pytest.raises(BudgetError):
+            lattice_sum_series(-1.0)
+        with pytest.raises(BudgetError):
+            lattice_sum_series(7.0)  # beyond 2 pi
+
+    def test_truncation_radius_monotone(self):
+        assert truncation_radius(0.5) > truncation_radius(2.0)
+
+    def test_limits(self):
+        # T -> 1 as s -> inf (only the origin survives).
+        assert lattice_sum_direct(50.0) == pytest.approx(1.0, abs=1e-12)
+        # T ~ 2 pi / s^2 as s -> 0 (Poisson leading term).
+        s = 0.01
+        assert lattice_sum(s) == pytest.approx(2 * math.pi / s**2, rel=1e-3)
+
+    def test_first_shells_dominate_at_large_s(self):
+        # T(s) ~ 1 + 4 e^{-s} + 4 e^{-s sqrt(2)} for large s (the four
+        # axis neighbours plus the four diagonal ones).
+        s = 12.0
+        two_shells = 4 * math.exp(-s) + 4 * math.exp(-s * math.sqrt(2))
+        assert lattice_sum_direct(s) - 1.0 == pytest.approx(
+            two_shells, rel=1e-4
+        )
+
+    @given(st.floats(min_value=0.2, max_value=3.9))
+    @settings(max_examples=40, deadline=None)
+    def test_series_matches_direct_sum(self, s):
+        """The paper's Eq. (8)/(9) agrees with brute-force summation."""
+        assert lattice_sum_series(s) == pytest.approx(
+            lattice_sum_direct(s), rel=1e-10
+        )
+
+    @given(
+        st.floats(min_value=0.1, max_value=3.0),
+        st.floats(min_value=0.1, max_value=3.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_decreasing(self, a, b):
+        lo, hi = sorted((a, b))
+        if hi - lo < 1e-9:
+            return
+        assert lattice_sum(lo) > lattice_sum(hi)
+
+    def test_dispatch_is_continuous_at_cutoff(self):
+        below = lattice_sum(3.999999)
+        above = lattice_sum(4.000001)
+        assert below == pytest.approx(above, rel=1e-6)
+
+
+class TestPhi:
+    def test_phi_in_unit_interval(self):
+        for eps in (0.05, 0.5, 2.0):
+            for side in (1.0, 5.0, 10.0):
+                value = phi(eps, side)
+                assert 0.0 < value < 1.0
+
+    def test_phi_increases_with_budget(self):
+        assert phi(0.2, 5.0) < phi(0.5, 5.0) < phi(1.5, 5.0)
+
+    def test_phi_increases_with_cell_size(self):
+        assert phi(0.5, 2.0) < phi(0.5, 10.0)
+
+    def test_phi_for_grid_parametrisation(self):
+        assert phi_for_grid(0.5, 20.0, 4) == pytest.approx(phi(0.5, 5.0))
+
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            phi(0.0, 5.0)
+        with pytest.raises(BudgetError):
+            phi(0.5, 0.0)
+        with pytest.raises(BudgetError):
+            phi_for_grid(0.5, 20.0, 0)
+
+
+class TestProblem1:
+    @pytest.mark.parametrize("rho", [0.3, 0.5, 0.8, 0.95])
+    def test_root_achieves_target(self, rho):
+        s = min_lattice_parameter(rho)
+        assert 1.0 / lattice_sum(s) == pytest.approx(rho, abs=1e-8)
+
+    def test_monotone_in_rho(self):
+        assert min_lattice_parameter(0.5) < min_lattice_parameter(0.9)
+
+    def test_epsilon_scales_inversely_with_cell(self):
+        e1 = min_epsilon_for_rho(0.8, 10.0)
+        e2 = min_epsilon_for_rho(0.8, 5.0)
+        assert e2 == pytest.approx(2 * e1, rel=1e-9)
+
+    def test_phi_at_solution_meets_rho(self):
+        eps = min_epsilon_for_rho(0.7, 6.67)
+        assert phi(eps, 6.67) == pytest.approx(0.7, abs=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            min_lattice_parameter(0.0)
+        with pytest.raises(BudgetError):
+            min_lattice_parameter(1.0)
+        with pytest.raises(BudgetError):
+            min_epsilon_for_rho(0.8, 0.0)
+
+
+class TestAlgorithm2:
+    def test_budgets_sum_to_total(self):
+        for eps in (0.1, 0.5, 1.3, 4.0):
+            plan = allocate_budget(eps, 3, 20.0, rho=0.8)
+            assert sum(plan.budgets) == pytest.approx(eps)
+
+    def test_all_budgets_positive(self):
+        plan = allocate_budget(2.0, 3, 20.0, rho=0.8)
+        assert all(b > 0 for b in plan.budgets)
+
+    def test_requirements_grow_by_g(self):
+        plan = allocate_budget(5.0, 3, 20.0, rho=0.8)
+        for r1, r2 in zip(plan.requirements, plan.requirements[1:]):
+            assert r2 == pytest.approx(3 * r1, rel=1e-9)
+
+    def test_height_grows_with_budget(self):
+        h = [
+            allocate_budget(eps, 3, 20.0, rho=0.8).height
+            for eps in (0.3, 0.9, 3.0)
+        ]
+        assert h[0] <= h[1] <= h[2]
+        assert h[0] == 1 and h[2] >= 2
+
+    def test_small_budget_single_starved_level(self):
+        plan = allocate_budget(0.1, 4, 20.0, rho=0.8)
+        assert plan.height == 1
+        assert plan.is_starved
+        assert plan.starved_levels == (0,)
+
+    def test_exact_requirement_not_starved(self):
+        req = min_epsilon_for_rho(0.8, 20.0 / 3)
+        plan = allocate_budget(req, 3, 20.0, rho=0.8)
+        assert plan.height == 1
+        assert not plan.is_starved
+
+    def test_upper_levels_fully_funded(self):
+        plan = allocate_budget(1.5, 3, 20.0, rho=0.8)
+        assert plan.height >= 2
+        for i in range(plan.height - 1):
+            assert plan.budgets[i] == pytest.approx(plan.requirements[i])
+
+    def test_max_height_respected(self):
+        plan = allocate_budget(100.0, 2, 20.0, rho=0.5, max_height=3)
+        assert plan.height == 3
+        assert sum(plan.budgets) == pytest.approx(100.0)
+
+    def test_leaf_granularity(self):
+        plan = allocate_budget(0.9, 4, 20.0, rho=0.8)
+        assert plan.leaf_granularity == 4**plan.height
+
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            allocate_budget(0.0, 3, 20.0)
+        with pytest.raises(BudgetError):
+            allocate_budget(0.5, 1, 20.0)
+        with pytest.raises(BudgetError):
+            allocate_budget(0.5, 3, 0.0)
+        with pytest.raises(BudgetError):
+            allocate_budget(0.5, 3, 20.0, max_height=0)
+
+    @given(
+        st.floats(min_value=0.05, max_value=5.0),
+        st.integers(min_value=2, max_value=6),
+        st.floats(min_value=0.4, max_value=0.95),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_invariants_hold_for_any_inputs(self, eps, g, rho):
+        plan = allocate_budget(eps, g, 20.0, rho=rho)
+        assert sum(plan.budgets) == pytest.approx(eps)
+        assert all(b > 0 for b in plan.budgets)
+        assert 1 <= plan.height <= 16
+        # Only the last level may be starved.
+        assert all(i == plan.height - 1 for i in plan.starved_levels)
+
+
+class TestFixedHeight:
+    def test_respects_height_and_total(self):
+        plan = allocate_budget_fixed_height(0.5, 4, 20.0, height=2)
+        assert plan.height == 2
+        assert sum(plan.budgets) == pytest.approx(0.5)
+        assert all(b > 0 for b in plan.budgets)
+
+    def test_greedy_when_affordable(self):
+        """Matches free allocation when Algorithm 2 would pick the height."""
+        free = allocate_budget(0.5, 3, 20.0, rho=0.8)
+        assert free.height == 2
+        pinned = allocate_budget_fixed_height(0.5, 3, 20.0, height=2, rho=0.8)
+        assert pinned.budgets == pytest.approx(free.budgets)
+
+    def test_top_heavy_fallback_when_starved(self):
+        plan = allocate_budget_fixed_height(0.5, 4, 20.0, height=2, rho=0.8)
+        # requirement at level 1 (0.62) exceeds the whole budget: the
+        # split is top-heavy with inverse-requirement weights g : 1.
+        assert plan.budgets[0] == pytest.approx(0.4, rel=1e-6)
+        assert plan.budgets[1] == pytest.approx(0.1, rel=1e-6)
+
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            allocate_budget_fixed_height(0.5, 4, 20.0, height=0)
+        with pytest.raises(BudgetError):
+            allocate_budget_fixed_height(0.0, 4, 20.0, height=2)

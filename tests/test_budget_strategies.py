@@ -1,0 +1,80 @@
+"""Unit tests for alternative budget-split strategies."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import BudgetError
+from repro.core.budget.strategies import (
+    geometric_split,
+    named_strategy,
+    reverse_geometric_split,
+    uniform_split,
+)
+
+
+class TestUniform:
+    def test_equal_shares(self):
+        assert uniform_split(0.9, 3) == pytest.approx((0.3, 0.3, 0.3))
+
+    def test_single_level(self):
+        assert uniform_split(0.5, 1) == (0.5,)
+
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            uniform_split(0.0, 2)
+        with pytest.raises(BudgetError):
+            uniform_split(0.5, 0)
+
+
+class TestGeometric:
+    def test_growth_by_ratio(self):
+        budgets = geometric_split(0.7, 3, ratio=2.0)
+        assert budgets[1] == pytest.approx(2 * budgets[0])
+        assert budgets[2] == pytest.approx(4 * budgets[0])
+        assert sum(budgets) == pytest.approx(0.7)
+
+    def test_ratio_one_is_uniform(self):
+        assert geometric_split(0.6, 3, ratio=1.0) == pytest.approx(
+            uniform_split(0.6, 3)
+        )
+
+    def test_reverse_is_mirrored(self):
+        fwd = geometric_split(1.0, 4, ratio=3.0)
+        rev = reverse_geometric_split(1.0, 4, ratio=3.0)
+        assert rev == tuple(reversed(fwd))
+
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            geometric_split(0.5, 2, ratio=0.0)
+
+    @given(
+        st.floats(min_value=0.01, max_value=10),
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=0.2, max_value=5.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_splits_conserve_budget_and_stay_positive(self, eps, h, ratio):
+        for budgets in (
+            uniform_split(eps, h),
+            geometric_split(eps, h, ratio),
+            reverse_geometric_split(eps, h, ratio),
+        ):
+            assert len(budgets) == h
+            assert sum(budgets) == pytest.approx(eps, rel=1e-9)
+            assert all(b > 0 for b in budgets)
+
+
+class TestRegistry:
+    def test_named_lookup(self):
+        assert named_strategy("uniform")(0.6, 2) == pytest.approx((0.3, 0.3))
+        assert named_strategy("geometric", ratio=2.0)(0.6, 2) == pytest.approx(
+            (0.2, 0.4)
+        )
+        assert named_strategy("reverse-geometric", ratio=2.0)(
+            0.6, 2
+        ) == pytest.approx((0.4, 0.2))
+
+    def test_unknown_strategy(self):
+        with pytest.raises(BudgetError, match="unknown budget strategy"):
+            named_strategy("fibonacci")

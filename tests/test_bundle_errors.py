@@ -1,0 +1,72 @@
+"""Failure-injection tests for the offline bundle format."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MechanismError
+from repro.core.bundle import load_bundle, save_bundle
+from repro.core.msm import MultiStepMechanism
+
+
+@pytest.fixture
+def bundle_path(fine_prior, tmp_path):
+    msm = MultiStepMechanism.build(0.9, 3, fine_prior, rho=0.8)
+    return save_bundle(msm, tmp_path / "b.npz").path
+
+
+class TestBundleFailureModes:
+    def test_unsupported_version_rejected(self, bundle_path):
+        with np.load(bundle_path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["meta_scalars"] = payload["meta_scalars"].copy()
+        payload["meta_scalars"][0] = 99  # future format version
+        np.savez_compressed(bundle_path, **payload)
+        with pytest.raises(MechanismError, match="version"):
+            load_bundle(bundle_path)
+
+    def test_corrupted_matrix_rejected(self, bundle_path):
+        """A tampered (non-stochastic) node matrix must not load."""
+        with np.load(bundle_path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["node_root"] = payload["node_root"] * 0.5  # rows sum to 0.5
+        np.savez_compressed(bundle_path, **payload)
+        with pytest.raises(MechanismError, match="stochastic"):
+            load_bundle(bundle_path)
+
+    def test_negative_matrix_rejected(self, bundle_path):
+        with np.load(bundle_path) as data:
+            payload = {k: data[k] for k in data.files}
+        bad = payload["node_root"].copy()
+        bad[0, 0] -= 0.25
+        bad[0, 1] += 0.25  # still row-stochastic...
+        bad[0, 0] -= 1.0   # ...now clearly negative
+        bad[0, 1] += 1.0
+        payload["node_root"] = bad
+        np.savez_compressed(bundle_path, **payload)
+        with pytest.raises(MechanismError):
+            load_bundle(bundle_path)
+
+    def test_truncated_file_rejected(self, bundle_path):
+        raw = bundle_path.read_bytes()
+        bundle_path.write_bytes(raw[: len(raw) // 2])
+        with pytest.raises(Exception):
+            load_bundle(bundle_path)
+
+    def test_partial_bundle_still_samples_with_lazy_solves(
+        self, bundle_path, rng
+    ):
+        """Dropping cached nodes degrades to lazy LP solving, not failure."""
+        with np.load(bundle_path) as data:
+            payload = {
+                k: data[k]
+                for k in data.files
+                if not (k.startswith("node_") and k != "node_root")
+            }
+        np.savez_compressed(bundle_path, **payload)
+        msm = load_bundle(bundle_path)
+        assert len(msm.cache) == 1  # only the root survived
+        from repro.geo.point import Point
+
+        z = msm.sample(Point(10, 10), rng)
+        assert msm.index.bounds.contains(z)
+        assert len(msm.cache) >= 2  # a level-1 node was solved lazily

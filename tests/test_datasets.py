@@ -1,0 +1,221 @@
+"""Unit tests for repro.datasets."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.geo.projection import GeoBounds
+from repro.datasets import (
+    CheckInDataset,
+    CityModel,
+    Cluster,
+    austin_city_model,
+    dataset_from_geo,
+    generate_checkins,
+    generate_pois,
+    las_vegas_city_model,
+    load_gowalla_austin,
+    load_yelp_las_vegas,
+    read_checkins_csv,
+    write_checkins_csv,
+    zipf_weights,
+)
+from repro.grid.regular import RegularGrid
+
+
+class TestCheckInDataset:
+    def test_construction_and_accessors(self, square20):
+        xy = np.array([[1.0, 2.0], [3.0, 4.0], [1.0, 2.0]])
+        ds = CheckInDataset("t", np.array([1, 2, 1]), xy, square20)
+        assert ds.n_checkins == 3
+        assert ds.n_users == 2
+        assert ds.point(1) == Point(3.0, 4.0)
+        assert len(list(ds)) == 3
+
+    def test_out_of_bounds_rejected(self, square20):
+        xy = np.array([[1.0, 2.0], [25.0, 4.0]])
+        with pytest.raises(DatasetError, match="outside"):
+            CheckInDataset("t", np.array([1, 2]), xy, square20)
+
+    def test_shape_validation(self, square20):
+        with pytest.raises(DatasetError):
+            CheckInDataset("t", np.array([1]), np.ones((1, 3)), square20)
+        with pytest.raises(DatasetError):
+            CheckInDataset("t", np.array([1, 2]), np.ones((1, 2)), square20)
+
+    def test_arrays_read_only(self, square20):
+        ds = CheckInDataset(
+            "t", np.array([1]), np.array([[1.0, 1.0]]), square20
+        )
+        with pytest.raises(ValueError):
+            ds.xy[0, 0] = 5.0
+
+    def test_sample_requests(self, small_dataset, rng):
+        requests = small_dataset.sample_requests(50, rng)
+        assert len(requests) == 50
+        assert all(small_dataset.bounds.contains(p) for p in requests)
+
+    def test_sample_requests_validation(self, small_dataset, rng):
+        with pytest.raises(DatasetError):
+            small_dataset.sample_requests(0, rng)
+
+    def test_subsample(self, small_dataset, rng):
+        sub = small_dataset.subsample(100, rng)
+        assert sub.n_checkins == 100
+        assert sub.bounds == small_dataset.bounds
+        with pytest.raises(DatasetError):
+            small_dataset.subsample(small_dataset.n_checkins + 1, rng)
+
+
+class TestSynthetic:
+    def test_zipf_weights(self):
+        w = zipf_weights(100, 1.0)
+        assert w.sum() == pytest.approx(1.0)
+        assert w[0] > w[1] > w[50]
+        assert w[0] / w[1] == pytest.approx(2.0)
+
+    def test_cluster_validation(self):
+        with pytest.raises(DatasetError):
+            Cluster(cx=1.5, cy=0.5, std=0.1, weight=1)
+        with pytest.raises(DatasetError):
+            Cluster(cx=0.5, cy=0.5, std=0.0, weight=1)
+
+    def test_city_model_validation(self, square20):
+        with pytest.raises(DatasetError):
+            CityModel(name="x", bounds=square20, clusters=())
+        good = Cluster(cx=0.5, cy=0.5, std=0.1, weight=1)
+        with pytest.raises(DatasetError):
+            CityModel(name="x", bounds=square20, clusters=(good,), n_pois=0)
+        with pytest.raises(DatasetError):
+            CityModel(
+                name="x", bounds=square20, clusters=(good,),
+                background_fraction=1.5,
+            )
+
+    def test_pois_inside_bounds(self, square20):
+        model = CityModel(
+            name="t", bounds=square20,
+            clusters=(Cluster(cx=0.1, cy=0.1, std=0.3, weight=1),),
+            n_pois=500,
+        )
+        pois = generate_pois(model, np.random.default_rng(0))
+        assert pois.shape == (500, 2)
+        assert (pois >= 0).all() and (pois <= 20).all()
+
+    def test_generation_is_deterministic(self, square20):
+        model = CityModel(
+            name="t", bounds=square20,
+            clusters=(Cluster(cx=0.5, cy=0.5, std=0.1, weight=1),),
+            n_pois=100, n_checkins=500, n_users=50,
+        )
+        a = generate_checkins(model, seed=9)
+        b = generate_checkins(model, seed=9)
+        assert np.array_equal(a.xy, b.xy)
+        assert np.array_equal(a.user_ids, b.user_ids)
+
+    def test_different_seeds_differ(self, square20):
+        model = CityModel(
+            name="t", bounds=square20,
+            clusters=(Cluster(cx=0.5, cy=0.5, std=0.1, weight=1),),
+            n_pois=100, n_checkins=500, n_users=50,
+        )
+        a = generate_checkins(model, seed=1)
+        b = generate_checkins(model, seed=2)
+        assert not np.array_equal(a.xy, b.xy)
+
+    def test_scaled_model(self):
+        model = austin_city_model().scaled(0.1)
+        assert model.n_checkins == 26_557
+        assert model.n_users == 1_215
+        with pytest.raises(DatasetError):
+            austin_city_model().scaled(0.0)
+
+    def test_checkins_are_spatially_skewed(self, square20):
+        """The generated prior must be far from uniform (city-like)."""
+        ds = load_gowalla_austin(checkin_fraction=0.05, seed=3)
+        grid = RegularGrid(ds.bounds, 8)
+        counts = grid.histogram(ds.points())
+        top_share = np.sort(counts)[-6:].sum() / counts.sum()
+        assert top_share > 0.5  # top ~10% of cells hold most mass
+
+
+class TestCityConfigs:
+    def test_gowalla_counts_match_paper(self):
+        model = austin_city_model()
+        assert model.n_checkins == 265_571
+        assert model.n_users == 12_155
+
+    def test_yelp_counts_match_paper(self):
+        model = las_vegas_city_model()
+        assert model.n_checkins == 81_201
+        assert model.n_users == 7_581
+
+    def test_loaders_produce_square_20km_windows(self):
+        for loader in (load_gowalla_austin, load_yelp_las_vegas):
+            ds = loader(checkin_fraction=0.01)
+            assert ds.bounds.side == pytest.approx(20.0, abs=0.6)
+            assert ds.geo_bounds is not None
+
+
+class TestIO:
+    def test_roundtrip(self, tmp_path):
+        ds = load_gowalla_austin(checkin_fraction=0.005, seed=4)
+        path = tmp_path / "x.csv"
+        write_checkins_csv(ds, path)
+        again = read_checkins_csv(path, ds.name, ds.geo_bounds)
+        assert again.n_checkins == ds.n_checkins
+        # Lat/lon rounding at 6 decimals keeps points within ~15 cm.
+        d = np.abs(again.xy - ds.xy).max()
+        assert d < 2e-4
+
+    def test_loader_prefers_real_file(self, tmp_path):
+        ds = load_gowalla_austin(checkin_fraction=0.005, seed=4)
+        path = tmp_path / "gowalla.csv"
+        write_checkins_csv(ds, path)
+        loaded = load_gowalla_austin(data_path=path)
+        assert loaded.n_checkins == ds.n_checkins
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError, match="not found"):
+            read_checkins_csv(
+                tmp_path / "nope.csv", "x",
+                GeoBounds(30, -98, 31, -97),
+            )
+
+    def test_bad_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,30.2,-97.7\n")
+        with pytest.raises(DatasetError, match="header"):
+            read_checkins_csv(path, "x", GeoBounds(30, -98, 31, -97))
+
+    def test_bad_row(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("user_id,lat,lon\n1,not-a-number,-97.7\n")
+        with pytest.raises(DatasetError, match="bad row"):
+            read_checkins_csv(path, "x", GeoBounds(30, -98, 31, -97))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(DatasetError, match="empty"):
+            read_checkins_csv(path, "x", GeoBounds(30, -98, 31, -97))
+
+    def test_window_filtering(self):
+        window = GeoBounds(30.0, -98.0, 31.0, -97.0)
+        records = [(1, 30.5, -97.5), (2, 40.0, -97.5), (3, 30.6, -97.4)]
+        ds = dataset_from_geo("t", records, window)
+        assert ds.n_checkins == 2
+
+    def test_all_outside_raises(self):
+        window = GeoBounds(30.0, -98.0, 31.0, -97.0)
+        with pytest.raises(DatasetError):
+            dataset_from_geo("t", [(1, 50.0, 10.0)], window)
+
+    def test_write_requires_geo_bounds(self, tmp_path, square20):
+        ds = CheckInDataset(
+            "t", np.array([1]), np.array([[1.0, 1.0]]), square20
+        )
+        with pytest.raises(DatasetError, match="geographic window"):
+            write_checkins_csv(ds, tmp_path / "x.csv")

@@ -1,0 +1,136 @@
+"""Tests for the evaluation harness and result tables."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.geo.metric import EUCLIDEAN, SQUARED_EUCLIDEAN
+from repro.geo.point import Point
+from repro.grid.regular import RegularGrid
+from repro.mechanisms.base import Mechanism
+from repro.mechanisms.planar_laplace import PlanarLaplaceMechanism
+from repro.eval import EvaluationResult, ResultTable, evaluate_mechanism
+
+
+class _Identity(Mechanism):
+    """A no-op mechanism for harness arithmetic tests."""
+
+    name = "identity"
+    epsilon = float("inf")
+
+    def sample(self, x, rng):
+        return x
+
+
+class _FixedShift(Mechanism):
+    """Deterministic 3-4-5 shift: losses are exactly 5 (d) and 25 (d2)."""
+
+    name = "shift"
+    epsilon = float("inf")
+
+    def sample(self, x, rng):
+        return Point(x.x + 3.0, x.y + 4.0)
+
+
+class TestHarness:
+    def test_identity_has_zero_loss(self, rng):
+        result = evaluate_mechanism(
+            _Identity(), [Point(1, 1), Point(2, 2)], rng
+        )
+        assert result.loss(EUCLIDEAN) == 0.0
+        assert result.loss(SQUARED_EUCLIDEAN) == 0.0
+        assert result.n_requests == 2
+
+    def test_fixed_shift_exact_losses(self, rng):
+        result = evaluate_mechanism(
+            _FixedShift(), [Point(0, 0)] * 10, rng
+        )
+        assert result.loss(EUCLIDEAN) == pytest.approx(5.0)
+        assert result.loss(SQUARED_EUCLIDEAN) == pytest.approx(25.0)
+        assert result.std_loss["euclidean"] == pytest.approx(0.0)
+
+    def test_loss_lookup_by_name_and_object(self, rng):
+        result = evaluate_mechanism(_FixedShift(), [Point(0, 0)], rng)
+        assert result.loss("euclidean") == result.loss(EUCLIDEAN)
+        with pytest.raises(EvaluationError):
+            result.loss("manhattan")
+
+    def test_validation(self, rng):
+        with pytest.raises(EvaluationError):
+            evaluate_mechanism(_Identity(), [], rng)
+        with pytest.raises(EvaluationError):
+            evaluate_mechanism(_Identity(), [Point(0, 0)], rng, metrics=())
+
+    def test_latency_reported(self, square20, rng):
+        pl = PlanarLaplaceMechanism(0.5, grid=RegularGrid(square20, 4))
+        result = evaluate_mechanism(pl, [Point(5, 5)] * 50, rng)
+        assert result.sample_seconds > 0
+        assert result.ms_per_query == pytest.approx(
+            1000 * result.sample_seconds / 50
+        )
+
+    def test_result_is_frozen(self, rng):
+        result = evaluate_mechanism(_Identity(), [Point(0, 0)], rng)
+        with pytest.raises(AttributeError):
+            result.n_requests = 5
+
+
+class TestResultTable:
+    def test_add_and_column(self):
+        t = ResultTable(title="t", columns=["a", "b"])
+        t.add_row(1, "x")
+        t.add_row(2, "y")
+        assert len(t) == 2
+        assert t.column("a") == [1, 2]
+        assert t.column("b") == ["x", "y"]
+
+    def test_arity_enforced(self):
+        t = ResultTable(title="t", columns=["a", "b"])
+        with pytest.raises(EvaluationError):
+            t.add_row(1)
+
+    def test_unknown_column(self):
+        t = ResultTable(title="t", columns=["a"])
+        with pytest.raises(EvaluationError):
+            t.column("zzz")
+
+    def test_filtered(self):
+        t = ResultTable(title="t", columns=["mech", "eps", "loss"])
+        t.add_row("PL", 0.1, 5.0)
+        t.add_row("MSM", 0.1, 2.0)
+        t.add_row("PL", 0.5, 3.0)
+        sub = t.filtered(mech="PL")
+        assert len(sub) == 2
+        assert sub.column("loss") == [5.0, 3.0]
+        both = t.filtered(mech="PL", eps=0.5)
+        assert both.column("loss") == [3.0]
+
+    def test_format_contains_everything(self):
+        t = ResultTable(title="My Table", columns=["g", "loss"], notes="n=3")
+        t.add_row(4, 1.2345)
+        text = t.format()
+        assert "My Table" in text
+        assert "1.234" in text
+        assert "note: n=3" in text
+
+    def test_format_handles_special_floats(self):
+        t = ResultTable(title="t", columns=["v"])
+        t.add_row(float("nan"))
+        t.add_row(0.0)
+        t.add_row(1e-9)
+        t.add_row(123456.0)
+        text = t.format()
+        assert "nan" in text
+        assert "1e-09" in text
+
+    def test_csv_roundtrip(self, tmp_path):
+        import csv
+
+        t = ResultTable(title="t", columns=["g", "loss"])
+        t.add_row(4, 1.25)
+        path = tmp_path / "out" / "t.csv"
+        t.to_csv(path)
+        with path.open() as f:
+            rows = list(csv.reader(f))
+        assert rows[0] == ["g", "loss"]
+        assert rows[1] == ["4", "1.25"]

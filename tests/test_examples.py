@@ -1,0 +1,68 @@
+"""Smoke tests for the example scripts.
+
+Each example is a deliverable; these tests run the fast ones end to end
+in a subprocess (so import side effects and ``__main__`` guards are
+exercised exactly as a user would) and sanity-check the slow ones'
+structure.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+ALL_EXAMPLES = [
+    "quickstart.py",
+    "nearby_poi_search.py",
+    "mechanism_comparison.py",
+    "budget_planning.py",
+    "custom_city_adaptive_index.py",
+    "day_of_checkins.py",
+]
+
+#: Examples cheap enough to execute in the unit-test suite.
+FAST_EXAMPLES = [
+    "budget_planning.py",
+    "quickstart.py",
+    "day_of_checkins.py",
+]
+
+
+class TestExamplesExist:
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_present_with_main_guard(self, name):
+        source = (EXAMPLES_DIR / name).read_text()
+        assert "def main(" in source
+        assert '__name__ == "__main__"' in source
+        assert source.startswith('"""')  # documented
+
+    def test_at_least_three_domain_examples(self):
+        assert len(ALL_EXAMPLES) >= 3
+
+
+class TestExamplesRun:
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_runs_cleanly(self, name):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / name)],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            cwd=EXAMPLES_DIR.parent,
+        )
+        assert result.returncode == 0, result.stderr
+        assert result.stdout.strip()
+
+    def test_quickstart_reports_losses(self):
+        result = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            cwd=EXAMPLES_DIR.parent,
+        )
+        assert "sanitised reports" in result.stdout
+        assert "budget plan" in result.stdout

@@ -1,0 +1,200 @@
+"""Smoke tests for the per-figure experiment functions.
+
+Each experiment runs at miniature scale and is checked for the row
+structure and the *qualitative shape* the paper reports (who wins, in
+which direction trends move).  Full-scale runs live in benchmarks/.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    ExperimentConfig,
+    run_budget_strategy_ablation,
+    run_fig3,
+    run_fig5,
+    run_fig6_7,
+    run_fig8_9,
+    run_fig10_11,
+    run_index_ablation,
+    run_latency,
+    run_spanner_ablation,
+    run_table2,
+)
+
+
+@pytest.fixture(scope="module")
+def config() -> ExperimentConfig:
+    return ExperimentConfig(n_requests=150, seed=7)
+
+
+class TestFig3:
+    def test_utility_falls_and_time_rises(self, small_dataset, config):
+        table = run_fig3(
+            small_dataset, granularities=(2, 4, 6), config=config
+        )
+        losses = table.column("utility_loss_km")
+        times = table.column("opt_seconds")
+        assert losses[0] > losses[-1]  # finer grid, better utility
+        assert times[-1] > times[0]    # and much slower
+        assert all(s == "optimal" for s in table.column("status"))
+
+    def test_time_limit_rows(self, small_dataset, config):
+        table = run_fig3(
+            small_dataset, granularities=(6,), config=config,
+            time_limit=1e-4,
+        )
+        assert table.column("status") == ["time-limit"]
+        assert math.isnan(table.column("utility_loss_km")[0])
+
+
+class TestFig5:
+    def test_interior_cells_match_rho(self, small_dataset, config):
+        table = run_fig5(
+            small_dataset, granularities=(5,), rhos=(0.7, 0.8, 0.9),
+            config=config,
+        )
+        for rho, interior in zip(
+            table.column("rho"), table.column("interior_pr_xx")
+        ):
+            assert interior == pytest.approx(rho, abs=0.05)
+
+    def test_empirical_mean_at_least_rho(self, small_dataset, config):
+        """Boundary cells keep extra mass, so the mean overshoots rho."""
+        table = run_fig5(
+            small_dataset, granularities=(4,), rhos=(0.6, 0.8),
+            config=config,
+        )
+        for rho, emp in zip(
+            table.column("rho"), table.column("empirical_pr_xx")
+        ):
+            assert emp >= rho - 0.02
+
+
+class TestTable2:
+    def test_msm_much_faster_opt_slightly_better(self, small_dataset, config):
+        table = run_table2(
+            small_dataset, granularities=(2, 3), config=config,
+            opt_time_limit=300.0,
+        )
+        for row in table.rows:
+            effective, opt_loss, msm_loss, opt_s, msm_s, status = row
+            assert status == "optimal"
+            # OPT wins utility at equal granularity...
+            assert opt_loss <= msm_loss * 1.3
+            # ...but the search-space pruning pays off in time.
+            if effective >= 9:
+                assert msm_s < opt_s
+
+
+class TestFig67:
+    def test_msm_beats_pl_and_both_improve_with_eps(
+        self, small_dataset, config
+    ):
+        table = run_fig6_7(
+            small_dataset, granularities=(4,), epsilons=(0.1, 0.5, 0.9),
+            config=config,
+        )
+        msm = table.filtered(mechanism="MSM")
+        pl = table.filtered(mechanism="PL")
+        for m_loss, p_loss in zip(msm.column("loss_d_km"),
+                                  pl.column("loss_d_km")):
+            assert m_loss < p_loss
+        # Largest gap at the tightest privacy level (paper: ~3x at 0.1).
+        gaps = [
+            p / m
+            for m, p in zip(msm.column("loss_d_km"), pl.column("loss_d_km"))
+        ]
+        assert gaps[0] == max(gaps)
+        # Loss decreases with eps for both.
+        assert msm.column("loss_d_km")[0] > msm.column("loss_d_km")[-1]
+        assert pl.column("loss_d_km")[0] > pl.column("loss_d_km")[-1]
+
+    def test_d2_gap_is_larger_than_d_gap(self, small_dataset, config):
+        table = run_fig6_7(
+            small_dataset, granularities=(4,), epsilons=(0.1,),
+            config=config,
+        )
+        msm = table.filtered(mechanism="MSM")
+        pl = table.filtered(mechanism="PL")
+        gap_d = pl.column("loss_d_km")[0] / msm.column("loss_d_km")[0]
+        gap_d2 = pl.column("loss_d2_km2")[0] / msm.column("loss_d2_km2")[0]
+        assert gap_d2 > gap_d
+
+
+class TestFig89:
+    def test_rows_and_heights(self, small_dataset, config):
+        table = run_fig8_9(
+            small_dataset, granularities=(2, 4), rhos=(0.5, 0.9),
+            config=config,
+        )
+        assert len(table) == 4
+        assert all(h >= 1 for h in table.column("msm_height"))
+
+    def test_coarsest_grid_is_not_best(self, small_dataset, config):
+        """g=2's giant cells must lose to a mid granularity (U-shape)."""
+        table = run_fig8_9(
+            small_dataset, granularities=(2, 4), rhos=(0.9,), config=config,
+        )
+        losses = table.column("loss_d_km")
+        assert losses[0] > losses[1]
+
+
+class TestFig1011:
+    def test_structure(self, small_dataset, config):
+        table = run_fig10_11(
+            small_dataset, rhos=(0.5, 0.9), granularities=(2,),
+            config=config,
+        )
+        assert len(table) == 2
+        # For g=2 the paper reports decreasing loss as rho grows.
+        losses = table.column("loss_d_km")
+        assert losses[1] <= losses[0] * 1.1
+
+
+class TestLatencyAndAblations:
+    def test_latency_ordering(self, small_dataset, config):
+        table = run_latency(small_dataset, granularity=3, config=config)
+        by_name = dict(
+            zip(table.column("mechanism"), table.column("ms_per_query"))
+        )
+        assert by_name["PL"] < by_name["MSM (cold cache)"]
+        assert by_name["MSM (warm cache)"] <= by_name["MSM (cold cache)"]
+
+    def test_budget_strategy_rows(self, small_dataset, config):
+        table = run_budget_strategy_ablation(
+            small_dataset, granularity=3, config=config
+        )
+        assert len(table) == 4
+        assert all(l > 0 for l in table.column("loss_d_km"))
+
+    def test_spanner_reduces_constraints(self, small_dataset, config):
+        table = run_spanner_ablation(
+            small_dataset, granularities=(3,), dilations=(1.5,),
+            config=config,
+        )
+        exact = table.filtered(dilation=1.0)
+        reduced = table.filtered(dilation=1.5)
+        assert reduced.column("n_constraints")[0] < (
+            exact.column("n_constraints")[0]
+        )
+        assert reduced.column("utility_loss_km")[0] >= (
+            exact.column("utility_loss_km")[0] - 1e-9
+        )
+
+    def test_index_ablation_rows(self, small_dataset, config):
+        table = run_index_ablation(small_dataset, config=config)
+        names = table.column("index")
+        assert len(names) == 4
+        assert all(l > 0 for l in table.column("loss_d_km"))
+
+    def test_prior_ablation_personal_never_worse(self, small_dataset, config):
+        from repro.eval import run_prior_ablation
+
+        table = run_prior_ablation(
+            small_dataset, granularity=3, n_users=3, config=config
+        )
+        assert len(table) == 3
+        assert all(i >= -1e-6 for i in table.column("improvement_pct"))

@@ -1,0 +1,119 @@
+"""Unit tests for the exponential mechanism and Bayesian remapping."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MechanismError
+from repro.geo.metric import EUCLIDEAN
+from repro.geo.point import Point
+from repro.grid.regular import RegularGrid
+from repro.mechanisms.exponential import ExponentialMechanism, exponential_matrix
+from repro.mechanisms.matrix import MechanismMatrix
+from repro.mechanisms.remap import (
+    optimal_remap_assignment,
+    posterior_matrix,
+    remap_mechanism,
+)
+from repro.privacy import verify_geoind
+
+
+class TestExponential:
+    def test_epsilon_validation(self, square20):
+        with pytest.raises(MechanismError):
+            exponential_matrix(RegularGrid(square20, 2), 0.0)
+
+    def test_rows_stochastic_and_diagonal_max(self, square20):
+        grid = RegularGrid(square20, 3)
+        m = exponential_matrix(grid, 0.5)
+        assert m.k.sum(axis=1) == pytest.approx(np.ones(9))
+        for i in range(9):
+            assert m.k[i, i] == m.k[i].max()
+
+    def test_satisfies_geoind(self, square20):
+        grid = RegularGrid(square20, 3)
+        m = exponential_matrix(grid, 0.5)
+        assert verify_geoind(m, 0.5).satisfied
+
+    def test_half_epsilon_exponent_is_necessary(self, square20):
+        """With exponent -eps*d (no half), GeoInd can be violated: the
+        normalisation constants contribute the second eps/2 factor."""
+        grid = RegularGrid(square20, 3)
+        centers = grid.centers()
+        d = EUCLIDEAN.pairwise(centers, centers)
+        k = np.exp(-0.5 * d)  # full exponent at eps = 0.5
+        k /= k.sum(axis=1, keepdims=True)
+        m = MechanismMatrix(centers, centers, k)
+        assert not verify_geoind(m, 0.5).satisfied
+
+    def test_mechanism_sampling(self, square20, rng):
+        grid = RegularGrid(square20, 3)
+        mech = ExponentialMechanism(2.0, grid)
+        x = Point(10, 10)  # centre cell
+        zs = [mech.sample(x, rng) for _ in range(300)]
+        stay = np.mean([z == grid.snap(x) for z in zs])
+        assert stay > 0.5  # high budget concentrates on the true cell
+
+
+class TestPosterior:
+    def test_posterior_rows_sum_to_one(self, square20):
+        grid = RegularGrid(square20, 3)
+        m = exponential_matrix(grid, 0.5)
+        prior = np.full(9, 1 / 9)
+        sigma = posterior_matrix(m, prior)
+        assert sigma.sum(axis=1) == pytest.approx(np.ones(9))
+
+    def test_posterior_bayes_by_hand(self):
+        pts = [Point(0, 0), Point(1, 0)]
+        k = np.array([[0.8, 0.2], [0.4, 0.6]])
+        m = MechanismMatrix(pts, pts, k)
+        prior = np.array([0.5, 0.5])
+        sigma = posterior_matrix(m, prior)
+        # Pr[x=0 | z=0] = 0.8 / (0.8 + 0.4)
+        assert sigma[0, 0] == pytest.approx(0.8 / 1.2)
+        assert sigma[1, 1] == pytest.approx(0.6 / 0.8)
+
+    def test_never_emitted_output_gets_uniform_posterior(self):
+        pts = [Point(0, 0), Point(1, 0)]
+        k = np.array([[1.0, 0.0], [1.0, 0.0]])
+        m = MechanismMatrix(pts, pts, k)
+        sigma = posterior_matrix(m, np.array([0.5, 0.5]))
+        assert sigma[1] == pytest.approx([0.5, 0.5])
+
+    def test_prior_size_validation(self, square20):
+        m = exponential_matrix(RegularGrid(square20, 2), 0.5)
+        with pytest.raises(MechanismError):
+            posterior_matrix(m, np.ones(3))
+
+
+class TestRemap:
+    def test_identity_matrix_remaps_to_itself(self):
+        pts = [Point(0, 0), Point(5, 0)]
+        m = MechanismMatrix(pts, pts, np.eye(2))
+        assignment = optimal_remap_assignment(
+            m, np.array([0.5, 0.5]), EUCLIDEAN
+        )
+        assert np.array_equal(assignment, [0, 1])
+
+    def test_remap_never_hurts(self, coarse_prior):
+        m = exponential_matrix(coarse_prior.grid, 0.3)
+        before = m.expected_loss(coarse_prior.probabilities, EUCLIDEAN)
+        after = remap_mechanism(
+            m, coarse_prior.probabilities, EUCLIDEAN
+        ).expected_loss(coarse_prior.probabilities, EUCLIDEAN)
+        assert after <= before + 1e-12
+
+    def test_remap_preserves_geoind(self, coarse_prior):
+        """Post-processing cannot weaken the privacy guarantee."""
+        eps = 0.5
+        m = exponential_matrix(coarse_prior.grid, eps)
+        remapped = remap_mechanism(m, coarse_prior.probabilities, EUCLIDEAN)
+        assert verify_geoind(remapped, eps).satisfied
+
+    def test_skewed_prior_pulls_remap_to_mode(self, square20):
+        """With an overwhelming prior mode, every output remaps there."""
+        grid = RegularGrid(square20, 3)
+        m = exponential_matrix(grid, 0.05)  # very diffuse mechanism
+        prior = np.full(9, 1e-4)
+        prior[4] = 1 - 8e-4
+        assignment = optimal_remap_assignment(m, prior, EUCLIDEAN)
+        assert (assignment == 4).all()

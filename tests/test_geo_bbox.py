@@ -1,0 +1,105 @@
+"""Unit tests for repro.geo.bbox."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+
+
+@pytest.fixture
+def unit() -> BoundingBox:
+    return BoundingBox(0, 0, 1, 1)
+
+
+class TestConstruction:
+    def test_degenerate_boxes_rejected(self):
+        with pytest.raises(GeometryError):
+            BoundingBox(0, 0, 0, 1)
+        with pytest.raises(GeometryError):
+            BoundingBox(0, 0, 1, 0)
+        with pytest.raises(GeometryError):
+            BoundingBox(2, 0, 1, 1)
+
+    def test_square_factory(self):
+        b = BoundingBox.square(Point(1, 2), 3.0)
+        assert (b.min_x, b.min_y, b.max_x, b.max_y) == (1, 2, 4, 5)
+        assert b.side == pytest.approx(3.0)
+
+    def test_square_factory_rejects_nonpositive_side(self):
+        with pytest.raises(GeometryError):
+            BoundingBox.square(Point(0, 0), 0.0)
+
+    def test_side_raises_for_rectangles(self):
+        with pytest.raises(GeometryError):
+            BoundingBox(0, 0, 2, 1).side
+
+
+class TestGeometry:
+    def test_dimensions(self, unit):
+        assert unit.width == 1 and unit.height == 1 and unit.area == 1
+
+    def test_center(self):
+        assert BoundingBox(0, 0, 4, 2).center == Point(2, 1)
+
+    def test_corners(self, unit):
+        assert unit.lower_left == Point(0, 0)
+        assert unit.upper_right == Point(1, 1)
+
+    def test_contains_interior_and_boundary(self, unit):
+        assert unit.contains(Point(0.5, 0.5))
+        assert unit.contains(Point(0, 0))
+        assert unit.contains(Point(1, 1))
+        assert not unit.contains(Point(1.01, 0.5))
+
+    def test_clamp(self, unit):
+        assert unit.clamp(Point(2, -1)) == Point(1, 0)
+        assert unit.clamp(Point(0.3, 0.7)) == Point(0.3, 0.7)
+
+    def test_intersects(self, unit):
+        assert unit.intersects(BoundingBox(0.5, 0.5, 2, 2))
+        assert unit.intersects(BoundingBox(1, 1, 2, 2))  # shared corner
+        assert not unit.intersects(BoundingBox(1.1, 1.1, 2, 2))
+
+    def test_contains_box(self, unit):
+        assert unit.contains_box(BoundingBox(0.1, 0.1, 0.9, 0.9))
+        assert unit.contains_box(unit)
+        assert not unit.contains_box(BoundingBox(0.5, 0.5, 1.5, 0.9))
+
+    def test_scaled_to_square_keeps_center_and_covers(self):
+        rect = BoundingBox(0, 0, 4, 2)
+        sq = rect.scaled_to_square()
+        assert sq.side == pytest.approx(4.0)
+        assert sq.center == rect.center
+        assert sq.contains_box(rect)
+
+
+class TestSplit:
+    def test_split_counts_and_order(self, unit):
+        cells = unit.split(2)
+        assert len(cells) == 4
+        # Row-major from bottom-left.
+        assert cells[0].contains(Point(0.25, 0.25))
+        assert cells[1].contains(Point(0.75, 0.25))
+        assert cells[2].contains(Point(0.25, 0.75))
+        assert cells[3].contains(Point(0.75, 0.75))
+
+    def test_split_partitions_area(self, unit):
+        cells = unit.split(3)
+        assert sum(c.area for c in cells) == pytest.approx(unit.area)
+
+    def test_split_invalid(self, unit):
+        with pytest.raises(GeometryError):
+            unit.split(0)
+
+    @given(st.integers(min_value=1, max_value=7))
+    def test_split_cells_tile_exactly(self, g):
+        box = BoundingBox(-3, 2, 5, 10)
+        cells = box.split(g)
+        assert len(cells) == g * g
+        assert all(box.contains_box(c) for c in cells)
+        # Adjacent cells share edges exactly (no gaps): x breakpoints align.
+        xs = sorted({c.min_x for c in cells})
+        assert len(xs) == g

@@ -1,0 +1,73 @@
+"""Unit tests for repro.geo.metric."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.metric import (
+    EUCLIDEAN,
+    MANHATTAN,
+    SQUARED_EUCLIDEAN,
+    get_metric,
+)
+from repro.geo.point import Point
+
+coord = st.floats(min_value=-100, max_value=100, allow_nan=False)
+points = st.builds(Point, coord, coord)
+
+
+class TestScalar:
+    def test_euclidean(self):
+        assert EUCLIDEAN(Point(0, 0), Point(3, 4)) == pytest.approx(5)
+
+    def test_squared_euclidean(self):
+        assert SQUARED_EUCLIDEAN(Point(0, 0), Point(3, 4)) == pytest.approx(25)
+
+    def test_manhattan(self):
+        assert MANHATTAN(Point(0, 0), Point(3, 4)) == pytest.approx(7)
+
+    @given(points, points)
+    def test_all_metrics_nonnegative_and_symmetric(self, a, b):
+        for metric in (EUCLIDEAN, SQUARED_EUCLIDEAN, MANHATTAN):
+            assert metric(a, b) >= 0
+            assert metric(a, b) == pytest.approx(metric(b, a), rel=1e-9, abs=1e-9)
+
+    @given(points)
+    def test_identity(self, p):
+        for metric in (EUCLIDEAN, SQUARED_EUCLIDEAN, MANHATTAN):
+            assert metric(p, p) == 0.0
+
+
+class TestPairwise:
+    def test_pairwise_shape(self):
+        xs = [Point(0, 0), Point(1, 1)]
+        zs = [Point(0, 0), Point(1, 0), Point(0, 1)]
+        assert EUCLIDEAN.pairwise(xs, zs).shape == (2, 3)
+
+    @given(st.lists(points, min_size=1, max_size=6))
+    def test_pairwise_matches_scalar(self, pts):
+        for metric in (EUCLIDEAN, SQUARED_EUCLIDEAN, MANHATTAN):
+            mat = metric.pairwise(pts, pts)
+            for i, a in enumerate(pts):
+                for j, b in enumerate(pts):
+                    assert mat[i, j] == pytest.approx(
+                        metric(a, b), rel=1e-9, abs=1e-9
+                    )
+
+    def test_pairwise_diagonal_is_zero(self):
+        pts = [Point(i, 2 * i) for i in range(5)]
+        for metric in (EUCLIDEAN, SQUARED_EUCLIDEAN, MANHATTAN):
+            assert np.allclose(np.diag(metric.pairwise(pts, pts)), 0.0)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize(
+        "name", ["euclidean", "squared_euclidean", "manhattan"]
+    )
+    def test_lookup(self, name):
+        assert get_metric(name).name == name
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown metric"):
+            get_metric("chebyshev")

@@ -1,0 +1,88 @@
+"""Unit tests for repro.geo.point."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geo.point import Point, centroid
+
+finite = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+
+
+class TestPoint:
+    def test_distance_matches_pythagoras(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    def test_distance_is_zero_to_self(self):
+        p = Point(1.5, -2.5)
+        assert p.distance_to(p) == 0.0
+
+    def test_squared_distance(self):
+        assert Point(0, 0).squared_distance_to(Point(3, 4)) == pytest.approx(25.0)
+
+    def test_manhattan_distance(self):
+        assert Point(1, 1).manhattan_distance_to(Point(4, -3)) == pytest.approx(7.0)
+
+    def test_translate(self):
+        assert Point(1, 2).translate(0.5, -0.5) == Point(1.5, 1.5)
+
+    def test_midpoint(self):
+        assert Point(0, 0).midpoint(Point(2, 4)) == Point(1, 2)
+
+    def test_iteration_and_tuple(self):
+        p = Point(3.0, 7.0)
+        assert tuple(p) == (3.0, 7.0)
+        assert p.as_tuple() == (3.0, 7.0)
+
+    def test_points_are_hashable_and_equal_by_value(self):
+        assert Point(1, 2) == Point(1, 2)
+        assert len({Point(1, 2), Point(1, 2), Point(2, 1)}) == 2
+
+    def test_points_are_immutable(self):
+        with pytest.raises(AttributeError):
+            Point(0, 0).x = 1.0
+
+    @given(finite, finite, finite, finite)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(finite, finite, finite, finite, finite, finite)
+    def test_triangle_inequality(self, x1, y1, x2, y2, x3, y3):
+        a, b, c = Point(x1, y1), Point(x2, y2), Point(x3, y3)
+        assert a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6
+
+    @given(finite, finite, finite, finite)
+    def test_squared_distance_consistent_with_distance(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.squared_distance_to(b) == pytest.approx(
+            a.distance_to(b) ** 2, rel=1e-9, abs=1e-9
+        )
+
+
+class TestCentroid:
+    def test_single_point(self):
+        assert centroid([Point(2, 3)]) == Point(2, 3)
+
+    def test_square_corners(self):
+        pts = [Point(0, 0), Point(2, 0), Point(2, 2), Point(0, 2)]
+        assert centroid(pts) == Point(1, 1)
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            centroid([])
+
+    def test_centroid_within_bounding_box(self):
+        pts = [Point(1, 1), Point(5, 2), Point(3, 9)]
+        c = centroid(pts)
+        assert 1 <= c.x <= 5
+        assert 1 <= c.y <= 9
+
+    def test_invariant_under_translation(self):
+        pts = [Point(0, 0), Point(1, 3), Point(-2, 5)]
+        moved = [p.translate(10, -4) for p in pts]
+        c0, c1 = centroid(pts), centroid(moved)
+        assert c1.x == pytest.approx(c0.x + 10)
+        assert c1.y == pytest.approx(c0.y - 4)

@@ -1,0 +1,84 @@
+"""Unit tests for repro.geo.projection."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GeometryError
+from repro.geo.point import Point
+from repro.geo.projection import (
+    EquirectangularProjection,
+    GeoBounds,
+    haversine_km,
+)
+
+AUSTIN = GeoBounds(30.1927, -97.8698, 30.3723, -97.6618)
+
+
+class TestGeoBounds:
+    def test_invalid_latitudes(self):
+        with pytest.raises(GeometryError):
+            GeoBounds(40, -97, 30, -96)
+        with pytest.raises(GeometryError):
+            GeoBounds(-95, -97, 30, -96)
+
+    def test_invalid_longitudes(self):
+        with pytest.raises(GeometryError):
+            GeoBounds(30, -96, 31, -97)
+
+    def test_contains(self):
+        assert AUSTIN.contains(30.3, -97.7)
+        assert not AUSTIN.contains(30.3, -97.9)
+
+    def test_reference_latitude_is_midpoint(self):
+        assert AUSTIN.reference_lat == pytest.approx((30.1927 + 30.3723) / 2)
+
+
+class TestProjection:
+    def test_origin_at_southwest_corner(self):
+        proj = EquirectangularProjection(AUSTIN)
+        p = proj.to_plane(AUSTIN.min_lat, AUSTIN.min_lon)
+        assert p.x == pytest.approx(0.0, abs=1e-12)
+        assert p.y == pytest.approx(0.0, abs=1e-12)
+
+    def test_window_is_about_20km(self):
+        box = EquirectangularProjection(AUSTIN).planar_bbox()
+        assert box.width == pytest.approx(20.0, abs=0.5)
+        assert box.height == pytest.approx(20.0, abs=0.5)
+
+    def test_roundtrip(self):
+        proj = EquirectangularProjection(AUSTIN)
+        lat, lon = 30.2671, -97.7431  # downtown Austin
+        back = proj.to_geo(proj.to_plane(lat, lon))
+        assert back[0] == pytest.approx(lat, abs=1e-12)
+        assert back[1] == pytest.approx(lon, abs=1e-12)
+
+    @given(
+        st.floats(min_value=30.1927, max_value=30.3723),
+        st.floats(min_value=-97.8698, max_value=-97.6618),
+        st.floats(min_value=30.1927, max_value=30.3723),
+        st.floats(min_value=-97.8698, max_value=-97.6618),
+    )
+    def test_projection_error_below_20m_at_city_scale(
+        self, lat1, lon1, lat2, lon2
+    ):
+        proj = EquirectangularProjection(AUSTIN)
+        planar = proj.to_plane(lat1, lon1).distance_to(proj.to_plane(lat2, lon2))
+        true = haversine_km(lat1, lon1, lat2, lon2)
+        assert abs(planar - true) < 0.02
+
+
+class TestHaversine:
+    def test_zero_distance(self):
+        assert haversine_km(30.0, -97.0, 30.0, -97.0) == 0.0
+
+    def test_one_degree_latitude(self):
+        # One degree of latitude is ~111.2 km everywhere.
+        assert haversine_km(30.0, -97.0, 31.0, -97.0) == pytest.approx(
+            111.2, abs=0.5
+        )
+
+    def test_symmetry(self):
+        a = haversine_km(30.2, -97.7, 30.3, -97.8)
+        b = haversine_km(30.3, -97.8, 30.2, -97.7)
+        assert a == pytest.approx(b)

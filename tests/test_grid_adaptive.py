@@ -1,0 +1,133 @@
+"""Unit tests for the adaptive indexes (quadtree, k-d split tree)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GridError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.grid.kdtree import KDTreeIndex
+from repro.grid.quadtree import QuadtreeIndex
+
+
+def clustered_points(n: int, seed: int = 0) -> list[Point]:
+    """Points heavily clustered in the lower-left quadrant of [0,20]^2."""
+    rng = np.random.default_rng(seed)
+    cluster = rng.normal([4, 4], 1.0, size=(int(n * 0.8), 2))
+    noise = rng.uniform(0, 20, size=(n - cluster.shape[0], 2))
+    xy = np.clip(np.vstack([cluster, noise]), 0, 20)
+    return [Point(float(x), float(y)) for x, y in xy]
+
+
+@pytest.fixture
+def domain() -> BoundingBox:
+    return BoundingBox(0, 0, 20, 20)
+
+
+class TestQuadtree:
+    def test_parameter_validation(self, domain):
+        with pytest.raises(GridError):
+            QuadtreeIndex(domain, [], capacity=0)
+        with pytest.raises(GridError):
+            QuadtreeIndex(domain, [], max_depth=0)
+
+    def test_no_points_means_no_split(self, domain):
+        tree = QuadtreeIndex(domain, [], capacity=4, max_depth=3)
+        assert tree.is_leaf(tree.root)
+        assert tree.node_count() == 1
+
+    def test_splits_where_data_is_dense(self, domain):
+        pts = clustered_points(800)
+        tree = QuadtreeIndex(domain, pts, capacity=50, max_depth=4)
+        # Lower-left subtree must be deeper than upper-right.
+        kids = tree.children(tree.root)
+        ll, ur = kids[0], kids[3]
+
+        def depth(node):
+            ch = tree.children(node)
+            return 0 if not ch else 1 + max(depth(k) for k in ch)
+
+        assert depth(ll) > depth(ur)
+
+    def test_children_partition_parent(self, domain):
+        tree = QuadtreeIndex(domain, clustered_points(300), capacity=30)
+        kids = tree.children(tree.root)
+        assert len(kids) == 4
+        assert sum(k.bounds.area for k in kids) == pytest.approx(
+            domain.area
+        )
+
+    def test_max_depth_respected(self, domain):
+        tree = QuadtreeIndex(
+            domain, clustered_points(2000), capacity=1, max_depth=3
+        )
+        assert tree.max_height() <= 3
+
+    def test_locate_child(self, domain):
+        tree = QuadtreeIndex(domain, clustered_points(300), capacity=30)
+        p = Point(3, 3)
+        child = tree.locate_child(tree.root, p)
+        assert child is not None and child.bounds.contains(p)
+        assert tree.locate_child(tree.root, Point(25, 3)) is None
+
+    def test_out_of_bounds_points_ignored(self, domain):
+        pts = [Point(-5, -5)] * 100
+        tree = QuadtreeIndex(domain, pts, capacity=4)
+        assert tree.node_count() == 1
+
+
+class TestKDTree:
+    def test_parameter_validation(self, domain):
+        with pytest.raises(GridError):
+            KDTreeIndex(domain, [], max_depth=0)
+
+    def test_complete_tree_when_always_split(self, domain):
+        tree = KDTreeIndex(domain, [], max_depth=3, always_split=True)
+        assert tree.max_height() == 3
+        assert len(tree.leaves()) == 8
+
+    def test_no_split_below_min_points(self, domain):
+        tree = KDTreeIndex(
+            domain, clustered_points(8), max_depth=4, min_points=100,
+            always_split=False,
+        )
+        assert tree.node_count() == 1
+
+    def test_children_partition_parent(self, domain):
+        tree = KDTreeIndex(domain, clustered_points(500), max_depth=4)
+        stack = [tree.root]
+        while stack:
+            node = stack.pop()
+            kids = tree.children(node)
+            if not kids:
+                continue
+            assert len(kids) == 2
+            assert sum(k.bounds.area for k in kids) == pytest.approx(
+                node.bounds.area
+            )
+            stack.extend(kids)
+
+    def test_median_split_tracks_density(self, domain):
+        tree = KDTreeIndex(domain, clustered_points(800), max_depth=1)
+        left, right = tree.children(tree.root)
+        # 80% of mass near x=4: the first x-split lands left of centre,
+        # but the sliver clamp keeps at least 20% width.
+        assert 4.0 <= left.bounds.max_x <= 10.0
+
+    def test_sliver_clamp(self, domain):
+        # All points at the same x: the split must still leave both
+        # children at least 20% of the parent width.
+        pts = [Point(0.5, float(y)) for y in range(20)]
+        tree = KDTreeIndex(domain, pts, max_depth=1)
+        left, right = tree.children(tree.root)
+        assert left.bounds.width >= 0.2 * domain.width - 1e-9
+        assert right.bounds.width >= 0.2 * domain.width - 1e-9
+
+    def test_locate_child_default_scan(self, domain):
+        tree = KDTreeIndex(domain, clustered_points(200), max_depth=2)
+        p = Point(12, 7)
+        node = tree.root
+        while not tree.is_leaf(node):
+            node = tree.locate_child(node, p)
+            assert node is not None
+        assert node.bounds.contains(p)

@@ -1,0 +1,130 @@
+"""Unit tests for repro.grid.hierarchy (the GIHI)."""
+
+import pytest
+
+from repro.exceptions import GridError
+from repro.geo.point import Point
+from repro.grid.hierarchy import HierarchicalGrid
+
+
+@pytest.fixture
+def gihi(square20) -> HierarchicalGrid:
+    return HierarchicalGrid(square20, granularity=3, height=2)
+
+
+class TestStructure:
+    def test_invalid_parameters(self, square20):
+        with pytest.raises(GridError):
+            HierarchicalGrid(square20, 1, 2)
+        with pytest.raises(GridError):
+            HierarchicalGrid(square20, 3, 0)
+
+    def test_root(self, gihi, square20):
+        assert gihi.root.level == 0
+        assert gihi.root.path == ()
+        assert gihi.root.bounds == square20
+
+    def test_children_fanout(self, gihi):
+        kids = gihi.children(gihi.root)
+        assert len(kids) == 9
+        assert all(k.level == 1 for k in kids)
+        assert [k.path for k in kids] == [(i,) for i in range(9)]
+
+    def test_leaves_have_no_children(self, gihi):
+        leaf = gihi.children(gihi.children(gihi.root)[0])[0]
+        assert leaf.level == 2
+        assert gihi.children(leaf) == []
+        assert gihi.is_leaf(leaf)
+
+    def test_heights_and_granularities(self, gihi):
+        assert gihi.height == 2
+        assert gihi.max_height() == 2
+        assert gihi.leaf_granularity == 9
+        assert gihi.level_granularity(0) == 1
+        assert gihi.level_granularity(2) == 9
+        with pytest.raises(GridError):
+            gihi.level_granularity(3)
+
+    def test_node_count_and_leaves(self, gihi):
+        # 1 root + 9 + 81.
+        assert gihi.node_count() == 91
+        assert len(gihi.leaves()) == 81
+
+    def test_cell_side_shrinks_by_g(self, gihi):
+        assert gihi.cell_side(1) == pytest.approx(20 / 3)
+        assert gihi.cell_side(2) == pytest.approx(20 / 9)
+
+    def test_children_partition_parent(self, gihi):
+        node = gihi.children(gihi.root)[4]
+        kids = gihi.children(node)
+        assert sum(k.bounds.area for k in kids) == pytest.approx(
+            node.bounds.area
+        )
+        assert all(node.bounds.contains_box(k.bounds) for k in kids)
+
+
+class TestLocation:
+    def test_locate_child_consistent_with_subgrid(self, gihi):
+        p = Point(1.0, 1.0)
+        child = gihi.locate_child(gihi.root, p)
+        assert child is not None
+        assert child.bounds.contains(p)
+        assert child.path == (0,)
+
+    def test_locate_child_outside_returns_none(self, gihi):
+        node = gihi.children(gihi.root)[0]
+        assert gihi.locate_child(node, Point(19, 19)) is None
+
+    def test_locate_child_at_leaf_returns_none(self, gihi):
+        node = gihi.children(gihi.root)[0]
+        leaf = gihi.children(node)[0]
+        assert gihi.locate_child(leaf, Point(0.1, 0.1)) is None
+
+    def test_enclosing_cell_matches_level_grid(self, gihi):
+        p = Point(13.7, 4.2)
+        for level in (1, 2):
+            cell = gihi.enclosing_cell(p, level)
+            assert cell.contains(p)
+            assert cell.index == gihi.level_grid(level).locate(p).index
+
+    def test_walk_to_leaf_via_locate_child(self, gihi):
+        p = Point(7.77, 15.3)
+        node = gihi.root
+        while not gihi.is_leaf(node):
+            node = gihi.locate_child(node, p)
+        assert node.level == 2
+        assert node.bounds.contains(p)
+
+    def test_node_for_cell_roundtrip(self, gihi):
+        for level in (1, 2):
+            grid = gihi.level_grid(level)
+            for cell in list(grid.cells())[:: max(1, grid.n_cells // 7)]:
+                node = gihi.node_for_cell(level, cell.row, cell.col)
+                assert node.level == level
+                assert node.bounds.center.distance_to(cell.center) < 1e-9
+                # The path must be walkable from the root.
+                walk = gihi.root
+                for step in node.path:
+                    walk = gihi.children(walk)[step]
+                assert walk.bounds.center.distance_to(cell.center) < 1e-9
+
+    def test_node_for_cell_root_special_case(self, gihi):
+        assert gihi.node_for_cell(0, 0, 0) is gihi.root
+
+    def test_node_cell_rejects_root(self, gihi):
+        with pytest.raises(GridError):
+            gihi.node_cell(gihi.root)
+
+    def test_subgrid_of_internal_node(self, gihi):
+        node = gihi.children(gihi.root)[5]
+        sub = gihi.subgrid(node)
+        assert sub.granularity == 3
+        assert sub.bounds == node.bounds
+
+    def test_subgrid_of_leaf_raises(self, gihi):
+        node = gihi.children(gihi.children(gihi.root)[0])[0]
+        with pytest.raises(GridError):
+            gihi.subgrid(node)
+
+    def test_level_grid_is_cached(self, gihi):
+        assert gihi.level_grid(1) is gihi.level_grid(1)

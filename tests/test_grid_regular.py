@@ -1,0 +1,139 @@
+"""Unit tests for repro.grid.regular."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.exceptions import GridError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.grid.regular import RegularGrid
+
+
+@pytest.fixture
+def grid(square20) -> RegularGrid:
+    return RegularGrid(square20, 4)
+
+
+class TestAddressing:
+    def test_basic_properties(self, grid):
+        assert grid.granularity == 4
+        assert grid.n_cells == 16
+        assert len(grid) == 16
+        assert grid.cell_width == pytest.approx(5.0)
+
+    def test_invalid_granularity(self, square20):
+        with pytest.raises(GridError):
+            RegularGrid(square20, 0)
+
+    def test_cell_index_roundtrip(self, grid):
+        for cell in grid.cells():
+            again = grid.cell_by_index(cell.index)
+            assert (again.row, again.col) == (cell.row, cell.col)
+
+    def test_cell_out_of_range(self, grid):
+        with pytest.raises(GridError):
+            grid.cell(4, 0)
+        with pytest.raises(GridError):
+            grid.cell_by_index(16)
+
+    def test_row_major_order(self, grid):
+        assert grid.cell(0, 0).index == 0
+        assert grid.cell(0, 3).index == 3
+        assert grid.cell(1, 0).index == 4
+        assert grid.cell(3, 3).index == 15
+
+    def test_cell_bounds_tile_domain(self, grid):
+        total_area = sum(c.bounds.area for c in grid.cells())
+        assert total_area == pytest.approx(grid.bounds.area)
+
+
+class TestLocate:
+    def test_locate_interior(self, grid):
+        assert grid.locate(Point(0.1, 0.1)).index == 0
+        assert grid.locate(Point(19.9, 19.9)).index == 15
+        assert grid.locate(Point(7.5, 2.5)).index == 1
+
+    def test_locate_on_max_boundary_folds_into_last_cell(self, grid):
+        assert grid.locate(Point(20.0, 20.0)).index == 15
+
+    def test_locate_outside_raises(self, grid):
+        with pytest.raises(GridError):
+            grid.locate(Point(-0.1, 5))
+
+    def test_snap_returns_cell_center(self, grid):
+        assert grid.snap(Point(1, 1)) == Point(2.5, 2.5)
+
+    def test_snap_clamped_accepts_outside_points(self, grid):
+        assert grid.snap_clamped(Point(-5, 25)) == Point(2.5, 17.5)
+
+    @given(
+        st.floats(min_value=0, max_value=20),
+        st.floats(min_value=0, max_value=20),
+        st.integers(min_value=1, max_value=9),
+    )
+    def test_every_domain_point_has_exactly_one_cell(self, x, y, g):
+        grid = RegularGrid(BoundingBox(0, 0, 20, 20), g)
+        cell = grid.locate(Point(x, y))
+        assert cell.contains(Point(x, y))
+
+
+class TestBulk:
+    def test_centers_match_cells(self, grid):
+        centers = grid.centers()
+        for cell, center in zip(grid.cells(), centers):
+            assert cell.center == center
+
+    def test_centers_array_matches_centers(self, grid):
+        arr = grid.centers_array()
+        pts = grid.centers()
+        assert arr.shape == (16, 2)
+        for (x, y), p in zip(arr, pts):
+            assert (x, y) == pytest.approx((p.x, p.y))
+
+    def test_histogram_counts(self, grid):
+        pts = [Point(1, 1), Point(1.2, 0.7), Point(18, 18), Point(-5, 3)]
+        counts = grid.histogram(pts)
+        assert counts.sum() == 3  # the out-of-bounds point is dropped
+        assert counts[0] == 2
+        assert counts[15] == 1
+
+    def test_histogram_empty(self, grid):
+        assert grid.histogram([]).sum() == 0
+
+    def test_histogram_matches_locate(self, grid, rng):
+        pts = [
+            Point(float(x), float(y))
+            for x, y in rng.uniform(0, 20, size=(200, 2))
+        ]
+        counts = grid.histogram(pts)
+        manual = np.zeros(16, dtype=int)
+        for p in pts:
+            manual[grid.locate(p).index] += 1
+        assert np.array_equal(counts, manual)
+
+    def test_neighbors_interior(self, grid):
+        cell = grid.cell(1, 1)
+        assert len(grid.neighbors(cell)) == 4
+        assert len(grid.neighbors(cell, diagonal=True)) == 8
+
+    def test_neighbors_corner(self, grid):
+        cell = grid.cell(0, 0)
+        assert len(grid.neighbors(cell)) == 2
+        assert len(grid.neighbors(cell, diagonal=True)) == 3
+
+    def test_expected_snap_distance_scales_with_cell(self, square20):
+        coarse = RegularGrid(square20, 2).expected_snap_distance()
+        fine = RegularGrid(square20, 8).expected_snap_distance()
+        assert coarse == pytest.approx(4 * fine)
+        # ~0.3826 * cell side for the unit-square constant.
+        assert fine == pytest.approx(0.3826 * 2.5, abs=0.01)
+
+    def test_expected_snap_distance_is_empirically_right(self, rng):
+        grid = RegularGrid(BoundingBox(0, 0, 1, 1), 1)
+        pts = [
+            Point(float(x), float(y)) for x, y in rng.uniform(0, 1, (4000, 2))
+        ]
+        empirical = np.mean([p.distance_to(Point(0.5, 0.5)) for p in pts])
+        assert empirical == pytest.approx(grid.expected_snap_distance(), abs=0.01)

@@ -1,0 +1,128 @@
+"""End-to-end integration tests across the whole library.
+
+These tests wire full pipelines the way a downstream application would:
+dataset -> prior -> mechanism -> service / attack / verification, and
+assert the cross-module invariants the README promises.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    EUCLIDEAN,
+    MultiStepMechanism,
+    OptimalMechanism,
+    PlanarLaplaceMechanism,
+    RegularGrid,
+    empirical_prior,
+    load_gowalla_austin,
+    load_yelp_las_vegas,
+)
+from repro.attacks import optimal_inference_attack
+from repro.datasets.synthetic import generate_pois
+from repro.datasets.gowalla import austin_city_model
+from repro.eval import evaluate_mechanism
+from repro.lbs import LocationBasedService, POIStore
+from repro.privacy import (
+    BudgetAccountant,
+    verify_geoind,
+    verify_msm_composition,
+)
+
+
+class TestFullPipeline:
+    def test_readme_quickstart(self):
+        dataset = load_gowalla_austin(checkin_fraction=0.02)
+        grid = RegularGrid(dataset.bounds, 16)
+        prior = empirical_prior(grid, dataset.points(), smoothing=0.1)
+        msm = MultiStepMechanism.build(
+            epsilon=0.5, granularity=4, prior=prior
+        )
+        rng = np.random.default_rng(7)
+        reported = msm.sample(dataset.point(0), rng)
+        assert dataset.bounds.contains(reported)
+
+    def test_both_datasets_end_to_end(self, rng):
+        for loader in (load_gowalla_austin, load_yelp_las_vegas):
+            dataset = loader(checkin_fraction=0.02)
+            prior = empirical_prior(
+                RegularGrid(dataset.bounds, 9), dataset.points(),
+                smoothing=0.1,
+            )
+            msm = MultiStepMechanism.build(0.9, 3, prior, rho=0.8)
+            requests = dataset.sample_requests(100, rng)
+            result = evaluate_mechanism(
+                msm, requests, rng, metrics=(EUCLIDEAN,)
+            )
+            assert 0 < result.loss(EUCLIDEAN) < dataset.bounds.side
+
+    def test_msm_beats_pl_at_tight_privacy(self, small_dataset,
+                                           fine_prior, rng):
+        """The paper's headline claim, end to end."""
+        epsilon = 0.1
+        requests = small_dataset.sample_requests(400, rng)
+        msm = MultiStepMechanism.build(epsilon, 4, fine_prior)
+        pl = PlanarLaplaceMechanism(
+            epsilon,
+            grid=RegularGrid(small_dataset.bounds, msm.plan.leaf_granularity),
+        )
+        msm_loss = evaluate_mechanism(
+            msm, requests, rng, metrics=(EUCLIDEAN,)
+        ).loss(EUCLIDEAN)
+        pl_loss = evaluate_mechanism(
+            pl, requests, rng, metrics=(EUCLIDEAN,)
+        ).loss(EUCLIDEAN)
+        assert msm_loss < pl_loss / 1.5
+
+    def test_privacy_chain_flat_and_multistep(self, coarse_prior,
+                                              fine_prior):
+        """Both mechanism families pass their own verifier."""
+        opt = OptimalMechanism(0.5, coarse_prior)
+        assert verify_geoind(opt.matrix, 0.5).satisfied
+
+        msm = MultiStepMechanism.build(0.9, 3, fine_prior, rho=0.8)
+        assert verify_msm_composition(msm).satisfied
+
+    def test_service_quality_pipeline(self, small_dataset, fine_prior, rng):
+        store = POIStore.from_coordinates(
+            generate_pois(
+                austin_city_model().scaled(0.2), np.random.default_rng(0)
+            )
+        )
+        service = LocationBasedService(store)
+        msm = MultiStepMechanism.build(0.5, 4, fine_prior)
+        requests = small_dataset.sample_requests(60, rng)
+        report = service.evaluate_mechanism(msm, requests, rng, k=3)
+        assert report.n_queries == 60
+        assert report.mean_extra_distance < small_dataset.bounds.side
+
+    def test_attack_pipeline_on_opt(self, coarse_prior):
+        opt = OptimalMechanism(0.5, coarse_prior)
+        report = optimal_inference_attack(
+            opt.matrix, coarse_prior.probabilities
+        )
+        assert 0 <= report.identification_rate <= 1
+        assert report.expected_error <= report.prior_error + 1e-9
+
+    def test_budget_accounting_across_reports(self, fine_prior, rng):
+        """A user issuing several reports under one lifetime budget."""
+        accountant = BudgetAccountant(total=1.0)
+        x = fine_prior.grid.bounds.center
+        reports = []
+        while accountant.can_spend(0.3):
+            msm = MultiStepMechanism.build(0.3, 3, fine_prior)
+            reports.append(msm.sample(x, rng))
+            accountant.spend(0.3, "checkin")
+        assert len(reports) == 3
+        assert accountant.remaining == pytest.approx(0.1)
+
+    def test_offline_cache_makes_online_fast(self, fine_prior, rng):
+        msm = MultiStepMechanism.build(0.9, 3, fine_prior, rho=0.8)
+        msm.precompute()
+        lp_before = msm.lp_seconds
+        requests = [fine_prior.grid.bounds.center] * 200
+        result = evaluate_mechanism(
+            msm, requests, rng, metrics=(EUCLIDEAN,)
+        )
+        assert msm.lp_seconds == lp_before  # no online LP work
+        assert result.ms_per_query < 10.0

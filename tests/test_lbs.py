@@ -1,0 +1,124 @@
+"""Tests for the location-based-service simulation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DatasetError, EvaluationError
+from repro.geo.point import Point
+from repro.grid.regular import RegularGrid
+from repro.lbs import (
+    LocationBasedService,
+    POI,
+    POIStore,
+    required_radius_expansion,
+)
+from repro.mechanisms.planar_laplace import PlanarLaplaceMechanism
+
+
+@pytest.fixture
+def store() -> POIStore:
+    coords = np.array([
+        [1.0, 1.0], [2.0, 2.0], [3.0, 3.0], [10.0, 10.0], [10.5, 10.0],
+    ])
+    return POIStore.from_coordinates(coords, category="bar")
+
+
+class TestPOIStore:
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            POIStore([])
+
+    def test_from_coordinates(self, store):
+        assert len(store) == 5
+        assert store[0].category == "bar"
+        assert store[0].location == Point(1.0, 1.0)
+
+    def test_bounds(self, store):
+        b = store.bounds()
+        assert (b.min_x, b.min_y) == (1.0, 1.0)
+        assert (b.max_x, b.max_y) == (10.5, 10.0)
+
+    def test_knn_order(self, store):
+        result = store.knn(Point(0, 0), 3)
+        assert [p.poi_id for p in result] == [0, 1, 2]
+
+    def test_knn_k_capped_at_catalogue(self, store):
+        assert len(store.knn(Point(0, 0), 50)) == 5
+
+    def test_knn_validation(self, store):
+        with pytest.raises(DatasetError):
+            store.knn(Point(0, 0), 0)
+
+    def test_knn_matches_brute_force(self, rng):
+        coords = rng.uniform(0, 20, size=(200, 2))
+        store = POIStore.from_coordinates(coords)
+        q = Point(7.3, 12.1)
+        result = [p.poi_id for p in store.knn(q, 10)]
+        d = np.hypot(coords[:, 0] - q.x, coords[:, 1] - q.y)
+        expected = list(np.argsort(d)[:10])
+        assert result == expected
+
+    def test_within_radius(self, store):
+        result = store.within_radius(Point(1, 1), 1.5)
+        assert [p.poi_id for p in result] == [0, 1]
+        with pytest.raises(DatasetError):
+            store.within_radius(Point(1, 1), 0)
+
+
+class TestService:
+    def test_truthful_query_has_no_loss(self, store):
+        service = LocationBasedService(store)
+        outcome = service.evaluate_query(Point(0, 0), Point(0, 0), k=2)
+        assert outcome.extra_distance == 0.0
+        assert outcome.recall_at_k == 1.0
+
+    def test_displaced_query_pays(self, store):
+        service = LocationBasedService(store)
+        # User near poi 0, reported near poi 3/4 cluster.
+        outcome = service.evaluate_query(Point(1, 1), Point(10, 10), k=2)
+        assert outcome.extra_distance > 5.0
+        assert outcome.recall_at_k == 0.0
+
+    def test_evaluate_mechanism_report(self, store, square20, rng):
+        service = LocationBasedService(store)
+        grid = RegularGrid(square20, 8)
+        pl = PlanarLaplaceMechanism(1.0, grid=grid)
+        requests = [Point(1, 1), Point(2, 2), Point(10, 10)]
+        report = service.evaluate_mechanism(pl, requests, rng, k=2)
+        assert report.n_queries == 3
+        assert report.k == 2
+        assert report.mean_extra_distance >= 0
+        assert 0 <= report.mean_recall_at_k <= 1
+
+    def test_evaluate_mechanism_validation(self, store, rng):
+        service = LocationBasedService(store)
+        pl = PlanarLaplaceMechanism(1.0)
+        with pytest.raises(EvaluationError):
+            service.evaluate_mechanism(pl, [], rng)
+        with pytest.raises(EvaluationError):
+            service.evaluate_mechanism(pl, [Point(1, 1)], rng, k=0)
+
+    def test_tighter_privacy_costs_more_qos(self, store, square20, rng):
+        service = LocationBasedService(store)
+        grid = RegularGrid(square20, 8)
+        requests = [Point(1.2, 1.1)] * 150
+        strict = service.evaluate_mechanism(
+            PlanarLaplaceMechanism(0.2, grid=grid), requests, rng, k=2
+        )
+        loose = service.evaluate_mechanism(
+            PlanarLaplaceMechanism(3.0, grid=grid), requests, rng, k=2
+        )
+        assert loose.mean_extra_distance <= strict.mean_extra_distance
+
+
+class TestRadiusExpansion:
+    def test_no_displacement_no_expansion(self):
+        assert required_radius_expansion(Point(1, 1), Point(1, 1), 2.0) == 1.0
+
+    def test_expansion_formula(self):
+        factor = required_radius_expansion(Point(0, 0), Point(3, 4), 5.0)
+        assert factor == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(EvaluationError):
+            required_radius_expansion(Point(0, 0), Point(1, 1), 0.0)

@@ -1,0 +1,221 @@
+"""Unit and property tests for the LP substrate.
+
+The built-in simplex is cross-validated against HiGHS on fixed programs
+and on randomly generated feasible programs (hypothesis), which is what
+lets the rest of the library trust either backend interchangeably.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import (
+    InfeasibleProblemError,
+    SolverError,
+    UnboundedProblemError,
+)
+from repro.lp import (
+    BACKENDS,
+    LinearProgram,
+    LinearProgramBuilder,
+    LPStatus,
+    solve,
+    solve_or_raise,
+)
+
+
+def simple_lp() -> LinearProgram:
+    """min x + 2y  s.t.  x + y >= 1, x, y >= 0  ->  (1, 0), objective 1."""
+    b = LinearProgramBuilder(2)
+    b.set_objective({0: 1.0, 1: 2.0})
+    b.add_ge({0: 1.0, 1: 1.0}, 1.0)
+    return b.build()
+
+
+class TestBuilder:
+    def test_objective_dense_and_sparse_agree(self):
+        b1 = LinearProgramBuilder(3)
+        b1.set_objective(np.array([1.0, 0.0, 2.0]))
+        b2 = LinearProgramBuilder(3)
+        b2.set_objective({0: 1.0, 2: 2.0})
+        assert np.array_equal(b1.build().c, b2.build().c)
+
+    def test_variable_index_validation(self):
+        b = LinearProgramBuilder(2)
+        with pytest.raises(SolverError):
+            b.add_le({5: 1.0}, 1.0)
+        with pytest.raises(SolverError):
+            b.set_bounds(2, 0, 1)
+
+    def test_empty_constraint_rejected(self):
+        b = LinearProgramBuilder(2)
+        with pytest.raises(SolverError):
+            b.add_eq({}, 1.0)
+
+    def test_dimension_mismatches_rejected(self):
+        with pytest.raises(SolverError):
+            LinearProgram(c=np.array([]))
+        with pytest.raises(SolverError):
+            LinearProgram(
+                c=np.ones(2),
+                a_ub=np.ones((1, 3)),
+                b_ub=np.ones(1),
+            )
+        with pytest.raises(SolverError):
+            LinearProgram(c=np.ones(2), a_ub=np.ones((2, 2)), b_ub=np.ones(3))
+
+    def test_matrix_without_rhs_rejected(self):
+        with pytest.raises(SolverError):
+            LinearProgram(c=np.ones(2), a_ub=np.ones((1, 2)))
+
+    def test_inverted_bounds_rejected(self):
+        with pytest.raises(SolverError):
+            LinearProgram(c=np.ones(1), lb=np.array([2.0]), ub=np.array([1.0]))
+
+    def test_counts(self):
+        p = simple_lp()
+        assert p.n_vars == 2
+        assert p.n_constraints == 1
+
+
+class TestBackends:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_simple_lp_all_backends(self, backend):
+        result = solve(simple_lp(), backend=backend)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(1.0, abs=1e-8)
+        assert result.x[0] == pytest.approx(1.0, abs=1e-7)
+        assert result.x[1] == pytest.approx(0.0, abs=1e-7)
+
+    def test_unknown_backend(self):
+        with pytest.raises(SolverError, match="unknown LP backend"):
+            solve(simple_lp(), backend="cplex")
+
+    @pytest.mark.parametrize("backend", ["highs-ds", "simplex"])
+    def test_equality_constraints(self, backend):
+        # min x + y  s.t.  x + y = 2, x - y <= 0  ->  x = y = 1.
+        b = LinearProgramBuilder(2)
+        b.set_objective({0: 1.0, 1: 1.0})
+        b.add_eq({0: 1.0, 1: 1.0}, 2.0)
+        b.add_le({0: 1.0, 1: -1.0}, 0.0)
+        result = solve(b.build(), backend=backend)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(2.0, abs=1e-8)
+
+    @pytest.mark.parametrize("backend", ["highs-ds", "simplex"])
+    def test_infeasible_detected(self, backend):
+        b = LinearProgramBuilder(1)
+        b.set_objective({0: 1.0})
+        b.add_le({0: 1.0}, -1.0)  # x <= -1 with x >= 0
+        result = solve(b.build(), backend=backend)
+        assert result.status is LPStatus.INFEASIBLE
+        with pytest.raises(InfeasibleProblemError):
+            solve_or_raise(b.build(), backend=backend)
+
+    @pytest.mark.parametrize("backend", ["highs-ds", "simplex"])
+    def test_unbounded_detected(self, backend):
+        b = LinearProgramBuilder(1)
+        b.set_objective({0: -1.0})  # min -x, x >= 0, no other constraint
+        result = solve(b.build(), backend=backend)
+        assert result.status is LPStatus.UNBOUNDED
+        with pytest.raises(UnboundedProblemError):
+            solve_or_raise(b.build(), backend=backend)
+
+    @pytest.mark.parametrize("backend", ["highs-ds", "simplex"])
+    def test_upper_bounds(self, backend):
+        # min -x with x <= 3 via bounds.
+        b = LinearProgramBuilder(1)
+        b.set_objective({0: -1.0})
+        b.set_bounds(0, 0.0, 3.0)
+        result = solve(b.build(), backend=backend)
+        assert result.is_optimal
+        assert result.x[0] == pytest.approx(3.0, abs=1e-7)
+
+    @pytest.mark.parametrize("backend", ["highs-ds", "simplex"])
+    def test_nonzero_lower_bounds(self, backend):
+        # min x + y with x >= 1, y >= 2.
+        b = LinearProgramBuilder(2)
+        b.set_objective({0: 1.0, 1: 1.0})
+        b.set_bounds(0, 1.0)
+        b.set_bounds(1, 2.0)
+        result = solve(b.build(), backend=backend)
+        assert result.is_optimal
+        assert result.objective == pytest.approx(3.0, abs=1e-7)
+
+    def test_simplex_rejects_free_variables(self):
+        p = LinearProgram(c=np.ones(1), lb=np.array([-np.inf]))
+        with pytest.raises(SolverError, match="finite lower bounds"):
+            solve(p, backend="simplex")
+
+    def test_degenerate_stochastic_like_program(self):
+        """A tiny OPT-shaped program: massively degenerate equalities."""
+        n = 3
+        b = LinearProgramBuilder(n * n)
+        cost = {i * n + j: abs(i - j) for i in range(n) for j in range(n)}
+        b.set_objective(cost)
+        for i in range(n):
+            b.add_eq({i * n + j: 1.0 for j in range(n)}, 1.0)
+        for i in range(n):
+            for ip in range(n):
+                if i == ip:
+                    continue
+                for z in range(n):
+                    b.add_le(
+                        {i * n + z: 1.0, ip * n + z: -np.e ** abs(i - ip)},
+                        0.0,
+                    )
+        p = b.build()
+        r1 = solve(p, backend="highs-ds")
+        r2 = solve(p, backend="simplex")
+        assert r1.is_optimal and r2.is_optimal
+        assert r1.objective == pytest.approx(r2.objective, abs=1e-7)
+
+
+@st.composite
+def feasible_programs(draw):
+    """Random LPs guaranteed feasible: constraints are satisfied by x0."""
+    n = draw(st.integers(min_value=1, max_value=4))
+    m = draw(st.integers(min_value=0, max_value=4))
+    c = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=5),  # positive => bounded
+            min_size=n, max_size=n,
+        )
+    )
+    x0 = draw(
+        st.lists(
+            st.floats(min_value=0, max_value=3), min_size=n, max_size=n
+        )
+    )
+    rows = []
+    rhs = []
+    for _ in range(m):
+        coeffs = draw(
+            st.lists(
+                st.floats(min_value=-2, max_value=2), min_size=n, max_size=n
+            )
+        )
+        slack = draw(st.floats(min_value=0, max_value=2))
+        rows.append(coeffs)
+        rhs.append(float(np.dot(coeffs, x0)) + slack)
+    builder = LinearProgramBuilder(n)
+    builder.set_objective(np.asarray(c))
+    for coeffs, r in zip(rows, rhs):
+        row = {j: v for j, v in enumerate(coeffs) if v != 0.0}
+        if row:
+            builder.add_le(row, r)
+    return builder.build()
+
+
+class TestCrossValidation:
+    @given(feasible_programs())
+    @settings(max_examples=60, deadline=None)
+    def test_simplex_matches_highs_on_random_programs(self, program):
+        highs = solve(program, backend="highs-ds")
+        simplex = solve(program, backend="simplex")
+        assert highs.is_optimal
+        assert simplex.is_optimal
+        assert simplex.objective == pytest.approx(
+            highs.objective, rel=1e-6, abs=1e-6
+        )

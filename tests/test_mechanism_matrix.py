@@ -1,0 +1,183 @@
+"""Unit tests for repro.mechanisms.matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MechanismError
+from repro.geo.metric import EUCLIDEAN
+from repro.geo.point import Point
+from repro.mechanisms.matrix import MechanismMatrix
+
+
+def line_points(n: int) -> list[Point]:
+    return [Point(float(i), 0.0) for i in range(n)]
+
+
+@pytest.fixture
+def identity3() -> MechanismMatrix:
+    pts = line_points(3)
+    return MechanismMatrix(pts, pts, np.eye(3))
+
+
+class TestConstruction:
+    def test_shape_validation(self):
+        pts = line_points(3)
+        with pytest.raises(MechanismError):
+            MechanismMatrix(pts, pts, np.ones((2, 3)) / 3)
+
+    def test_non_stochastic_rejected(self):
+        pts = line_points(2)
+        with pytest.raises(MechanismError, match="stochastic"):
+            MechanismMatrix(pts, pts, np.array([[0.5, 0.4], [0.5, 0.5]]))
+
+    def test_negative_entries_rejected(self):
+        pts = line_points(2)
+        with pytest.raises(MechanismError, match="negative"):
+            MechanismMatrix(pts, pts, np.array([[1.1, -0.1], [0.5, 0.5]]))
+
+    def test_nan_rejected(self):
+        pts = line_points(2)
+        k = np.array([[np.nan, 1.0], [0.5, 0.5]])
+        with pytest.raises(MechanismError, match="non-finite"):
+            MechanismMatrix(pts, pts, k)
+
+    def test_lp_dust_is_cleaned(self):
+        """Tiny negatives from LP round-off are clipped and renormalised."""
+        pts = line_points(2)
+        k = np.array([[1.0 + 1e-9, -1e-9], [0.5, 0.5]])
+        m = MechanismMatrix(pts, pts, k)
+        assert (m.k >= 0).all()
+        assert m.k.sum(axis=1) == pytest.approx(np.ones(2))
+
+    def test_matrix_read_only(self, identity3):
+        with pytest.raises(ValueError):
+            identity3.k[0, 0] = 0.5
+
+
+class TestBehaviour:
+    def test_row_and_shape(self, identity3):
+        assert identity3.shape == (3, 3)
+        assert np.array_equal(identity3.row(1), [0, 1, 0])
+
+    def test_sampling_identity(self, identity3, rng):
+        for i in range(3):
+            assert identity3.sample(i, rng) == i
+            assert identity3.sample_point(i, rng) == line_points(3)[i]
+
+    def test_sampling_follows_row(self, rng):
+        pts = line_points(2)
+        m = MechanismMatrix(pts, pts, np.array([[0.8, 0.2], [0.2, 0.8]]))
+        draws = [m.sample(0, rng) for _ in range(3000)]
+        assert np.mean(draws) == pytest.approx(0.2, abs=0.03)
+
+    def test_expected_loss_identity_is_zero(self, identity3):
+        prior = np.ones(3) / 3
+        assert identity3.expected_loss(prior, EUCLIDEAN) == 0.0
+
+    def test_expected_loss_hand_computed(self):
+        pts = line_points(2)
+        m = MechanismMatrix(pts, pts, np.array([[0.5, 0.5], [0.0, 1.0]]))
+        prior = np.array([0.4, 0.6])
+        # loss = 0.4 * (0.5 * 1) + 0.6 * 0 = 0.2
+        assert m.expected_loss(prior, EUCLIDEAN) == pytest.approx(0.2)
+
+    def test_expected_loss_prior_validation(self, identity3):
+        with pytest.raises(MechanismError):
+            identity3.expected_loss(np.ones(2), EUCLIDEAN)
+
+    def test_output_distribution(self):
+        pts = line_points(2)
+        m = MechanismMatrix(pts, pts, np.array([[0.5, 0.5], [0.0, 1.0]]))
+        out = m.output_distribution(np.array([0.5, 0.5]))
+        assert out == pytest.approx([0.25, 0.75])
+
+    def test_stay_probabilities(self):
+        pts = line_points(2)
+        m = MechanismMatrix(pts, pts, np.array([[0.9, 0.1], [0.3, 0.7]]))
+        assert m.stay_probabilities() == pytest.approx([0.9, 0.7])
+
+    def test_stay_probabilities_requires_square(self):
+        m = MechanismMatrix(
+            line_points(2), line_points(3), np.ones((2, 3)) / 3
+        )
+        with pytest.raises(MechanismError):
+            m.stay_probabilities()
+
+
+class TestCompose:
+    def test_compose_is_matrix_product(self):
+        pts = line_points(2)
+        a = MechanismMatrix(pts, pts, np.array([[0.5, 0.5], [0.0, 1.0]]))
+        b = MechanismMatrix(pts, pts, np.array([[1.0, 0.0], [0.5, 0.5]]))
+        c = a.compose(b)
+        assert np.allclose(c.k, a.k @ b.k)
+
+    def test_compose_requires_matching_sets(self):
+        a = MechanismMatrix(
+            line_points(2), line_points(2), np.eye(2)
+        )
+        other = [Point(10, 10), Point(11, 11)]
+        b = MechanismMatrix(other, other, np.eye(2))
+        with pytest.raises(MechanismError, match="compose"):
+            a.compose(b)
+
+    def test_remap(self):
+        pts = line_points(3)
+        m = MechanismMatrix(pts, pts, np.eye(3))
+        remapped = m.with_remap(np.array([0, 0, 2]))
+        assert remapped.k[1, 0] == 1.0
+        assert remapped.k[2, 2] == 1.0
+
+    def test_remap_validation(self, identity3):
+        with pytest.raises(MechanismError):
+            identity3.with_remap(np.array([0, 1]))
+        with pytest.raises(MechanismError):
+            identity3.with_remap(np.array([0, 1, 5]))
+
+
+@st.composite
+def stochastic_matrices(draw):
+    n = draw(st.integers(min_value=1, max_value=5))
+    raw = draw(
+        st.lists(
+            st.lists(
+                st.floats(min_value=0.01, max_value=1.0),
+                min_size=n, max_size=n,
+            ),
+            min_size=n, max_size=n,
+        )
+    )
+    k = np.asarray(raw)
+    k /= k.sum(axis=1, keepdims=True)
+    return MechanismMatrix(line_points(n), line_points(n), k)
+
+
+class TestProperties:
+    @given(stochastic_matrices())
+    @settings(max_examples=50, deadline=None)
+    def test_rows_always_sum_to_one(self, m):
+        assert m.k.sum(axis=1) == pytest.approx(np.ones(m.shape[0]))
+
+    @given(stochastic_matrices(), stochastic_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_composition_preserves_stochasticity(self, a, b):
+        if a.shape[1] != b.shape[0]:
+            return
+        c = a.compose(b)
+        assert c.k.sum(axis=1) == pytest.approx(np.ones(c.shape[0]))
+
+    @given(stochastic_matrices())
+    @settings(max_examples=30, deadline=None)
+    def test_remap_to_best_cell_never_increases_loss(self, m):
+        """Deterministic argmin remap weakly improves expected loss."""
+        from repro.mechanisms.remap import remap_mechanism
+
+        n = m.shape[0]
+        prior = np.full(n, 1.0 / n)
+        before = m.expected_loss(prior, EUCLIDEAN)
+        after = remap_mechanism(m, prior, EUCLIDEAN).expected_loss(
+            prior, EUCLIDEAN
+        )
+        assert after <= before + 1e-9

@@ -1,0 +1,211 @@
+"""Tests for MSM's end-to-end matrix and what it unlocks.
+
+``MultiStepMechanism.to_matrix()`` turns the walk into a first-class
+discrete mechanism, so remapping, attacks and exact losses compose with
+it — plus closed-form PL anchors and per-user priors.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MechanismError, PriorError
+from repro.geo.metric import EUCLIDEAN
+from repro.geo.point import Point
+from repro.grid.kdtree import KDTreeIndex
+from repro.grid.regular import RegularGrid
+from repro.attacks import optimal_inference_attack
+from repro.mechanisms import expected_loss_continuous, remap_mechanism
+from repro.mechanisms.planar_laplace import sample_planar_laplace
+from repro.priors import (
+    GridPrior,
+    aggregate_prior,
+    empirical_prior_for_user,
+)
+from repro.core.msm import MultiStepMechanism
+from repro.privacy import verify_msm_composition
+
+
+@pytest.fixture(scope="module")
+def msm2(fine_prior):
+    msm = MultiStepMechanism.build(0.9, 3, fine_prior, rho=0.8)
+    assert msm.height == 2
+    return msm
+
+
+@pytest.fixture(scope="module")
+def msm2_matrix(msm2):
+    return msm2.to_matrix()
+
+
+class TestToMatrix:
+    def test_square_over_leaf_cells(self, msm2, msm2_matrix):
+        assert msm2_matrix.shape == (81, 81)
+        leaf = msm2.index.level_grid(2)
+        assert msm2_matrix.inputs == leaf.centers()
+
+    def test_rows_stochastic(self, msm2_matrix):
+        assert msm2_matrix.k.sum(axis=1) == pytest.approx(np.ones(81))
+
+    def test_matches_reported_distribution(self, msm2, msm2_matrix):
+        leaf = msm2.index.level_grid(2)
+        x = leaf.cell(4, 4).center
+        i = leaf.locate(x).index
+        points, probs = msm2.reported_distribution(x)
+        rebuilt = np.zeros(81)
+        for p, mass in zip(points, probs):
+            rebuilt[leaf.locate(p).index] += mass
+        assert np.allclose(msm2_matrix.k[i], rebuilt)
+
+    def test_matrix_loss_matches_expected_loss(self, msm2, msm2_matrix):
+        leaf = msm2.index.level_grid(2)
+        x = leaf.cell(2, 6).center
+        i = leaf.locate(x).index
+        row_loss = float(
+            msm2_matrix.k[i]
+            @ EUCLIDEAN.pairwise([x], msm2_matrix.outputs)[0]
+        )
+        assert row_loss == pytest.approx(msm2.expected_loss(x), abs=1e-9)
+
+    def test_requires_hierarchical_grid(self, fine_prior, small_dataset,
+                                        rng):
+        sample = small_dataset.sample_requests(200, rng)
+        index = KDTreeIndex(small_dataset.bounds, sample, max_depth=2)
+        msm = MultiStepMechanism(index, (0.2, 0.2), fine_prior)
+        with pytest.raises(MechanismError, match="HierarchicalGrid"):
+            msm.to_matrix()
+
+
+class TestRemapAndAttackOnMSM:
+    def test_remap_never_hurts_msm(self, msm2, msm2_matrix, fine_prior):
+        leaf_prior = aggregate_prior(
+            fine_prior, msm2.index.level_grid(2)
+        ).probabilities
+        before = msm2_matrix.expected_loss(leaf_prior, EUCLIDEAN)
+        after = remap_mechanism(
+            msm2_matrix, leaf_prior, EUCLIDEAN
+        ).expected_loss(leaf_prior, EUCLIDEAN)
+        assert after <= before + 1e-12
+
+    def test_attack_on_msm_bounded_by_blind_guess(self, msm2, msm2_matrix,
+                                                  fine_prior):
+        leaf_prior = aggregate_prior(
+            fine_prior, msm2.index.level_grid(2)
+        ).probabilities
+        report = optimal_inference_attack(msm2_matrix, leaf_prior)
+        assert report.expected_error <= report.prior_error + 1e-9
+        assert 0 <= report.identification_rate <= 1
+
+    def test_tighter_msm_resists_attack_better(self, fine_prior):
+        errors = []
+        for eps in (0.2, 2.0):
+            msm = MultiStepMechanism.build(eps, 3, fine_prior, rho=0.8)
+            matrix = msm.to_matrix()
+            prior = np.full(matrix.shape[0], 1.0 / matrix.shape[0])
+            errors.append(
+                optimal_inference_attack(matrix, prior).expected_error
+            )
+        assert errors[0] > errors[1]
+
+
+class TestMSMCompositionProperty:
+    @given(
+        st.floats(min_value=0.3, max_value=2.0),
+        st.sampled_from([2, 3]),
+        st.floats(min_value=0.5, max_value=0.9),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_random_configs_obey_bound(self, epsilon, g, rho):
+        from repro.geo.bbox import BoundingBox
+
+        bounds = BoundingBox.square(Point(0.0, 0.0), 20.0)
+        prior = GridPrior.uniform(RegularGrid(bounds, g * g))
+        msm = MultiStepMechanism.build(
+            epsilon, g, prior, rho=rho, max_height=2
+        )
+        report = verify_msm_composition(msm)
+        assert report.satisfied, (epsilon, g, rho, report.worst_margin)
+
+
+class TestPLClosedForms:
+    def test_mean_radius(self, rng):
+        eps = 0.8
+        x = Point(0, 0)
+        mc = np.mean([
+            x.distance_to(sample_planar_laplace(x, eps, rng))
+            for _ in range(6000)
+        ])
+        assert mc == pytest.approx(expected_loss_continuous(eps), rel=0.05)
+
+    def test_mean_squared_radius(self, rng):
+        eps = 0.8
+        x = Point(0, 0)
+        mc = np.mean([
+            x.squared_distance_to(sample_planar_laplace(x, eps, rng))
+            for _ in range(8000)
+        ])
+        assert mc == pytest.approx(
+            expected_loss_continuous(eps, "squared_euclidean"), rel=0.1
+        )
+
+    def test_validation(self):
+        with pytest.raises(MechanismError):
+            expected_loss_continuous(0.0)
+        with pytest.raises(MechanismError, match="closed form"):
+            expected_loss_continuous(1.0, "manhattan")
+
+
+class TestUserPriors:
+    def test_user_prior_concentrates_on_their_cells(self, small_dataset):
+        grid = RegularGrid(small_dataset.bounds, 8)
+        uid = int(small_dataset.user_ids[0])
+        prior = empirical_prior_for_user(
+            small_dataset, uid, grid, smoothing=0.0
+        )
+        mask = small_dataset.user_ids == uid
+        own_points = small_dataset.xy[mask]
+        own_cells = {
+            grid.locate(Point(float(x), float(y))).index
+            for x, y in own_points
+        }
+        support = set(np.nonzero(prior.probabilities > 0)[0])
+        assert support == own_cells
+
+    def test_unknown_user_without_smoothing_raises(self, small_dataset):
+        grid = RegularGrid(small_dataset.bounds, 8)
+        with pytest.raises(PriorError):
+            empirical_prior_for_user(
+                small_dataset, -99, grid, smoothing=0.0
+            )
+
+    def test_unknown_user_with_smoothing_is_uniform(self, small_dataset):
+        grid = RegularGrid(small_dataset.bounds, 8)
+        prior = empirical_prior_for_user(small_dataset, -99, grid)
+        assert np.allclose(prior.probabilities, 1 / 64)
+
+    def test_personal_opt_beats_global_opt_for_that_user(
+        self, small_dataset
+    ):
+        """Tuning OPT to a user's own prior lowers that user's loss."""
+        from repro.mechanisms import OptimalMechanism
+        from repro.priors import empirical_prior
+
+        grid = RegularGrid(small_dataset.bounds, 3)
+        uid = int(small_dataset.user_ids[0])
+        personal = empirical_prior_for_user(
+            small_dataset, uid, grid, smoothing=0.01
+        )
+        global_prior = empirical_prior(
+            grid, small_dataset.points(), smoothing=0.01
+        )
+        eps = 0.5
+        opt_personal = OptimalMechanism(eps, personal)
+        opt_global = OptimalMechanism(eps, global_prior)
+        loss_personal = opt_personal.matrix.expected_loss(
+            personal.probabilities, EUCLIDEAN
+        )
+        loss_global = opt_global.matrix.expected_loss(
+            personal.probabilities, EUCLIDEAN
+        )
+        assert loss_personal <= loss_global + 1e-9

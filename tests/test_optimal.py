@@ -1,0 +1,180 @@
+"""Unit tests for the optimal mechanism (OPT)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import MechanismError, SolverError
+from repro.geo.metric import EUCLIDEAN, SQUARED_EUCLIDEAN
+from repro.geo.point import Point
+from repro.grid.regular import RegularGrid
+from repro.mechanisms.exponential import exponential_matrix
+from repro.mechanisms.optimal import (
+    OptimalMechanism,
+    build_optimal_program,
+    optimal_mechanism_from_locations,
+)
+from repro.mechanisms.planar_laplace import planar_laplace_matrix
+from repro.priors.base import GridPrior
+from repro.privacy import verify_geoind
+
+
+def line(n: int) -> list[Point]:
+    return [Point(float(i), 0.0) for i in range(n)]
+
+
+class TestProgramConstruction:
+    def test_variable_and_constraint_counts(self):
+        pts = line(4)
+        prior = np.full(4, 0.25)
+        program = build_optimal_program(0.5, pts, prior, EUCLIDEAN)
+        assert program.n_vars == 16
+        # n^2 (n-1) GeoInd rows + n equality rows.
+        assert program.a_ub.shape[0] == 16 * 3
+        assert program.a_eq.shape[0] == 4
+
+    def test_restricted_constraint_pairs(self):
+        pts = line(4)
+        prior = np.full(4, 0.25)
+        pairs = [(0, 1), (1, 0)]
+        program = build_optimal_program(
+            0.5, pts, prior, EUCLIDEAN, constraint_pairs=pairs
+        )
+        assert program.a_ub.shape[0] == 2 * 4
+
+    def test_validation(self):
+        with pytest.raises(MechanismError):
+            build_optimal_program(0.0, line(2), np.ones(2) / 2, EUCLIDEAN)
+        with pytest.raises(MechanismError):
+            build_optimal_program(0.5, [], np.ones(0), EUCLIDEAN)
+        with pytest.raises(MechanismError):
+            build_optimal_program(0.5, line(2), np.ones(3), EUCLIDEAN)
+        with pytest.raises(MechanismError):
+            build_optimal_program(
+                0.5, line(2), np.ones(2) / 2, EUCLIDEAN,
+                constraint_pairs=[(0, 5)],
+            )
+
+
+class TestOptimality:
+    def test_two_point_closed_form(self):
+        """For two locations at distance d, the optimal diagonal is
+        e^(eps d) / (1 + e^(eps d)) under a uniform prior."""
+        eps, d = 0.8, 1.0
+        pts = line(2)
+        res = optimal_mechanism_from_locations(
+            eps, pts, np.array([0.5, 0.5]), EUCLIDEAN
+        )
+        expected = np.exp(eps * d) / (1 + np.exp(eps * d))
+        diag = np.diag(res.matrix.k)
+        assert diag == pytest.approx([expected, expected], abs=1e-6)
+
+    def test_satisfies_geoind_tightly(self, uniform3):
+        opt = OptimalMechanism(0.5, uniform3)
+        report = verify_geoind(opt.matrix, 0.5)
+        assert report.satisfied
+        # The optimum saturates its constraints.
+        assert report.epsilon_tight == pytest.approx(0.5, rel=1e-3)
+
+    def test_beats_exponential_and_pl_matrices(self, coarse_prior):
+        """OPT's expected loss is the minimum over GeoInd mechanisms."""
+        eps = 0.5
+        grid = coarse_prior.grid
+        opt = OptimalMechanism(eps, coarse_prior)
+        opt_loss = opt.matrix.expected_loss(
+            coarse_prior.probabilities, EUCLIDEAN
+        )
+        for rival in (
+            exponential_matrix(grid, eps),
+            planar_laplace_matrix(grid, eps),
+        ):
+            rival_loss = rival.expected_loss(
+                coarse_prior.probabilities, EUCLIDEAN
+            )
+            assert opt_loss <= rival_loss + 1e-9
+
+    def test_objective_equals_matrix_expected_loss(self, coarse_prior):
+        opt = OptimalMechanism(0.5, coarse_prior)
+        assert opt.result.expected_loss == pytest.approx(
+            opt.matrix.expected_loss(coarse_prior.probabilities, EUCLIDEAN),
+            abs=1e-8,
+        )
+
+    def test_loss_decreases_with_epsilon(self, coarse_prior):
+        losses = [
+            OptimalMechanism(eps, coarse_prior).result.expected_loss
+            for eps in (0.1, 0.5, 1.0)
+        ]
+        assert losses[0] >= losses[1] >= losses[2]
+
+    def test_squared_euclidean_objective(self, coarse_prior):
+        opt = OptimalMechanism(0.5, coarse_prior, dq=SQUARED_EUCLIDEAN)
+        report = verify_geoind(opt.matrix, 0.5)
+        assert report.satisfied
+        # d2-optimised mechanism should beat d-optimised on d2 loss.
+        opt_d = OptimalMechanism(0.5, coarse_prior, dq=EUCLIDEAN)
+        assert opt.matrix.expected_loss(
+            coarse_prior.probabilities, SQUARED_EUCLIDEAN
+        ) <= opt_d.matrix.expected_loss(
+            coarse_prior.probabilities, SQUARED_EUCLIDEAN
+        ) + 1e-9
+
+    def test_prior_tilts_output(self, square20):
+        """A concentrated prior pulls reported mass towards its mode."""
+        grid = RegularGrid(square20, 3)
+        probs = np.full(9, 0.01)
+        probs[4] = 0.92
+        prior = GridPrior(grid, probs)
+        opt = OptimalMechanism(0.3, prior)
+        out = opt.matrix.output_distribution(prior.probabilities)
+        assert out[4] == out.max()
+
+    def test_single_location_degenerate(self):
+        res = optimal_mechanism_from_locations(
+            0.5, [Point(0, 0)], np.ones(1), EUCLIDEAN
+        )
+        assert res.matrix.k == pytest.approx(np.ones((1, 1)))
+
+    def test_backends_agree(self, uniform3):
+        a = OptimalMechanism(0.5, uniform3, backend="highs-ds")
+        b = OptimalMechanism(0.5, uniform3, backend="highs-ipm")
+        assert a.result.expected_loss == pytest.approx(
+            b.result.expected_loss, abs=1e-6
+        )
+
+    def test_simplex_backend_on_tiny_instance(self, square20):
+        grid = RegularGrid(square20, 2)
+        prior = GridPrior.uniform(grid)
+        a = OptimalMechanism(0.5, prior, backend="simplex")
+        b = OptimalMechanism(0.5, prior, backend="highs-ds")
+        assert a.result.expected_loss == pytest.approx(
+            b.result.expected_loss, abs=1e-7
+        )
+
+    def test_time_limit_raises(self, small_dataset):
+        """An absurdly small time limit must surface as SolverError."""
+        grid = RegularGrid(small_dataset.bounds, 7)
+        prior = GridPrior.uniform(grid)
+        with pytest.raises(SolverError):
+            OptimalMechanism(0.5, prior, time_limit=1e-4)
+
+    def test_grid_mechanism_sampling(self, coarse_prior, rng):
+        opt = OptimalMechanism(0.5, coarse_prior)
+        centers = {c.as_tuple() for c in coarse_prior.grid.centers()}
+        z = opt.sample(Point(1.0, 1.0), rng)
+        assert z.as_tuple() in centers
+
+
+class TestSpannerMode:
+    def test_spanner_reduces_constraints_and_keeps_privacy(self, uniform3):
+        exact = OptimalMechanism(0.5, uniform3)
+        spanner = OptimalMechanism(0.5, uniform3, spanner_dilation=1.5)
+        assert spanner.result.n_constraints < exact.result.n_constraints
+        assert verify_geoind(spanner.matrix, 0.5).satisfied
+
+    def test_spanner_utility_never_better_than_exact(self, uniform3):
+        """Running edges at eps/dilation is conservative: loss >= exact."""
+        exact = OptimalMechanism(0.5, uniform3).result.expected_loss
+        reduced = OptimalMechanism(
+            0.5, uniform3, spanner_dilation=1.5
+        ).result.expected_loss
+        assert reduced >= exact - 1e-9

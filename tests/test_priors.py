@@ -1,0 +1,186 @@
+"""Unit tests for repro.priors."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PriorError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.grid.hierarchy import HierarchicalGrid
+from repro.grid.regular import RegularGrid
+from repro.priors import (
+    GridPrior,
+    aggregate_mass,
+    aggregate_prior,
+    empirical_prior,
+    expected_distance_to_center,
+    restrict_prior,
+)
+
+
+@pytest.fixture
+def grid4(square20) -> RegularGrid:
+    return RegularGrid(square20, 4)
+
+
+class TestGridPrior:
+    def test_normalisation(self, grid4):
+        prior = GridPrior(grid4, np.arange(16, dtype=float))
+        assert prior.probabilities.sum() == pytest.approx(1.0)
+
+    def test_shape_validation(self, grid4):
+        with pytest.raises(PriorError):
+            GridPrior(grid4, np.ones(7))
+
+    def test_negative_mass_rejected(self, grid4):
+        probs = np.ones(16)
+        probs[3] = -0.1
+        with pytest.raises(PriorError):
+            GridPrior(grid4, probs)
+
+    def test_zero_mass_rejected(self, grid4):
+        with pytest.raises(PriorError):
+            GridPrior(grid4, np.zeros(16))
+
+    def test_nan_rejected(self, grid4):
+        probs = np.ones(16)
+        probs[0] = np.nan
+        with pytest.raises(PriorError):
+            GridPrior(grid4, probs)
+
+    def test_probabilities_read_only(self, grid4):
+        prior = GridPrior.uniform(grid4)
+        with pytest.raises(ValueError):
+            prior.probabilities[0] = 0.5
+
+    def test_uniform(self, grid4):
+        prior = GridPrior.uniform(grid4)
+        assert prior[0] == pytest.approx(1 / 16)
+        assert prior.entropy() == pytest.approx(4.0)  # log2(16)
+
+    def test_from_counts_with_smoothing(self, grid4):
+        counts = np.zeros(16)
+        counts[5] = 10
+        prior = GridPrior.from_counts(grid4, counts, smoothing=1.0)
+        assert prior[5] == pytest.approx(11 / 26)
+        assert prior[0] == pytest.approx(1 / 26)
+
+    def test_from_counts_rejects_negative_smoothing(self, grid4):
+        with pytest.raises(PriorError):
+            GridPrior.from_counts(grid4, np.ones(16), smoothing=-1)
+
+    def test_max_cell(self, grid4):
+        counts = np.ones(16)
+        counts[9] = 5
+        assert GridPrior.from_counts(grid4, counts).max_cell() == 9
+
+    def test_sample_cell_follows_distribution(self, grid4, rng):
+        probs = np.zeros(16)
+        probs[2] = 0.75
+        probs[7] = 0.25
+        prior = GridPrior(grid4, probs)
+        draws = [prior.sample_cell(rng) for _ in range(2000)]
+        assert set(draws) <= {2, 7}
+        assert np.mean([d == 2 for d in draws]) == pytest.approx(0.75, abs=0.05)
+
+    def test_total_variation(self, grid4):
+        a = GridPrior.uniform(grid4)
+        probs = np.zeros(16)
+        probs[0] = 1.0
+        b = GridPrior(grid4, probs)
+        assert a.total_variation_distance(a) == 0.0
+        assert a.total_variation_distance(b) == pytest.approx(15 / 16)
+
+    def test_tv_requires_same_grid_size(self, grid4, square20):
+        other = GridPrior.uniform(RegularGrid(square20, 3))
+        with pytest.raises(PriorError):
+            GridPrior.uniform(grid4).total_variation_distance(other)
+
+
+class TestEmpirical:
+    def test_counts_where_points_fall(self, grid4):
+        pts = [Point(1, 1)] * 3 + [Point(19, 19)]
+        prior = empirical_prior(grid4, pts)
+        assert prior[0] == pytest.approx(0.75)
+        assert prior[15] == pytest.approx(0.25)
+
+    def test_no_points_no_smoothing_raises(self, grid4):
+        with pytest.raises(PriorError):
+            empirical_prior(grid4, [])
+
+    def test_no_points_with_smoothing_is_uniform(self, grid4):
+        prior = empirical_prior(grid4, [], smoothing=1.0)
+        assert np.allclose(prior.probabilities, 1 / 16)
+
+
+class TestAggregation:
+    def test_aggregate_to_coarser_grid_preserves_mass(self, square20):
+        fine = RegularGrid(square20, 8)
+        coarse = RegularGrid(square20, 2)
+        rng = np.random.default_rng(0)
+        prior = GridPrior(fine, rng.uniform(0.1, 1.0, fine.n_cells))
+        mass = aggregate_mass(prior, coarse)
+        assert mass.sum() == pytest.approx(1.0)
+
+    def test_aggregate_exact_on_nested_grids(self, square20):
+        fine = RegularGrid(square20, 4)
+        coarse = RegularGrid(square20, 2)
+        probs = np.zeros(16)
+        probs[grid_index(fine, Point(1, 1))] = 1.0
+        prior = GridPrior(fine, probs)
+        mass = aggregate_mass(prior, coarse)
+        assert mass[0] == pytest.approx(1.0)
+
+    def test_aggregate_prior_renormalises(self, square20):
+        fine = RegularGrid(square20, 8)
+        node_box = BoundingBox(0, 0, 10, 10)
+        sub = RegularGrid(node_box, 2)
+        prior = GridPrior.uniform(fine)
+        restricted = aggregate_prior(prior, sub)
+        assert restricted.probabilities.sum() == pytest.approx(1.0)
+        # The quarter domain holds 16 of 64 fine cells, uniformly.
+        assert np.allclose(restricted.probabilities, 0.25)
+
+    def test_restrict_prior_zero_mass_falls_back_to_uniform(self, square20):
+        fine = RegularGrid(square20, 8)
+        probs = np.zeros(64)
+        probs[63] = 1.0  # all mass in the far corner
+        prior = GridPrior(fine, probs)
+        sub = RegularGrid(BoundingBox(0, 0, 2.5, 2.5), 2)
+        restricted = restrict_prior(prior, sub)
+        assert np.allclose(restricted.probabilities, 0.25)
+
+    def test_restriction_matches_hierarchy_subgrids(self, square20):
+        """Aggregating a fine prior into GIHI subgrids conserves mass."""
+        index = HierarchicalGrid(square20, 3, 2)
+        fine = RegularGrid(square20, 9)
+        rng = np.random.default_rng(1)
+        prior = GridPrior(fine, rng.uniform(0.1, 1, fine.n_cells))
+        total = 0.0
+        for node in index.children(index.root):
+            total += aggregate_mass(prior, index.subgrid(node)).sum()
+        assert total == pytest.approx(1.0)
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=10, deadline=None)
+    def test_aggregation_idempotent_on_same_grid(self, g):
+        box = BoundingBox(0, 0, 20, 20)
+        grid = RegularGrid(box, g)
+        rng = np.random.default_rng(g)
+        prior = GridPrior(grid, rng.uniform(0.1, 1, grid.n_cells))
+        again = aggregate_prior(prior, grid)
+        assert np.allclose(again.probabilities, prior.probabilities)
+
+
+def grid_index(grid: RegularGrid, p: Point) -> int:
+    return grid.locate(p).index
+
+
+class TestExpectedSnap:
+    def test_matches_grid_estimate(self, grid4):
+        prior = GridPrior.uniform(grid4)
+        assert expected_distance_to_center(prior) == pytest.approx(
+            grid4.expected_snap_distance()
+        )

@@ -1,0 +1,183 @@
+"""Tests for GeoInd verification, composition and the MSM privacy bound."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import BudgetError, PrivacyViolationError
+from repro.geo.metric import EUCLIDEAN
+from repro.geo.point import Point
+from repro.grid.regular import RegularGrid
+from repro.mechanisms.exponential import exponential_matrix
+from repro.mechanisms.matrix import MechanismMatrix
+from repro.core.msm import MultiStepMechanism
+from repro.privacy import (
+    BudgetAccountant,
+    assert_geoind,
+    empirical_epsilon,
+    hierarchical_bound,
+    sequential_composition,
+    verify_geoind,
+    verify_msm_composition,
+)
+
+
+def line(n):
+    return [Point(float(i), 0.0) for i in range(n)]
+
+
+class TestEmpiricalEpsilon:
+    def test_two_point_hand_computed(self):
+        pts = line(2)
+        k = np.array([[0.8, 0.2], [0.2, 0.8]])
+        m = MechanismMatrix(pts, pts, k)
+        eps, triple = empirical_epsilon(m)
+        assert eps == pytest.approx(np.log(4.0))
+        assert triple is not None
+
+    def test_uniform_mechanism_is_zero_epsilon(self):
+        pts = line(3)
+        m = MechanismMatrix(pts, pts, np.full((3, 3), 1 / 3))
+        eps, _ = empirical_epsilon(m)
+        assert eps == pytest.approx(0.0, abs=1e-12)
+
+    def test_deterministic_distinct_outputs_is_infinite(self):
+        pts = line(2)
+        m = MechanismMatrix(pts, pts, np.eye(2))
+        eps, triple = empirical_epsilon(m)
+        assert eps == float("inf")
+        assert triple is not None
+
+    def test_single_row_is_zero(self):
+        pts = line(1)
+        m = MechanismMatrix(pts, pts, np.ones((1, 1)))
+        assert empirical_epsilon(m)[0] == 0.0
+
+    def test_worst_triple_realises_the_ratio(self, square20):
+        grid = RegularGrid(square20, 3)
+        m = exponential_matrix(grid, 0.7)
+        eps, (i, j, z) = empirical_epsilon(m)
+        d = grid.centers()[i].distance_to(grid.centers()[j])
+        realised = np.log(m.k[i, z] / m.k[j, z]) / d
+        assert realised == pytest.approx(eps, rel=1e-9)
+
+
+class TestVerify:
+    def test_verify_accepts_valid_claim(self, square20):
+        m = exponential_matrix(RegularGrid(square20, 3), 0.5)
+        report = verify_geoind(m, 0.5)
+        assert report.satisfied
+        assert report.slack >= 0
+
+    def test_verify_rejects_overclaim(self, square20):
+        m = exponential_matrix(RegularGrid(square20, 3), 0.5)
+        tight = verify_geoind(m, 0.5).epsilon_tight
+        report = verify_geoind(m, tight / 2)
+        assert not report.satisfied
+
+    def test_assert_raises_on_violation(self, square20):
+        m = exponential_matrix(RegularGrid(square20, 3), 0.5)
+        with pytest.raises(PrivacyViolationError):
+            assert_geoind(m, 0.01)
+
+    def test_assert_returns_report_on_success(self, square20):
+        m = exponential_matrix(RegularGrid(square20, 3), 0.5)
+        assert assert_geoind(m, 0.5).satisfied
+
+
+class TestComposition:
+    def test_sequential_sum(self):
+        assert sequential_composition([0.1, 0.2, 0.3]) == pytest.approx(0.6)
+
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            sequential_composition([])
+        with pytest.raises(BudgetError):
+            sequential_composition([0.1, 0.0])
+
+    def test_composed_matrices_satisfy_summed_epsilon(self, square20):
+        """Numerical check of the composability property on one grid."""
+        grid = RegularGrid(square20, 3)
+        m1 = exponential_matrix(grid, 0.3)
+        m2 = exponential_matrix(grid, 0.4)
+        composed = m1.compose(m2)
+        assert verify_geoind(composed, 0.7).satisfied
+
+
+class TestAccountant:
+    def test_spend_and_remaining(self):
+        acc = BudgetAccountant(total=1.0)
+        acc.spend(0.3, "report-1")
+        acc.spend(0.2, "report-2")
+        assert acc.spent == pytest.approx(0.5)
+        assert acc.remaining == pytest.approx(0.5)
+        assert [label for label, _ in acc.spent_items] == [
+            "report-1", "report-2",
+        ]
+
+    def test_overdraft_refused(self):
+        acc = BudgetAccountant(total=0.5)
+        acc.spend(0.4)
+        assert not acc.can_spend(0.2)
+        with pytest.raises(BudgetError, match="exhausted"):
+            acc.spend(0.2)
+
+    def test_exact_exhaustion_allowed(self):
+        acc = BudgetAccountant(total=0.5)
+        acc.spend(0.5)
+        assert acc.remaining == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(BudgetError):
+            BudgetAccountant(total=0.0)
+        with pytest.raises(BudgetError):
+            BudgetAccountant(total=1.0).spend(-0.1)
+
+
+class TestMSMComposition:
+    def test_two_level_msm_obeys_hierarchical_bound(self, fine_prior):
+        msm = MultiStepMechanism.build(0.9, 3, fine_prior, rho=0.8)
+        assert msm.height == 2
+        report = verify_msm_composition(msm)
+        assert report.satisfied
+        assert report.n_pairs == 81 * 80
+
+    def test_single_level_msm_is_plain_opt_bound(self, fine_prior):
+        msm = MultiStepMechanism.build(0.4, 3, fine_prior, rho=0.8)
+        assert msm.height == 1
+        report = verify_msm_composition(msm)
+        assert report.satisfied
+
+    def test_uniform_prior_msm_obeys_bound(self, square20):
+        from repro.priors.base import GridPrior
+
+        prior = GridPrior.uniform(RegularGrid(square20, 9))
+        msm = MultiStepMechanism.build(1.0, 3, prior, rho=0.8)
+        report = verify_msm_composition(msm)
+        assert report.satisfied
+
+    def test_hierarchical_bound_structure(self, fine_prior):
+        msm = MultiStepMechanism.build(0.9, 3, fine_prior, rho=0.8)
+        index = msm.index
+        leaf = index.level_grid(2)
+        a = leaf.cell(0, 0).center
+        b = leaf.cell(0, 1).center  # same level-1 parent
+        c = leaf.cell(0, 8).center  # different level-1 parent
+        bound_near = hierarchical_bound(msm, a, b)
+        bound_far = hierarchical_bound(msm, a, c)
+        # Same-parent pair: eps_2 * leaf distance only (level-1 cells equal).
+        assert bound_near == pytest.approx(
+            msm.budgets[1] * a.distance_to(b)
+        )
+        assert bound_far > bound_near
+
+    def test_bound_requires_hierarchical_grid(self, fine_prior,
+                                              small_dataset, rng):
+        from repro.grid.kdtree import KDTreeIndex
+
+        sample = small_dataset.sample_requests(200, rng)
+        index = KDTreeIndex(small_dataset.bounds, sample, max_depth=2)
+        msm = MultiStepMechanism(index, (0.2, 0.2), fine_prior)
+        with pytest.raises(TypeError):
+            hierarchical_bound(msm, Point(1, 1), Point(2, 2))
+        with pytest.raises(TypeError):
+            verify_msm_composition(msm)

@@ -1,0 +1,91 @@
+"""Unit tests for the trend-shape helpers."""
+
+import pytest
+
+from repro.exceptions import EvaluationError
+from repro.eval.shapes import (
+    crossover_index,
+    dominates,
+    gap_ratios,
+    is_decreasing,
+    is_increasing,
+    is_u_shaped,
+)
+
+
+class TestMonotone:
+    def test_strictly_decreasing(self):
+        assert is_decreasing([5, 4, 3, 1])
+        assert not is_decreasing([5, 4, 4.5, 1])
+
+    def test_tolerance_absorbs_noise(self):
+        # One 4% uptick is fine at 5% tolerance.
+        assert is_decreasing([5.0, 4.0, 4.15, 1.0], tolerance=0.05)
+        assert not is_decreasing([5.0, 4.0, 4.5, 1.0], tolerance=0.05)
+
+    def test_overall_direction_required(self):
+        # Flat series is not decreasing even with tolerance.
+        assert not is_decreasing([3.0, 3.0, 3.0], tolerance=0.1)
+
+    def test_increasing_mirror(self):
+        assert is_increasing([1, 2, 4])
+        assert not is_increasing([1, 2, 1.5])
+        assert is_increasing([1.0, 0.97, 2.0], tolerance=0.05)
+
+    def test_too_short(self):
+        with pytest.raises(EvaluationError):
+            is_decreasing([1.0])
+
+
+class TestUShape:
+    def test_clean_u(self):
+        assert is_u_shaped([5, 3, 2, 3.5, 6])
+
+    def test_monotone_is_not_u(self):
+        assert not is_u_shaped([5, 4, 3, 2, 1])
+        assert not is_u_shaped([1, 2, 3, 4, 5])
+
+    def test_minimum_at_edge_is_not_u(self):
+        assert not is_u_shaped([1, 2, 3, 2.5, 2.9])
+
+    def test_needs_three_points(self):
+        assert not is_u_shaped([2, 1])
+
+    def test_noisy_u_with_tolerance(self):
+        assert is_u_shaped([5, 3.0, 3.05, 2.0, 3.0, 6.0], tolerance=0.05)
+
+
+class TestDominance:
+    def test_dominates(self):
+        assert dominates([1, 2, 3], [2, 3, 4])
+        assert not dominates([1, 5, 3], [2, 3, 4])
+
+    def test_min_ratio(self):
+        assert dominates([1, 1], [3, 2.5], min_ratio=2.0)
+        assert not dominates([1, 1], [3, 1.5], min_ratio=2.0)
+
+    def test_gap_ratios(self):
+        assert gap_ratios([1, 2], [3, 4]) == pytest.approx([3.0, 2.0])
+        with pytest.raises(EvaluationError):
+            gap_ratios([0.0, 1.0], [1.0, 2.0])
+
+    def test_length_mismatch(self):
+        with pytest.raises(EvaluationError):
+            dominates([1, 2], [1, 2, 3])
+        with pytest.raises(EvaluationError):
+            gap_ratios([1, 2], [1])
+
+
+class TestCrossover:
+    def test_no_crossover(self):
+        assert crossover_index([1, 2, 3], [5, 6, 7]) is None
+
+    def test_crossover_position(self):
+        assert crossover_index([1, 2, 3], [4, 2.5, 2.0]) == 2
+
+    def test_immediate(self):
+        assert crossover_index([5, 1], [4, 2]) == 0
+
+    def test_length_mismatch(self):
+        with pytest.raises(EvaluationError):
+            crossover_index([1, 2], [1])

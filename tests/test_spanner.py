@@ -1,0 +1,66 @@
+"""Unit tests for the greedy spanner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import MechanismError
+from repro.geo.point import Point
+from repro.grid.regular import RegularGrid
+from repro.mechanisms.spanner import greedy_spanner, verify_dilation
+
+
+class TestGreedySpanner:
+    def test_dilation_below_one_rejected(self):
+        with pytest.raises(MechanismError):
+            greedy_spanner([Point(0, 0), Point(1, 0)], 0.9)
+
+    def test_trivial_sets(self):
+        assert greedy_spanner([], 1.5).n_edges == 0
+        assert greedy_spanner([Point(0, 0)], 1.5).n_edges == 0
+
+    def test_two_points_always_connected(self):
+        s = greedy_spanner([Point(0, 0), Point(3, 4)], 2.0)
+        assert s.edges == ((0, 1),)
+
+    def test_dilation_one_gives_complete_graph(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0, 1), Point(2, 2)]
+        s = greedy_spanner(pts, 1.0)
+        assert s.n_edges == 6  # all pairs
+
+    def test_realised_dilation_within_bound(self, square20):
+        pts = RegularGrid(square20, 4).centers()
+        for t in (1.2, 1.5, 2.0):
+            s = greedy_spanner(pts, t)
+            assert verify_dilation(s, pts) <= t + 1e-9
+
+    def test_larger_dilation_fewer_edges(self, square20):
+        pts = RegularGrid(square20, 4).centers()
+        tight = greedy_spanner(pts, 1.1)
+        loose = greedy_spanner(pts, 2.5)
+        assert loose.n_edges < tight.n_edges
+
+    def test_ordered_pairs_doubles_edges(self):
+        pts = [Point(0, 0), Point(1, 0), Point(0, 1)]
+        s = greedy_spanner(pts, 1.5)
+        pairs = s.ordered_pairs()
+        assert len(pairs) == 2 * s.n_edges
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    @given(st.integers(min_value=2, max_value=4))
+    @settings(max_examples=10, deadline=None)
+    def test_spanner_is_connected(self, g):
+        import networkx as nx
+
+        pts = RegularGrid(
+            __import__("repro.geo.bbox", fromlist=["BoundingBox"]).BoundingBox(
+                0, 0, 10, 10
+            ),
+            g,
+        ).centers()
+        s = greedy_spanner(pts, 1.5)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(len(pts)))
+        graph.add_edges_from(s.edges)
+        assert nx.is_connected(graph)

@@ -1,0 +1,125 @@
+"""Unit tests for the STR-packed (R+-style) index."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import GridError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.grid.str_index import STRIndex
+
+
+def skewed_points(n: int, seed: int = 0) -> list[Point]:
+    rng = np.random.default_rng(seed)
+    dense = rng.normal([15, 15], 1.2, size=(int(n * 0.7), 2))
+    sparse = rng.uniform(0, 20, size=(n - dense.shape[0], 2))
+    xy = np.clip(np.vstack([dense, sparse]), 0, 20)
+    return [Point(float(x), float(y)) for x, y in xy]
+
+
+@pytest.fixture
+def domain() -> BoundingBox:
+    return BoundingBox(0, 0, 20, 20)
+
+
+class TestConstruction:
+    def test_validation(self, domain):
+        with pytest.raises(GridError):
+            STRIndex(domain, [], fanout=1)
+        with pytest.raises(GridError):
+            STRIndex(domain, [], height=0)
+
+    def test_complete_tree(self, domain):
+        index = STRIndex(domain, skewed_points(400), fanout=3, height=2)
+        assert index.max_height() == 2
+        assert len(index.leaves()) == 81
+        assert index.node_count() == 1 + 9 + 81
+
+    def test_empty_sample_falls_back_to_even_tiling(self, domain):
+        index = STRIndex(domain, [], fanout=2, height=1)
+        kids = index.children(index.root)
+        assert len(kids) == 4
+        widths = sorted({round(k.bounds.width, 9) for k in kids})
+        assert widths == [10.0]
+
+    def test_children_partition_parent_exactly(self, domain):
+        index = STRIndex(domain, skewed_points(500), fanout=3, height=2)
+        stack = [index.root]
+        while stack:
+            node = stack.pop()
+            kids = index.children(node)
+            if not kids:
+                continue
+            assert len(kids) == 9
+            assert sum(k.bounds.area for k in kids) == pytest.approx(
+                node.bounds.area
+            )
+            assert all(node.bounds.contains_box(k.bounds) for k in kids)
+            stack.extend(kids)
+
+    def test_cells_shrink_where_data_is_dense(self, domain):
+        index = STRIndex(domain, skewed_points(2000), fanout=3, height=1)
+        kids = index.children(index.root)
+        dense_cell = index.locate_child(index.root, Point(15, 15))
+        areas = [k.bounds.area for k in kids]
+        assert dense_cell.bounds.area < np.mean(areas)
+
+    def test_sliver_clamp(self, domain):
+        """Degenerate samples still yield usable cell extents."""
+        pts = [Point(10.0, 10.0)] * 500
+        index = STRIndex(domain, pts, fanout=3, height=1)
+        for kid in index.children(index.root):
+            assert kid.bounds.width >= 0.08 * 20 - 1e-9
+            assert kid.bounds.height >= 0.08 * 20 - 1e-9
+
+    def test_out_of_bounds_points_ignored(self, domain):
+        index = STRIndex(
+            domain, [Point(-1, -1), Point(30, 5)], fanout=2, height=1
+        )
+        assert len(index.children(index.root)) == 4
+
+
+class TestLocation:
+    def test_locate_child_total_over_domain(self, domain, rng):
+        index = STRIndex(domain, skewed_points(600), fanout=3, height=2)
+        for _ in range(100):
+            p = Point(*rng.uniform(0, 20, 2))
+            node = index.root
+            while not index.is_leaf(node):
+                child = index.locate_child(node, p)
+                assert child is not None, p
+                assert child.bounds.contains(p)
+                node = child
+
+    def test_locate_child_outside(self, domain):
+        index = STRIndex(domain, skewed_points(100), fanout=2, height=1)
+        assert index.locate_child(index.root, Point(25, 5)) is None
+
+    def test_each_point_in_exactly_one_child(self, domain, rng):
+        index = STRIndex(domain, skewed_points(300), fanout=3, height=1)
+        kids = index.children(index.root)
+        for _ in range(200):
+            p = Point(*rng.uniform(0.01, 19.99, 2))
+            hits = [
+                k for k in kids
+                if k.bounds.min_x <= p.x < k.bounds.max_x
+                and k.bounds.min_y <= p.y < k.bounds.max_y
+            ]
+            assert len(hits) == 1
+
+
+class TestWithMSM:
+    def test_msm_walks_str_index(self, domain, fine_prior,
+                                 small_dataset, rng):
+        from repro.core.msm import MultiStepMechanism
+
+        sample = small_dataset.sample_requests(1000, rng)
+        index = STRIndex(
+            small_dataset.bounds, sample, fanout=3, height=2
+        )
+        msm = MultiStepMechanism(index, (0.3, 0.2), fine_prior)
+        x = sample[0]
+        z = msm.sample(x, rng)
+        assert small_dataset.bounds.contains(z)
+        _, probs = msm.reported_distribution(x)
+        assert probs.sum() == pytest.approx(1.0)
