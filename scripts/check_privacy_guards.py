@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Static check: no unguarded MechanismMatrix construction.
+
+The privacy guard (:mod:`repro.privacy.guard`) is only worth anything
+if call sites cannot route around it.  This script enforces the
+construction rule statically: direct ``MechanismMatrix(...)`` calls are
+allowed only inside
+
+* ``src/repro/mechanisms/``  — the mechanism definitions themselves,
+* ``src/repro/testing/``     — the fault harness (it fabricates doctored
+  results on purpose),
+* ``src/repro/privacy/guard.py`` — the guard's own ``guarded_matrix``
+  entry point.
+
+Everything else must build matrices through
+``repro.privacy.guard.guarded_matrix`` (validated construction, with an
+optional GeoInd check) so new call sites cannot bypass validation.  A
+line may carry a ``# guard-exempt: <reason>`` comment to opt out
+explicitly — the reason then shows up in review.
+
+Exit status 0 when clean, 1 with a per-violation report otherwise.
+Wired into tier-1 via ``tests/test_tooling.py``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src" / "repro"
+
+#: Paths (relative to src/repro) where direct construction is legitimate.
+ALLOWED_PREFIXES = ("mechanisms/", "testing/")
+ALLOWED_FILES = ("privacy/guard.py",)
+
+#: A direct constructor call; the word boundary keeps imports,
+#: annotations and docstring mentions out.
+CONSTRUCTION = re.compile(r"\bMechanismMatrix\(")
+
+EXEMPTION = "# guard-exempt:"
+
+
+def find_violations(src_root: Path = SRC_ROOT) -> list[tuple[Path, int, str]]:
+    """All unguarded construction sites as (file, line_no, line) tuples."""
+    violations: list[tuple[Path, int, str]] = []
+    for path in sorted(src_root.rglob("*.py")):
+        rel = path.relative_to(src_root).as_posix()
+        if rel.startswith(ALLOWED_PREFIXES) or rel in ALLOWED_FILES:
+            continue
+        for line_no, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            if not CONSTRUCTION.search(line):
+                continue
+            stripped = line.lstrip()
+            if stripped.startswith("#") or EXEMPTION in line:
+                continue
+            violations.append((path, line_no, line.strip()))
+    return violations
+
+
+def main() -> int:
+    violations = find_violations()
+    if not violations:
+        print("check_privacy_guards: OK (no unguarded MechanismMatrix "
+              "construction outside mechanisms/, testing/, privacy/guard.py)")
+        return 0
+    print("check_privacy_guards: FOUND unguarded MechanismMatrix "
+          "construction — use repro.privacy.guard.guarded_matrix instead:\n")
+    for path, line_no, line in violations:
+        print(f"  {path.relative_to(REPO_ROOT)}:{line_no}: {line}")
+    print(f"\n{len(violations)} violation(s).")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

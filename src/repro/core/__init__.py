@@ -10,18 +10,34 @@ from repro.core.budget import (
     phi_for_grid,
 )
 from repro.core.bundle import BundleInfo, load_bundle, sample_from_bundle, save_bundle
-from repro.core.cache import NodeMechanismCache
+from repro.core.cache import CacheEntry, NodeMechanismCache
+from repro.core.resilience import (
+    DegradationReport,
+    DegradedNode,
+    ResilienceConfig,
+    ResilientSolver,
+    SolveAttempt,
+    SolveRecord,
+)
 from repro.core.session import SanitizationSession, SessionReport
-from repro.core.msm import MultiStepMechanism, StepTrace
+from repro.core.msm import MultiStepMechanism, StepTrace, WalkResult
 
 __all__ = [
     "BudgetPlan",
     "BundleInfo",
+    "CacheEntry",
+    "DegradationReport",
+    "DegradedNode",
     "MultiStepMechanism",
     "NodeMechanismCache",
+    "ResilienceConfig",
+    "ResilientSolver",
     "SanitizationSession",
     "SessionReport",
+    "SolveAttempt",
+    "SolveRecord",
     "StepTrace",
+    "WalkResult",
     "allocate_budget",
     "lattice_sum",
     "min_epsilon_for_rho",

@@ -25,13 +25,18 @@ from repro.geo.bbox import BoundingBox
 from repro.geo.metric import get_metric
 from repro.geo.point import Point
 from repro.grid.hierarchy import HierarchicalGrid
-from repro.mechanisms.matrix import MechanismMatrix
 from repro.priors.base import GridPrior
+from repro.privacy.guard import guarded_matrix
 from repro.grid.regular import RegularGrid
 from repro.core.msm import MultiStepMechanism
 
-#: Bundle format version; bump on layout changes.
-FORMAT_VERSION = 1
+#: Bundle format version; bump on layout changes.  Version 2 added the
+#: per-node degradation flags; version-1 bundles still load (all nodes
+#: are then assumed non-degraded).
+FORMAT_VERSION = 2
+
+#: Versions :func:`load_bundle` accepts.
+SUPPORTED_VERSIONS = (1, 2)
 
 
 @dataclass(frozen=True)
@@ -62,17 +67,20 @@ def save_bundle(msm: MultiStepMechanism, path: str | Path) -> BundleInfo:
 
     payload: dict[str, np.ndarray] = {}
     node_paths: list[tuple[int, ...]] = []
+    degraded_keys: list[str] = []
     stack = [index.root]
     while stack:
         node = stack.pop()
         kids = index.children(node)
         if not kids or node.level >= msm.height:
             continue
-        matrix = msm.cache.get(node.path)
-        if matrix is None:  # pragma: no cover - precompute covers all
+        entry = msm.cache.entry(node.path)
+        if entry is None:  # pragma: no cover - precompute covers all
             continue
         key = "node_" + "_".join(map(str, node.path)) if node.path else "node_root"
-        payload[key] = matrix.k
+        payload[key] = entry.matrix.k
+        if entry.degraded:
+            degraded_keys.append(key)
         node_paths.append(node.path)
         stack.extend(kids)
 
@@ -84,6 +92,7 @@ def save_bundle(msm: MultiStepMechanism, path: str | Path) -> BundleInfo:
         [FORMAT_VERSION, index.granularity, msm.height, msm.epsilon]
     )
     payload["meta_budgets"] = np.asarray(msm.budgets)
+    payload["meta_degraded"] = np.asarray(degraded_keys, dtype=str)
     payload["meta_prior_g"] = np.asarray([msm.prior.grid.granularity])
     payload["meta_prior"] = msm.prior.probabilities
     payload["meta_dq"] = np.frombuffer(
@@ -101,23 +110,31 @@ def save_bundle(msm: MultiStepMechanism, path: str | Path) -> BundleInfo:
     )
 
 
-def load_bundle(path: str | Path) -> MultiStepMechanism:
+def load_bundle(path: str | Path, guard: bool = True) -> MultiStepMechanism:
     """Restore a bundled MSM; sampling needs no further LP work.
+
+    With ``guard`` enabled (the default) every restored node matrix is
+    validated against its level's epsilon-GeoInd constraint before it
+    enters the cache, so a corrupt or tampered bundle fails closed at
+    load time rather than silently serving a privacy-violating
+    mechanism.
 
     Raises
     ------
     MechanismError
         On a missing file or an unsupported format version.
+    PrivacyViolationError
+        When a restored matrix fails the privacy guard.
     """
     path = Path(path)
     if not path.exists():
         raise MechanismError(f"bundle not found: {path}")
     with np.load(path) as data:
         version, granularity, height, _epsilon = data["meta_scalars"]
-        if int(version) != FORMAT_VERSION:
+        if int(version) not in SUPPORTED_VERSIONS:
             raise MechanismError(
                 f"unsupported bundle version {int(version)} "
-                f"(supported: {FORMAT_VERSION})"
+                f"(supported: {SUPPORTED_VERSIONS})"
             )
         min_x, min_y, max_x, max_y = data["meta_bounds"]
         bounds = BoundingBox(
@@ -127,9 +144,14 @@ def load_bundle(path: str | Path) -> MultiStepMechanism:
         prior_grid = RegularGrid(bounds, int(data["meta_prior_g"][0]))
         prior = GridPrior(prior_grid, data["meta_prior"], name="bundled")
         dq = get_metric(bytes(data["meta_dq"]).decode())
+        degraded_keys: set[str] = (
+            {str(k) for k in data["meta_degraded"]}
+            if "meta_degraded" in data.files
+            else set()
+        )
 
         index = HierarchicalGrid(bounds, int(granularity), int(height))
-        msm = MultiStepMechanism(index, budgets, prior, dq=dq)
+        msm = MultiStepMechanism(index, budgets, prior, dq=dq, guard=guard)
 
         for key in data.files:
             if not key.startswith("node_"):
@@ -144,9 +166,24 @@ def load_bundle(path: str | Path) -> MultiStepMechanism:
             locations = [
                 child.bounds.center for child in index.children(node)
             ]
+            level = len(node_path) + 1
+            level_eps = budgets[level - 1]
+            degraded = key in degraded_keys
             msm.cache.put(
                 node_path,
-                MechanismMatrix(locations, locations, data[key]),
+                guarded_matrix(
+                    locations,
+                    locations,
+                    data[key],
+                    epsilon=level_eps if guard else None,
+                ),
+                degraded=degraded,
+                source="exponential" if degraded else "bundle",
+                reason="restored from bundle (solved degraded)"
+                if degraded
+                else None,
+                level=level,
+                epsilon=level_eps,
             )
     return msm
 

@@ -7,6 +7,12 @@ queries O(h) row samples, and precomputing the whole reachable tree is
 exactly the paper's offline component: "download in advance (offline) a
 set of maps annotated with additional pre-computed information"
 (Section 3.1).
+
+Since the resilience layer landed, the cache stores a
+:class:`CacheEntry` per node rather than a bare matrix: the entry keeps
+the provenance every degradation report needs — whether the node runs
+on its LP optimum or on the substituted closed-form fallback, at which
+level and epsilon, and why.
 """
 
 from __future__ import annotations
@@ -14,6 +20,36 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.mechanisms.matrix import MechanismMatrix
+
+
+@dataclass(frozen=True)
+class CacheEntry:
+    """One node's mechanism plus the provenance the resilience layer needs.
+
+    Attributes
+    ----------
+    matrix:
+        The (guard-validated) step mechanism.
+    degraded:
+        True when the LP solve failed and ``matrix`` is the closed-form
+        fallback rather than the optimum.
+    source:
+        Where the matrix came from: ``"opt"``, ``"exponential"`` (the
+        degradation fallback) or ``"bundle"`` (restored from disk).
+    reason:
+        The failure that triggered degradation, when ``degraded``.
+    level:
+        The walk level this node's mechanism serves (1-based).
+    epsilon:
+        The per-level budget the matrix was validated against.
+    """
+
+    matrix: MechanismMatrix
+    degraded: bool = False
+    source: str = "opt"
+    reason: str | None = None
+    level: int | None = None
+    epsilon: float | None = None
 
 
 @dataclass
@@ -25,22 +61,49 @@ class NodeMechanismCache:
     construction time.
     """
 
-    _store: dict[tuple[int, ...], MechanismMatrix] = field(default_factory=dict)
+    _store: dict[tuple[int, ...], CacheEntry] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
 
     def get(self, path: tuple[int, ...]) -> MechanismMatrix | None:
         """Look up the solved matrix for a node, counting hit/miss."""
-        matrix = self._store.get(path)
-        if matrix is None:
+        entry = self.entry(path)
+        return None if entry is None else entry.matrix
+
+    def entry(self, path: tuple[int, ...]) -> CacheEntry | None:
+        """Look up the full cache entry for a node, counting hit/miss."""
+        entry = self._store.get(path)
+        if entry is None:
             self.misses += 1
         else:
             self.hits += 1
-        return matrix
+        return entry
 
-    def put(self, path: tuple[int, ...], matrix: MechanismMatrix) -> None:
-        """Store a solved matrix for a node."""
-        self._store[path] = matrix
+    def put(
+        self,
+        path: tuple[int, ...],
+        matrix: MechanismMatrix,
+        degraded: bool = False,
+        source: str = "opt",
+        reason: str | None = None,
+        level: int | None = None,
+        epsilon: float | None = None,
+    ) -> CacheEntry:
+        """Store a solved matrix (with provenance) for a node."""
+        entry = CacheEntry(
+            matrix=matrix,
+            degraded=degraded,
+            source=source,
+            reason=reason,
+            level=level,
+            epsilon=epsilon,
+        )
+        self._store[path] = entry
+        return entry
+
+    def degraded_entries(self) -> dict[tuple[int, ...], CacheEntry]:
+        """All nodes currently running on a substituted mechanism."""
+        return {p: e for p, e in self._store.items() if e.degraded}
 
     def __len__(self) -> int:
         return len(self._store)
@@ -57,4 +120,4 @@ class NodeMechanismCache:
     @property
     def size_bytes(self) -> int:
         """Approximate memory footprint of the cached matrices."""
-        return sum(m.k.nbytes for m in self._store.values())
+        return sum(e.matrix.k.nbytes for e in self._store.values())

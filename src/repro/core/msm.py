@@ -18,22 +18,36 @@ track" at least ``rho`` per level for as long as the budget lasts.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro.exceptions import BudgetError, MechanismError
+from repro.exceptions import (
+    BudgetError,
+    DegradedModeWarning,
+    MechanismError,
+    SolverError,
+)
 from repro.geo.metric import EUCLIDEAN, Metric
 from repro.geo.point import Point
 from repro.grid.hierarchy import HierarchicalGrid
 from repro.grid.index import IndexNode, SpatialIndex
 from repro.mechanisms.base import Mechanism
+from repro.mechanisms.exponential import exponential_matrix_from_locations
 from repro.mechanisms.matrix import MechanismMatrix
 from repro.mechanisms.optimal import optimal_mechanism_from_locations
 from repro.priors.base import GridPrior
+from repro.privacy.guard import guard_mechanism, guarded_matrix
 from repro.core.budget.allocation import BudgetPlan, allocate_budget
-from repro.core.cache import NodeMechanismCache
+from repro.core.cache import CacheEntry, NodeMechanismCache
+from repro.core.resilience import (
+    DegradationReport,
+    DegradedNode,
+    ResilienceConfig,
+    ResilientSolver,
+)
 
 
 @dataclass(frozen=True)
@@ -45,6 +59,17 @@ class StepTrace:
     x_hat_index: int
     x_hat_random: bool
     reported_index: int
+    degraded: bool = False
+    mechanism: str = "opt"
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """A sanitised point plus the full account of how it was produced."""
+
+    point: Point
+    trace: tuple[StepTrace, ...]
+    degradation: DegradationReport
 
 
 class MultiStepMechanism(Mechanism):
@@ -67,9 +92,31 @@ class MultiStepMechanism(Mechanism):
     dx:
         Distinguishability metric of the GeoInd constraints.
     backend:
-        LP backend name (see :mod:`repro.lp`).
+        LP backend name (see :mod:`repro.lp`); becomes the *first* entry
+        of the resilient solver's fallback chain.
     spanner_dilation:
         Optional constraint-reduction dilation forwarded to each OPT.
+    resilience:
+        Fallback-chain policy; defaults to the standard chain starting
+        at ``backend``.  Ignored when an explicit ``solver`` is given.
+    solver:
+        A pre-built :class:`~repro.core.resilience.ResilientSolver`
+        (the fault-injection harness passes one wrapping a scripted
+        solve function).
+    degrade:
+        When True (default), a level whose OPT solve is unrecoverable
+        is served by the closed-form exponential mechanism at that
+        level's epsilon — same privacy, same budget spend, lower
+        utility — and the substitution is recorded.  When False the
+        walk raises instead (strict fail-stop).
+    guard:
+        When True (default), every step matrix is validated by the
+        privacy guard before it may be sampled from; violations raise
+        :class:`~repro.exceptions.PrivacyViolationError`.
+    cache:
+        An externally-owned :class:`NodeMechanismCache` (the fault
+        harness uses this to inject cache faults); a fresh one by
+        default.
 
     Use :meth:`build` for the end-to-end constructor that also runs the
     budget allocator.
@@ -84,6 +131,11 @@ class MultiStepMechanism(Mechanism):
         dx: Metric = EUCLIDEAN,
         backend: str = "highs-ds",
         spanner_dilation: float | None = None,
+        resilience: ResilienceConfig | None = None,
+        solver: ResilientSolver | None = None,
+        degrade: bool = True,
+        guard: bool = True,
+        cache: NodeMechanismCache | None = None,
     ):
         budgets = tuple(float(b) for b in budgets)
         if not budgets:
@@ -97,7 +149,17 @@ class MultiStepMechanism(Mechanism):
         self._dx = dx
         self._backend = backend
         self._spanner_dilation = spanner_dilation
-        self._cache = NodeMechanismCache()
+        if solver is None:
+            config = (
+                resilience
+                if resilience is not None
+                else ResilienceConfig.starting_with(backend)
+            )
+            solver = ResilientSolver(config)
+        self._solver = solver
+        self._degrade = degrade
+        self._guard = guard
+        self._cache = cache if cache is not None else NodeMechanismCache()
         self._lp_seconds = 0.0
         self.epsilon = sum(budgets)
         self.name = "MSM"
@@ -117,6 +179,10 @@ class MultiStepMechanism(Mechanism):
         backend: str = "highs-ds",
         max_height: int = 16,
         spanner_dilation: float | None = None,
+        resilience: ResilienceConfig | None = None,
+        solver: ResilientSolver | None = None,
+        degrade: bool = True,
+        guard: bool = True,
     ) -> "MultiStepMechanism":
         """Allocate the budget (Algorithm 2) and build MSM over a GIHI.
 
@@ -137,6 +203,10 @@ class MultiStepMechanism(Mechanism):
             dx=dx,
             backend=backend,
             spanner_dilation=spanner_dilation,
+            resilience=resilience,
+            solver=solver,
+            degrade=degrade,
+            guard=guard,
         )
 
     @classmethod
@@ -148,6 +218,10 @@ class MultiStepMechanism(Mechanism):
         dx: Metric = EUCLIDEAN,
         backend: str = "highs-ds",
         spanner_dilation: float | None = None,
+        resilience: ResilienceConfig | None = None,
+        solver: ResilientSolver | None = None,
+        degrade: bool = True,
+        guard: bool = True,
     ) -> "MultiStepMechanism":
         """Build MSM over a GIHI shaped by an existing budget plan."""
         index = HierarchicalGrid(
@@ -161,6 +235,10 @@ class MultiStepMechanism(Mechanism):
             dx=dx,
             backend=backend,
             spanner_dilation=spanner_dilation,
+            resilience=resilience,
+            solver=solver,
+            degrade=degrade,
+            guard=guard,
         )
         msm._plan = plan
         return msm
@@ -196,6 +274,11 @@ class MultiStepMechanism(Mechanism):
         return self._cache
 
     @property
+    def solver(self) -> ResilientSolver:
+        """The resilient LP solver every per-level OPT goes through."""
+        return self._solver
+
+    @property
     def lp_seconds(self) -> float:
         """Cumulative wall-clock spent solving per-node LPs."""
         return self._lp_seconds
@@ -209,22 +292,35 @@ class MultiStepMechanism(Mechanism):
     # the walk
     # ------------------------------------------------------------------
     def sample(self, x: Point, rng: np.random.Generator) -> Point:
-        point, _ = self.sample_with_trace(x, rng)
-        return point
+        return self.sample_with_report(x, rng).point
 
     def sample_with_trace(
         self, x: Point, rng: np.random.Generator
     ) -> tuple[Point, list[StepTrace]]:
         """Sanitise ``x`` and return the per-level walk trace."""
+        result = self.sample_with_report(x, rng)
+        return (result.point, list(result.trace))
+
+    def sample_with_report(
+        self, x: Point, rng: np.random.Generator
+    ) -> WalkResult:
+        """Sanitise ``x`` with the full trace and degradation report.
+
+        Every step matrix sampled here has passed the privacy guard (at
+        that level's epsilon) when guarding is enabled; the
+        :class:`~repro.core.resilience.DegradationReport` lists exactly
+        the levels served by a substituted fallback mechanism.
+        """
         node = self._index.root
         trace: list[StepTrace] = []
-        for level, _eps in enumerate(self._budgets, start=1):
+        substitutions: list[DegradedNode] = []
+        for level, eps in enumerate(self._budgets, start=1):
             children = self._index.children(node)
             if not children:
                 break
-            matrix = self._step_mechanism(node, level, children)
+            entry = self._step_entry(node, level, children)
             x_hat, was_random = self._x_hat_index(node, x, len(children), rng)
-            reported = matrix.sample(x_hat, rng)
+            reported = entry.matrix.sample(x_hat, rng)
             trace.append(
                 StepTrace(
                     level=level,
@@ -232,12 +328,43 @@ class MultiStepMechanism(Mechanism):
                     x_hat_index=x_hat,
                     x_hat_random=was_random,
                     reported_index=reported,
+                    degraded=entry.degraded,
+                    mechanism=entry.source,
                 )
             )
+            if entry.degraded:
+                substitutions.append(
+                    DegradedNode(
+                        node_path=node.path,
+                        level=level,
+                        epsilon=eps,
+                        fallback=entry.source,
+                        reason=entry.reason or "",
+                    )
+                )
             node = children[reported]
         if not trace:
             raise MechanismError("index root has no children; nothing to report")
-        return (node.bounds.center, trace)
+        return WalkResult(
+            point=node.bounds.center,
+            trace=tuple(trace),
+            degradation=DegradationReport(tuple(substitutions)),
+        )
+
+    def degradation_summary(self) -> DegradationReport:
+        """Substitutions across every node solved so far (whole cache)."""
+        substitutions = []
+        for path, entry in sorted(self._cache.degraded_entries().items()):
+            substitutions.append(
+                DegradedNode(
+                    node_path=path,
+                    level=entry.level if entry.level is not None else len(path) + 1,
+                    epsilon=entry.epsilon if entry.epsilon is not None else 0.0,
+                    fallback=entry.source,
+                    reason=entry.reason or "",
+                )
+            )
+        return DegradationReport(tuple(substitutions))
 
     def reported_distribution(self, x: Point) -> tuple[list[Point], np.ndarray]:
         """Exact output distribution of the walk for actual location ``x``.
@@ -278,7 +405,7 @@ class MultiStepMechanism(Mechanism):
         losses = np.asarray([metric(x, z) for z in points])
         return float(probs @ losses)
 
-    def to_matrix(self) -> MechanismMatrix:
+    def to_matrix(self, guard: bool = False) -> MechanismMatrix:
         """The exact end-to-end mechanism over leaf-cell centres.
 
         Requires MSM over a :class:`~repro.grid.hierarchy.HierarchicalGrid`
@@ -289,6 +416,13 @@ class MultiStepMechanism(Mechanism):
         attacks and exact expected-loss computation.  Cost is
         O(leaves * fanout^height); meant for analysis-scale instances,
         not the online path.
+
+        With ``guard=True`` the product matrix is additionally verified
+        to be ``sum(budgets)``-GeoInd under plain ``dx`` before being
+        returned.  The default leaves it off because MSM's rigorous
+        guarantee is stated against the *hierarchical* metric
+        (:mod:`repro.privacy.hierarchical`); the per-step matrices the
+        online path samples from are always guarded regardless.
         """
         from repro.grid.hierarchy import HierarchicalGrid
 
@@ -305,7 +439,13 @@ class MultiStepMechanism(Mechanism):
             points, probs = self.reported_distribution(x)
             for p, mass in zip(points, probs):
                 k[i, leaf_grid.locate(p).index] += mass
-        return MechanismMatrix(centers, centers, k)
+        return guarded_matrix(
+            centers,
+            centers,
+            k,
+            epsilon=self.epsilon if guard else None,
+            dx=self._dx,
+        )
 
     # ------------------------------------------------------------------
     # offline precomputation
@@ -376,22 +516,72 @@ class MultiStepMechanism(Mechanism):
         level: int,
         children: Sequence[IndexNode],
     ) -> MechanismMatrix:
-        """The OPT matrix for one node, cached by node path."""
-        cached = self._cache.get(node.path)
+        """The validated step matrix for one node (see :meth:`_step_entry`)."""
+        return self._step_entry(node, level, children).matrix
+
+    def _step_entry(
+        self,
+        node: IndexNode,
+        level: int,
+        children: Sequence[IndexNode],
+    ) -> CacheEntry:
+        """The step mechanism for one node, cached by node path.
+
+        Fail-closed contract: the returned entry's matrix has either
+        been solved optimally through the resilient fallback chain or —
+        when that chain is exhausted and degradation is enabled —
+        replaced by the closed-form exponential mechanism at the same
+        per-level epsilon.  Either way the privacy guard validates it
+        before it is cached; a guard violation raises instead of ever
+        letting the walk sample from a bad matrix.
+        """
+        cached = self._cache.entry(node.path)
         if cached is not None:
             return cached
         locations = [child.bounds.center for child in children]
         sub_prior = self._child_prior(children)
+        eps = self._budgets[level - 1]
         start = time.perf_counter()
-        result = optimal_mechanism_from_locations(
-            self._budgets[level - 1],
-            locations,
-            sub_prior,
-            self._dq,
-            dx=self._dx,
-            backend=self._backend,
-            spanner_dilation=self._spanner_dilation,
+        degraded_reason: str | None = None
+        try:
+            try:
+                result = optimal_mechanism_from_locations(
+                    eps,
+                    locations,
+                    sub_prior,
+                    self._dq,
+                    dx=self._dx,
+                    backend=self._backend,
+                    spanner_dilation=self._spanner_dilation,
+                    solver=self._solver,
+                )
+                matrix = result.matrix
+            except SolverError as exc:
+                if not self._degrade:
+                    raise
+                degraded_reason = f"{type(exc).__name__}: {exc}"
+                matrix = exponential_matrix_from_locations(
+                    locations, eps, dx=self._dx
+                )
+                warnings.warn(
+                    DegradedModeWarning(
+                        f"level-{level} OPT solve failed at node "
+                        f"{node.path}; serving the exponential fallback "
+                        f"at eps={eps:.4g} (utility is sub-optimal, "
+                        f"privacy unchanged)"
+                    ),
+                    stacklevel=2,
+                )
+        finally:
+            self._lp_seconds += time.perf_counter() - start
+        if self._guard:
+            guard_mechanism(matrix, eps, dx=self._dx)
+        return self._cache.put(
+            node.path,
+            matrix,
+            degraded=degraded_reason is not None,
+            source="exponential" if degraded_reason is not None else "opt",
+            reason=degraded_reason,
+            level=level,
+            epsilon=eps,
         )
-        self._lp_seconds += time.perf_counter() - start
-        self._cache.put(node.path, result.matrix)
-        return result.matrix

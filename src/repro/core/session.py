@@ -25,17 +25,29 @@ from repro.geo.point import Point
 from repro.priors.base import GridPrior
 from repro.privacy.composition import BudgetAccountant
 from repro.core.msm import MultiStepMechanism
+from repro.core.resilience import DegradationReport, ResilienceConfig, ResilientSolver
 
 
 @dataclass(frozen=True)
 class SessionReport:
-    """One sanitised report issued by a session."""
+    """One sanitised report issued by a session.
+
+    ``degraded_levels`` is non-empty when some walk level was served by
+    the resilience layer's fallback mechanism; the report still spends
+    exactly ``epsilon_spent`` and satisfies the same guarantee.
+    """
 
     sequence: int
     actual: Point
     reported: Point
     epsilon_spent: float
     epsilon_remaining: float
+    degraded_levels: tuple[int, ...] = ()
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any level of this report's walk was substituted."""
+        return bool(self.degraded_levels)
 
 
 class SanitizationSession:
@@ -70,6 +82,10 @@ class SanitizationSession:
         rho: float = 0.8,
         dq: Metric = EUCLIDEAN,
         backend: str = "highs-ds",
+        resilience: ResilienceConfig | None = None,
+        solver: ResilientSolver | None = None,
+        degrade: bool = True,
+        guard: bool = True,
     ):
         if per_report_epsilon <= 0:
             raise BudgetError(
@@ -84,9 +100,11 @@ class SanitizationSession:
         self._per_report = float(per_report_epsilon)
         self._mechanism = MultiStepMechanism.build(
             per_report_epsilon, granularity, prior, rho=rho, dq=dq,
-            backend=backend,
+            backend=backend, resilience=resilience, solver=solver,
+            degrade=degrade, guard=guard,
         )
         self._history: list[SessionReport] = []
+        self._degradations: list[DegradationReport] = []
 
     # ------------------------------------------------------------------
     # accessors
@@ -123,6 +141,16 @@ class SanitizationSession:
         """All reports issued so far, in order."""
         return list(self._history)
 
+    @property
+    def degradation_history(self) -> list[DegradationReport]:
+        """Per-report degradation accounts, aligned with :attr:`history`."""
+        return list(self._degradations)
+
+    @property
+    def ever_degraded(self) -> bool:
+        """Whether any report so far ran on a substituted mechanism."""
+        return any(not d.clean for d in self._degradations)
+
     def can_report(self) -> bool:
         """Whether another report fits the remaining budget."""
         return self._accountant.can_spend(self._per_report)
@@ -142,6 +170,10 @@ class SanitizationSession:
         BudgetError
             When the lifetime budget cannot cover another report; the
             actual location is *not* sampled in that case.
+        SolverRetryExhaustedError
+            When a level's solve is unrecoverable and degradation is
+            disabled.  No budget is spent in that case either — the
+            failed walk never sampled from an unguarded matrix.
         """
         if not self.can_report():
             raise BudgetError(
@@ -149,16 +181,18 @@ class SanitizationSession:
                 f"reports (remaining {self.remaining:.4g} < "
                 f"per-report {self._per_report:.4g})"
             )
-        reported = self._mechanism.sample(x, rng)
+        walk = self._mechanism.sample_with_report(x, rng)
         self._accountant.spend(
             self._per_report, label=f"report-{len(self._history)}"
         )
         record = SessionReport(
             sequence=len(self._history),
             actual=x,
-            reported=reported,
+            reported=walk.point,
             epsilon_spent=self._per_report,
             epsilon_remaining=self.remaining,
+            degraded_levels=walk.degradation.degraded_levels,
         )
         self._history.append(record)
+        self._degradations.append(walk.degradation)
         return record

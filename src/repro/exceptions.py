@@ -3,9 +3,55 @@
 All library-specific errors derive from :class:`ReproError` so callers can
 catch a single base class at API boundaries while still being able to
 discriminate finer failure modes.
+
+Failure-mode contract of the sanitisation path
+----------------------------------------------
+The resilience layer (:mod:`repro.core.resilience`) makes the pipeline
+fail *closed*: on any solver trouble the system may lose utility, never
+privacy.  The relevant signals are:
+
+:class:`SolverError`
+    Generic LP-substrate failure.  Raised directly by the backends on
+    malformed programs and by :func:`repro.lp.solve_or_raise` on any
+    non-optimal terminal status.
+
+:class:`InfeasibleProblemError` / :class:`UnboundedProblemError`
+    Structural LP outcomes.  The resilient solver does **not** retry the
+    same backend on these (a deterministic solver would fail again) but
+    still advances to the next backend in the chain, because HiGHS
+    occasionally misreports badly-scaled programs as infeasible.
+
+:class:`SolverRetryExhaustedError`
+    Fires when every backend in a :class:`~repro.core.resilience.ResilientSolver`
+    chain has been tried up to its retry budget and none produced an
+    optimal solution.  Carries the full per-attempt record in
+    :attr:`SolverRetryExhaustedError.attempts` for diagnosis.  When MSM
+    degradation is disabled this error propagates out of
+    ``MultiStepMechanism.sample`` — the request is refused rather than
+    served from an unsolved mechanism.
+
+:class:`DegradedModeWarning`
+    A :class:`Warning` (not an error) emitted exactly once per index
+    node when MSM substitutes the closed-form exponential mechanism for
+    an unsolvable per-level OPT.  The substitute runs at the *same*
+    per-level epsilon, so privacy and budget accounting are unchanged;
+    the warning (plus the walk's ``DegradationReport``) tells operators
+    that utility is now sub-optimal at that node.
+
+:class:`PrivacyViolationError`
+    The last line of defence: the mandatory matrix guard
+    (:func:`repro.privacy.guard.guard_mechanism`) found a mechanism that
+    is not row-stochastic, not non-negative, or not epsilon-GeoInd.  No
+    code path samples from a matrix that failed the guard — including
+    matrices restored from an on-disk bundle.
 """
 
 from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.resilience import SolveAttempt
 
 
 class ReproError(Exception):
@@ -40,6 +86,22 @@ class UnboundedProblemError(SolverError):
     """The linear program is unbounded below."""
 
 
+class SolverRetryExhaustedError(SolverError):
+    """Every backend in a fallback chain failed within its retry budget.
+
+    Attributes
+    ----------
+    attempts:
+        The per-attempt :class:`~repro.core.resilience.SolveAttempt`
+        records, in the order they were made, covering every backend of
+        the chain.
+    """
+
+    def __init__(self, message: str, attempts: Sequence["SolveAttempt"] = ()):
+        super().__init__(message)
+        self.attempts = tuple(attempts)
+
+
 class MechanismError(ReproError):
     """A mechanism was constructed or invoked with invalid parameters."""
 
@@ -54,3 +116,11 @@ class BudgetError(ReproError):
 
 class EvaluationError(ReproError):
     """An experiment harness was configured inconsistently."""
+
+
+class DegradedModeWarning(Warning):
+    """MSM substituted a closed-form fallback for an unsolvable OPT level.
+
+    Privacy is unaffected (the substitute satisfies the same per-level
+    epsilon); utility at the affected node is no longer optimal.
+    """

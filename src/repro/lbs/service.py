@@ -85,15 +85,28 @@ class LocationBasedService:
     def evaluate_query(
         self, actual: Point, reported: Point, k: int
     ) -> QueryOutcome:
-        """Quality of one sanitised interaction versus the truthful one."""
+        """Quality of one sanitised interaction versus the truthful one.
+
+        Recall is measured against the truthful result set's actual
+        size, not against ``k``: a store holding fewer than ``k`` POIs
+        answers both queries with the same (complete) catalogue and
+        must not be penalised for results that do not exist.
+        """
         answered = self.query(reported, k)
         truth = self.query(actual, k)
+        if not truth:
+            return QueryOutcome(
+                actual=actual,
+                reported=reported,
+                extra_distance=0.0,
+                recall_at_k=1.0,
+            )
         answered_nearest = self._store[answered[0]].location
         true_nearest = self._store[truth[0]].location
         extra = actual.distance_to(answered_nearest) - actual.distance_to(
             true_nearest
         )
-        recall = len(set(answered) & set(truth)) / k
+        recall = len(set(answered) & set(truth)) / len(truth)
         return QueryOutcome(
             actual=actual,
             reported=reported,

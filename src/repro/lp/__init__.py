@@ -11,6 +11,8 @@ instances:
 
 from __future__ import annotations
 
+from typing import Protocol, runtime_checkable
+
 from repro.exceptions import (
     InfeasibleProblemError,
     SolverError,
@@ -55,11 +57,31 @@ def solve_or_raise(
         raise InfeasibleProblemError("linear program is infeasible")
     if result.status is LPStatus.UNBOUNDED:
         raise UnboundedProblemError("linear program is unbounded")
-    raise SolverError(f"LP solve failed with status {result.status.value}")
+    detail = f" ({result.message})" if result.message else ""
+    raise SolverError(
+        f"LP solve failed with status {result.status.value}{detail}"
+    )
+
+
+@runtime_checkable
+class LPSolver(Protocol):
+    """Anything that can solve a :class:`LinearProgram`.
+
+    Implemented by :class:`repro.core.resilience.ResilientSolver`;
+    accepting the protocol (rather than a backend name) is how callers
+    such as :mod:`repro.mechanisms.optimal` opt into the fallback chain
+    without this package depending on the resilience layer.
+    """
+
+    def solve(
+        self, problem: LinearProgram, time_limit: float | None = None
+    ) -> LPResult:  # pragma: no cover - protocol signature
+        ...
 
 
 __all__ = [
     "BACKENDS",
+    "LPSolver",
     "LPResult",
     "LPStatus",
     "LinearProgram",

@@ -15,6 +15,7 @@ class LPStatus(enum.Enum):
     INFEASIBLE = "infeasible"
     UNBOUNDED = "unbounded"
     ITERATION_LIMIT = "iteration_limit"
+    TIME_LIMIT = "time_limit"
     NUMERICAL = "numerical"
 
 
@@ -37,6 +38,13 @@ class LPResult:
         Name of the backend that produced the result.
     solve_seconds:
         Wall-clock time spent inside the backend.
+    raw_status:
+        The backend's native status code, when it has one (scipy's
+        integer ``status``).  Preserved verbatim so fallback decisions
+        and failure logs stay diagnosable even when the code does not
+        map onto :class:`LPStatus` cleanly.
+    message:
+        The backend's human-readable termination message, if any.
     """
 
     status: LPStatus
@@ -45,6 +53,8 @@ class LPResult:
     iterations: int
     backend: str
     solve_seconds: float
+    raw_status: int | None = None
+    message: str = ""
 
     @property
     def is_optimal(self) -> bool:

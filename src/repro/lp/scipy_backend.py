@@ -43,7 +43,13 @@ def solve_scipy(
         the useful choices.
     time_limit:
         Optional wall-clock cap in seconds, forwarded to HiGHS.  A run
-        stopped by the limit reports :attr:`LPStatus.ITERATION_LIMIT`.
+        stopped by the limit reports :attr:`LPStatus.TIME_LIMIT`
+        (scipy folds it into its iteration-limit code 1; the HiGHS
+        termination message disambiguates).
+
+    Unknown scipy status codes map to :attr:`LPStatus.NUMERICAL`, but
+    the raw code and termination message are always preserved on the
+    :class:`LPResult` so the coercion is diagnosable downstream.
     """
     bounds = np.column_stack([problem.lb, problem.ub])
     options: dict[str, float] = {}
@@ -61,7 +67,15 @@ def solve_scipy(
         options=options or None,
     )
     elapsed = time.perf_counter() - start
-    status = _STATUS_MAP.get(res.status, LPStatus.NUMERICAL)
+    raw_status = int(res.status)
+    message = str(getattr(res, "message", "") or "")
+    status = _STATUS_MAP.get(raw_status, LPStatus.NUMERICAL)
+    # scipy reports both iteration- and time-limit stops as status 1;
+    # HiGHS's termination message tells them apart, and the distinction
+    # matters to the resilient solver (a time-limit stop is worth
+    # retrying with a larger budget, an iteration limit rarely is).
+    if status is LPStatus.ITERATION_LIMIT and "time limit" in message.lower():
+        status = LPStatus.TIME_LIMIT
     x = np.asarray(res.x, dtype=float) if res.x is not None else np.empty(0)
     objective = float(res.fun) if res.fun is not None else float("nan")
     iterations = int(getattr(res, "nit", 0) or 0)
@@ -72,4 +86,6 @@ def solve_scipy(
         iterations=iterations,
         backend=f"scipy:{method}",
         solve_seconds=elapsed,
+        raw_status=raw_status,
+        message=message,
     )

@@ -1,7 +1,11 @@
 """GeoInd mechanisms: planar Laplace, exponential, optimal (LP), remap."""
 
 from repro.mechanisms.base import GridMechanism, Mechanism
-from repro.mechanisms.exponential import ExponentialMechanism, exponential_matrix
+from repro.mechanisms.exponential import (
+    ExponentialMechanism,
+    exponential_matrix,
+    exponential_matrix_from_locations,
+)
 from repro.mechanisms.matrix import MechanismMatrix
 from repro.mechanisms.optimal import (
     OptimalMechanism,
@@ -36,6 +40,7 @@ __all__ = [
     "build_optimal_program",
     "expected_loss_continuous",
     "exponential_matrix",
+    "exponential_matrix_from_locations",
     "greedy_spanner",
     "optimal_mechanism_from_locations",
     "optimal_remap_assignment",

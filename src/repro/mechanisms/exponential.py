@@ -15,26 +15,44 @@ benchmarks.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.exceptions import MechanismError
 from repro.geo.metric import EUCLIDEAN, Metric
+from repro.geo.point import Point
 from repro.grid.regular import RegularGrid
 from repro.mechanisms.base import GridMechanism
 from repro.mechanisms.matrix import MechanismMatrix
+
+
+def exponential_matrix_from_locations(
+    locations: Sequence[Point], epsilon: float, dx: Metric = EUCLIDEAN
+) -> MechanismMatrix:
+    """The exponential-mechanism matrix over an explicit location set.
+
+    Closed-form and unconditionally ``epsilon``-GeoInd for *any*
+    location set, which is why the resilience layer uses it as the
+    degradation fallback when a per-level OPT solve is unrecoverable:
+    it needs no solver and can never trade away privacy, only utility.
+    """
+    if epsilon <= 0:
+        raise MechanismError(f"epsilon must be positive, got {epsilon}")
+    if not locations:
+        raise MechanismError("exponential mechanism needs at least one location")
+    locations = list(locations)
+    d = dx.pairwise(locations, locations)
+    k = np.exp(-(epsilon / 2.0) * d)
+    k /= k.sum(axis=1, keepdims=True)
+    return MechanismMatrix(locations, locations, k)
 
 
 def exponential_matrix(
     grid: RegularGrid, epsilon: float, dx: Metric = EUCLIDEAN
 ) -> MechanismMatrix:
     """The exponential-mechanism matrix over a grid's cell centres."""
-    if epsilon <= 0:
-        raise MechanismError(f"epsilon must be positive, got {epsilon}")
-    centers = grid.centers()
-    d = dx.pairwise(centers, centers)
-    k = np.exp(-(epsilon / 2.0) * d)
-    k /= k.sum(axis=1, keepdims=True)
-    return MechanismMatrix(centers, centers, k)
+    return exponential_matrix_from_locations(grid.centers(), epsilon, dx=dx)
 
 
 class ExponentialMechanism(GridMechanism):

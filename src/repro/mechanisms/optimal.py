@@ -22,10 +22,10 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from repro.exceptions import MechanismError
+from repro.exceptions import MechanismError, SolverError
 from repro.geo.metric import EUCLIDEAN, Metric
 from repro.geo.point import Point
-from repro.lp import LinearProgram, LPResult, solve_or_raise
+from repro.lp import LinearProgram, LPResult, LPSolver, solve_or_raise
 from repro.mechanisms.base import GridMechanism
 from repro.mechanisms.matrix import MechanismMatrix
 from repro.mechanisms.spanner import Spanner, greedy_spanner
@@ -148,6 +148,7 @@ def optimal_mechanism_from_locations(
     backend: str = "highs-ds",
     spanner_dilation: float | None = None,
     time_limit: float | None = None,
+    solver: LPSolver | None = None,
 ) -> OptimalMechanismResult:
     """Solve OPT over an explicit location set.
 
@@ -164,6 +165,11 @@ def optimal_mechanism_from_locations(
         Wall-clock cap forwarded to the LP backend; exceeding it raises
         :class:`~repro.exceptions.SolverError` (this is how the Fig. 3
         bench reproduces the paper's "72hrs+" rows at laptop scale).
+    solver:
+        An :class:`~repro.lp.LPSolver` (typically a
+        :class:`~repro.core.resilience.ResilientSolver`) used in place
+        of the single named ``backend`` — this is how MSM routes every
+        per-level solve through the fallback chain.
     """
     start = time.perf_counter()
     spanner: Spanner | None = None
@@ -181,7 +187,17 @@ def optimal_mechanism_from_locations(
         program = build_optimal_program(epsilon, locations, prior, dq, dx=dx)
     build_seconds = time.perf_counter() - start
 
-    lp_result = solve_or_raise(program, backend=backend, time_limit=time_limit)
+    if solver is not None:
+        lp_result = solver.solve(program, time_limit=time_limit)
+        if not lp_result.is_optimal:  # defensive: LPSolver must fail closed
+            raise SolverError(
+                f"solver returned non-optimal status "
+                f"{lp_result.status.value} instead of raising"
+            )
+    else:
+        lp_result = solve_or_raise(
+            program, backend=backend, time_limit=time_limit
+        )
     n = len(locations)
     k = lp_result.x.reshape(n, n)
     matrix = MechanismMatrix(list(locations), list(locations), k)

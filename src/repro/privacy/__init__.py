@@ -7,6 +7,7 @@ from repro.privacy.geoind import (
     empirical_epsilon,
     verify_geoind,
 )
+from repro.privacy.guard import guard_mechanism, guarded_matrix
 from repro.privacy.hierarchical import (
     CompositionReport,
     hierarchical_bound,
@@ -19,6 +20,8 @@ __all__ = [
     "GeoIndReport",
     "assert_geoind",
     "empirical_epsilon",
+    "guard_mechanism",
+    "guarded_matrix",
     "hierarchical_bound",
     "sequential_composition",
     "verify_geoind",

@@ -1,0 +1,94 @@
+"""Mandatory privacy-invariant guard for mechanism matrices.
+
+Every matrix the sanitisation path samples from must pass through
+:func:`guard_mechanism` (or be built by :func:`guarded_matrix`) first:
+it re-checks the stochastic invariants on the stored array and verifies
+the epsilon-GeoInd constraint via :mod:`repro.privacy.geoind`, raising
+:class:`~repro.exceptions.PrivacyViolationError` instead of letting a
+bad matrix reach a sampler.  This is the fail-closed core of the
+resilience layer: solver fallbacks and degradation may change *which*
+mechanism serves a request, but nothing unvalidated ever serves one.
+
+``scripts/check_privacy_guards.py`` statically enforces the
+complementary rule that no module outside ``repro/mechanisms``,
+``repro/testing`` and this file constructs a
+:class:`~repro.mechanisms.matrix.MechanismMatrix` directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import PrivacyViolationError
+from repro.geo.metric import EUCLIDEAN, Metric
+from repro.geo.point import Point
+from repro.mechanisms.matrix import MechanismMatrix
+from repro.privacy.geoind import GeoIndReport, assert_geoind
+
+#: Row-sum slack tolerated by the guard (matches the matrix constructor).
+_ROW_TOL = 1e-6
+
+
+def guard_mechanism(
+    matrix: MechanismMatrix,
+    epsilon: float,
+    dx: Metric = EUCLIDEAN,
+    slack: float = 1e-6,
+) -> GeoIndReport:
+    """Validate ``matrix`` before it may be sampled from.
+
+    Checks, in order: finite entries, non-negativity, row-stochasticity
+    within tolerance, and the epsilon-GeoInd constraint
+    ``K[x, z] <= exp(eps * dx(x, x')) * K[x', z]`` (via the tight
+    empirical epsilon).  Returns the :class:`GeoIndReport` on success so
+    callers can log the actual headroom.
+
+    Raises
+    ------
+    PrivacyViolationError
+        On any failed check.  Callers must not sample from the matrix.
+    """
+    if epsilon <= 0:
+        raise PrivacyViolationError(
+            f"guard needs a positive epsilon, got {epsilon}"
+        )
+    k = matrix.k
+    if not np.all(np.isfinite(k)):
+        raise PrivacyViolationError("mechanism matrix has non-finite entries")
+    if np.any(k < 0):
+        raise PrivacyViolationError(
+            f"mechanism matrix has negative entries (min={k.min():.3e})"
+        )
+    sums = k.sum(axis=1)
+    worst = float(np.abs(sums - 1.0).max()) if sums.size else 0.0
+    if worst > _ROW_TOL:
+        raise PrivacyViolationError(
+            f"mechanism matrix rows are not stochastic "
+            f"(worst deviation {worst:.3e})"
+        )
+    return assert_geoind(matrix, epsilon, dx=dx, slack=slack)
+
+
+def guarded_matrix(
+    inputs: Sequence[Point],
+    outputs: Sequence[Point],
+    k: np.ndarray,
+    epsilon: float | None = None,
+    dx: Metric = EUCLIDEAN,
+    slack: float = 1e-6,
+) -> MechanismMatrix:
+    """Construct a :class:`MechanismMatrix` through the guard.
+
+    This is the only sanctioned way to build a matrix outside the
+    ``mechanisms``/``testing`` packages.  With ``epsilon`` given, the
+    result is additionally GeoInd-verified at that level; ``epsilon=None``
+    performs construction-time validation only (shape, finiteness,
+    row-stochasticity) for matrices whose privacy is certified elsewhere
+    (e.g. an MSM product matrix covered by the composition bound).
+    """
+    matrix = MechanismMatrix(inputs, outputs, k)
+    if epsilon is not None:
+        guard_mechanism(matrix, epsilon, dx=dx, slack=slack)
+    return matrix

@@ -37,12 +37,15 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.geo.point import Point
 from repro.grid.hierarchy import HierarchicalGrid
-from repro.core.msm import MultiStepMechanism
+
+if TYPE_CHECKING:  # pragma: no cover - avoids the core <-> privacy cycle
+    from repro.core.msm import MultiStepMechanism
 
 
 def hierarchical_bound(

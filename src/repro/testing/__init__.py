@@ -1,0 +1,24 @@
+"""Deterministic fault injection for resilience testing.
+
+See :mod:`repro.testing.faults`.
+"""
+
+from repro.testing.faults import (
+    FaultInjectingSolver,
+    FaultRule,
+    FlakyCacheProxy,
+    LatencyFault,
+    RaiseFault,
+    SolveCall,
+    StatusFault,
+)
+
+__all__ = [
+    "FaultInjectingSolver",
+    "FaultRule",
+    "FlakyCacheProxy",
+    "LatencyFault",
+    "RaiseFault",
+    "SolveCall",
+    "StatusFault",
+]

@@ -1,0 +1,334 @@
+"""Deterministic fault injection for the LP substrate and mechanism cache.
+
+The resilience layer is only trustworthy if its failure paths are
+exercised, and mocking scipy internals makes for brittle, white-box
+tests.  Instead, :class:`FaultInjectingSolver` is a drop-in for
+:func:`repro.lp.solve` — the exact seam
+:class:`~repro.core.resilience.ResilientSolver` already exposes via its
+``solve_fn`` parameter — that runs a scripted list of
+:class:`FaultRule` objects in front of a real delegate:
+
+* :class:`RaiseFault` — raise a :class:`~repro.exceptions.SolverError`
+  (or any supplied exception factory);
+* :class:`StatusFault` — return a doctored non-optimal
+  :class:`~repro.lp.result.LPResult` with a chosen status code, the way
+  a backend reports failure without raising;
+* :class:`LatencyFault` — simulate a slow solve deterministically: when
+  the caller's time limit is smaller than the simulated latency the call
+  "times out" (a ``TIME_LIMIT`` result), otherwise it delegates and adds
+  the latency to the reported solve time.  No wall clock is consumed.
+
+Each rule matches on backend name, call index (``nth``), a warm-up
+window (``first_n`` — "flaky then recover") or its complement
+(``after`` — "works then breaks"), and every decision is recorded in
+:attr:`FaultInjectingSolver.log` so tests can assert on the exact
+sequence of injected failures.
+
+:class:`FlakyCacheProxy` plays the same role for the MSM node cache:
+it wraps a real :class:`~repro.core.cache.NodeMechanismCache` and
+forces misses (all, or for chosen node paths), simulating cold starts
+and evictions without touching cache internals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+from repro.core.cache import CacheEntry, NodeMechanismCache
+from repro.exceptions import SolverError
+from repro.lp import solve as real_solve
+from repro.lp.problem import LinearProgram
+from repro.lp.result import LPResult, LPStatus
+from repro.mechanisms.matrix import MechanismMatrix
+
+
+@dataclass(frozen=True)
+class SolveCall:
+    """One observed invocation of the wrapped solver."""
+
+    index: int
+    backend: str
+    time_limit: float | None
+    n_vars: int
+
+
+class FaultRule:
+    """Base fault rule: pure match bookkeeping, no fault behaviour.
+
+    Parameters
+    ----------
+    backend:
+        Only calls whose backend name starts with this prefix are
+        eligible (``"highs"`` matches both HiGHS methods); ``None``
+        matches every backend.
+    nth:
+        Fire only on the nth *eligible* call (1-based).
+    first_n:
+        Fire on the first n eligible calls, then stand down — the
+        "flaky then recover" script.
+    after:
+        Fire on every eligible call *after* the first ``after`` —
+        "works, then breaks" (e.g. let the root level solve, fail the
+        rest of the walk).
+
+    The predicates combine conjunctively; a rule keeps its own counter
+    of eligible calls, so two rules with different backend filters count
+    independently.
+    """
+
+    def __init__(
+        self,
+        backend: str | None = None,
+        nth: int | None = None,
+        first_n: int | None = None,
+        after: int | None = None,
+    ):
+        if nth is not None and nth < 1:
+            raise ValueError(f"nth must be >= 1, got {nth}")
+        if first_n is not None and first_n < 1:
+            raise ValueError(f"first_n must be >= 1, got {first_n}")
+        if after is not None and after < 0:
+            raise ValueError(f"after must be >= 0, got {after}")
+        self._backend = backend
+        self._nth = nth
+        self._first_n = first_n
+        self._after = after
+        self._seen = 0
+
+    @property
+    def seen(self) -> int:
+        """How many eligible calls this rule has observed."""
+        return self._seen
+
+    def matches(self, call: SolveCall) -> bool:
+        """Whether this rule fires for ``call`` (advances the counter)."""
+        if self._backend is not None and not call.backend.startswith(
+            self._backend
+        ):
+            return False
+        self._seen += 1
+        if self._nth is not None and self._seen != self._nth:
+            return False
+        if self._first_n is not None and self._seen > self._first_n:
+            return False
+        if self._after is not None and self._seen <= self._after:
+            return False
+        return True
+
+    def intercept(
+        self,
+        call: SolveCall,
+        problem: LinearProgram,
+        delegate: Callable[[], LPResult],
+    ) -> LPResult:
+        """Produce the faulty outcome (subclasses implement)."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Short label used in the injector's log."""
+        return type(self).__name__
+
+
+class RaiseFault(FaultRule):
+    """Raise an exception instead of solving."""
+
+    def __init__(
+        self,
+        message: str = "injected solver fault",
+        exc_factory: Callable[[str], Exception] | None = None,
+        **match,
+    ):
+        super().__init__(**match)
+        self._message = message
+        self._exc_factory = exc_factory or SolverError
+
+    def intercept(self, call, problem, delegate):  # noqa: D102
+        raise self._exc_factory(f"{self._message} (call #{call.index})")
+
+    def describe(self) -> str:
+        return f"raise:{self._message}"
+
+
+class StatusFault(FaultRule):
+    """Return a doctored failed :class:`LPResult` with a chosen status."""
+
+    def __init__(self, status: LPStatus = LPStatus.NUMERICAL, **match):
+        super().__init__(**match)
+        if status is LPStatus.OPTIMAL:
+            raise ValueError("StatusFault injects failures, not optima")
+        self._status = status
+
+    def intercept(self, call, problem, delegate):  # noqa: D102
+        return LPResult(
+            status=self._status,
+            x=np.empty(0),
+            objective=float("nan"),
+            iterations=0,
+            backend=f"fault:{call.backend}",
+            solve_seconds=0.0,
+            raw_status=-1,
+            message=f"injected status {self._status.value}",
+        )
+
+    def describe(self) -> str:
+        return f"status:{self._status.value}"
+
+
+class LatencyFault(FaultRule):
+    """Simulate a solve that takes ``seconds`` of wall clock.
+
+    Deterministic: if the call carries a time limit smaller than the
+    simulated latency, the solve "times out" and a ``TIME_LIMIT``
+    failure is returned; otherwise the delegate runs and the latency is
+    added to its reported ``solve_seconds``.  Combined with
+    :class:`~repro.core.resilience.ResilienceConfig.time_limit_growth`
+    this reproduces the retry-with-larger-budget recovery path without
+    ever sleeping.
+    """
+
+    def __init__(self, seconds: float, **match):
+        super().__init__(**match)
+        if seconds <= 0:
+            raise ValueError(f"latency must be positive, got {seconds}")
+        self._seconds = seconds
+
+    def intercept(self, call, problem, delegate):  # noqa: D102
+        if call.time_limit is not None and call.time_limit < self._seconds:
+            return LPResult(
+                status=LPStatus.TIME_LIMIT,
+                x=np.empty(0),
+                objective=float("nan"),
+                iterations=0,
+                backend=f"fault:{call.backend}",
+                solve_seconds=call.time_limit,
+                raw_status=1,
+                message=(
+                    f"injected latency {self._seconds}s exceeds time "
+                    f"limit {call.time_limit}s"
+                ),
+            )
+        result = delegate()
+        return replace(
+            result, solve_seconds=result.solve_seconds + self._seconds
+        )
+
+    def describe(self) -> str:
+        return f"latency:{self._seconds}s"
+
+
+class FaultInjectingSolver:
+    """Scripted-failure drop-in for :func:`repro.lp.solve`.
+
+    Pass an instance as ``solve_fn`` to a
+    :class:`~repro.core.resilience.ResilientSolver` (or call it
+    directly).  Rules are consulted in order; the first match decides
+    the call's fate, otherwise the real delegate solves the program.
+    """
+
+    def __init__(
+        self,
+        rules: Iterable[FaultRule],
+        delegate: Callable[..., LPResult] | None = None,
+    ):
+        self._rules = list(rules)
+        self._delegate = delegate or real_solve
+        self.calls: list[SolveCall] = []
+        self.log: list[tuple[SolveCall, str]] = []
+
+    @property
+    def n_calls(self) -> int:
+        """Total calls observed."""
+        return len(self.calls)
+
+    def __call__(
+        self,
+        problem: LinearProgram,
+        backend: str = "highs-ds",
+        time_limit: float | None = None,
+    ) -> LPResult:
+        call = SolveCall(
+            index=len(self.calls) + 1,
+            backend=backend,
+            time_limit=time_limit,
+            n_vars=problem.n_vars,
+        )
+        self.calls.append(call)
+        for rule in self._rules:
+            if rule.matches(call):
+                self.log.append((call, rule.describe()))
+                return rule.intercept(
+                    call,
+                    problem,
+                    lambda: self._delegate(
+                        problem, backend=backend, time_limit=time_limit
+                    ),
+                )
+        self.log.append((call, "delegate"))
+        return self._delegate(problem, backend=backend, time_limit=time_limit)
+
+
+class FlakyCacheProxy(NodeMechanismCache):
+    """A node cache that deterministically loses entries.
+
+    Wraps a real :class:`NodeMechanismCache`; lookups for dropped paths
+    (or every path, with ``drop_all``) report a miss, forcing MSM back
+    onto the solve path.  Writes pass through, so the harness can
+    simulate both cold starts (``drop_all=True``) and targeted
+    evictions.  Inject via ``MultiStepMechanism(cache=...)``.
+    """
+
+    def __init__(
+        self,
+        inner: NodeMechanismCache | None = None,
+        drop_paths: Sequence[tuple[int, ...]] = (),
+        drop_all: bool = False,
+    ):
+        super().__init__()
+        self._inner = inner if inner is not None else NodeMechanismCache()
+        self._drop_paths = set(drop_paths)
+        self._drop_all = drop_all
+        self.dropped_lookups = 0
+
+    def entry(self, path: tuple[int, ...]) -> CacheEntry | None:
+        if self._drop_all or path in self._drop_paths:
+            self.dropped_lookups += 1
+            self.misses += 1
+            return None
+        entry = self._inner.entry(path)
+        if entry is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return entry
+
+    def put(
+        self,
+        path: tuple[int, ...],
+        matrix: MechanismMatrix,
+        **meta,
+    ) -> CacheEntry:
+        return self._inner.put(path, matrix, **meta)
+
+    def degraded_entries(self) -> dict[tuple[int, ...], CacheEntry]:
+        return self._inner.degraded_entries()
+
+    def __len__(self) -> int:
+        return len(self._inner)
+
+    def __contains__(self, path: tuple[int, ...]) -> bool:
+        if self._drop_all or path in self._drop_paths:
+            return False
+        return path in self._inner
+
+    def clear(self) -> None:
+        self._inner.clear()
+        self.hits = 0
+        self.misses = 0
+        self.dropped_lookups = 0
+
+    @property
+    def size_bytes(self) -> int:
+        return self._inner.size_bytes

@@ -1,0 +1,181 @@
+"""Tests for the fault-injection harness itself (repro.testing.faults).
+
+The harness is trusted by every resilience test, so its own semantics —
+which calls a rule matches, what each fault kind produces, what gets
+logged — are pinned down here first.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.cache import NodeMechanismCache
+from repro.exceptions import SolverError
+from repro.lp import LinearProgramBuilder, solve
+from repro.lp.result import LPStatus
+from repro.mechanisms.exponential import exponential_matrix
+from repro.grid.regular import RegularGrid
+from repro.testing.faults import (
+    FaultInjectingSolver,
+    FlakyCacheProxy,
+    LatencyFault,
+    RaiseFault,
+    StatusFault,
+)
+
+pytestmark = pytest.mark.faults
+
+
+@pytest.fixture
+def tiny_lp():
+    """min x0  s.t.  x0 >= 1  — solves instantly on any backend."""
+    b = LinearProgramBuilder(1)
+    b.set_objective({0: 1.0})
+    b.add_ge({0: 1.0}, 1.0)
+    return b.build()
+
+
+class TestRuleMatching:
+    def test_nth_fires_exactly_once(self, tiny_lp):
+        inj = FaultInjectingSolver([RaiseFault(nth=2)])
+        assert inj(tiny_lp).is_optimal
+        with pytest.raises(SolverError, match="injected"):
+            inj(tiny_lp)
+        assert inj(tiny_lp).is_optimal
+        assert [kind for _, kind in inj.log] == [
+            "delegate", "raise:injected solver fault", "delegate",
+        ]
+
+    def test_first_n_is_flaky_then_recover(self, tiny_lp):
+        inj = FaultInjectingSolver([RaiseFault(first_n=2)])
+        for _ in range(2):
+            with pytest.raises(SolverError):
+                inj(tiny_lp)
+        assert inj(tiny_lp).is_optimal
+
+    def test_after_is_works_then_breaks(self, tiny_lp):
+        inj = FaultInjectingSolver([RaiseFault(after=1)])
+        assert inj(tiny_lp).is_optimal
+        for _ in range(3):
+            with pytest.raises(SolverError):
+                inj(tiny_lp)
+
+    def test_backend_filter_counts_independently(self, tiny_lp):
+        inj = FaultInjectingSolver([RaiseFault(backend="highs", nth=1)])
+        # simplex calls are invisible to the rule's counter
+        assert inj(tiny_lp, backend="simplex").is_optimal
+        with pytest.raises(SolverError):
+            inj(tiny_lp, backend="highs-ds")
+        assert inj(tiny_lp, backend="highs-ipm").is_optimal
+
+    def test_backend_prefix_matches_both_highs_methods(self, tiny_lp):
+        inj = FaultInjectingSolver([RaiseFault(backend="highs")])
+        with pytest.raises(SolverError):
+            inj(tiny_lp, backend="highs-ds")
+        with pytest.raises(SolverError):
+            inj(tiny_lp, backend="highs-ipm")
+        assert inj(tiny_lp, backend="simplex").is_optimal
+
+    def test_match_parameter_validation(self):
+        with pytest.raises(ValueError):
+            RaiseFault(nth=0)
+        with pytest.raises(ValueError):
+            RaiseFault(first_n=0)
+        with pytest.raises(ValueError):
+            RaiseFault(after=-1)
+
+
+class TestFaultKinds:
+    def test_status_fault_returns_doctored_result(self, tiny_lp):
+        inj = FaultInjectingSolver([StatusFault(LPStatus.NUMERICAL)])
+        result = inj(tiny_lp)
+        assert result.status is LPStatus.NUMERICAL
+        assert not result.is_optimal
+        assert result.raw_status == -1
+        assert "injected" in result.message
+        assert result.backend.startswith("fault:")
+
+    def test_status_fault_rejects_optimal(self):
+        with pytest.raises(ValueError):
+            StatusFault(LPStatus.OPTIMAL)
+
+    def test_latency_below_limit_delegates_with_added_time(self, tiny_lp):
+        inj = FaultInjectingSolver([LatencyFault(seconds=0.5)])
+        result = inj(tiny_lp, time_limit=2.0)
+        assert result.is_optimal
+        assert result.solve_seconds >= 0.5
+
+    def test_latency_above_limit_times_out(self, tiny_lp):
+        inj = FaultInjectingSolver([LatencyFault(seconds=0.5)])
+        result = inj(tiny_lp, time_limit=0.1)
+        assert result.status is LPStatus.TIME_LIMIT
+        assert not result.is_optimal
+        assert result.solve_seconds == pytest.approx(0.1)
+
+    def test_latency_without_limit_delegates(self, tiny_lp):
+        inj = FaultInjectingSolver([LatencyFault(seconds=3600.0)])
+        assert inj(tiny_lp).is_optimal  # no wall clock actually spent
+
+    def test_raise_fault_custom_exception(self, tiny_lp):
+        inj = FaultInjectingSolver(
+            [RaiseFault(message="boom", exc_factory=RuntimeError)]
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            inj(tiny_lp)
+
+
+class TestInjectorBookkeeping:
+    def test_clean_passthrough_matches_real_solver(self, tiny_lp):
+        inj = FaultInjectingSolver([])
+        direct = solve(tiny_lp, backend="highs-ds")
+        via = inj(tiny_lp, backend="highs-ds")
+        assert via.is_optimal
+        assert via.objective == pytest.approx(direct.objective)
+
+    def test_calls_are_recorded(self, tiny_lp):
+        inj = FaultInjectingSolver([])
+        inj(tiny_lp, backend="simplex")
+        inj(tiny_lp, backend="highs-ds", time_limit=1.0)
+        assert inj.n_calls == 2
+        assert inj.calls[0].backend == "simplex"
+        assert inj.calls[1].time_limit == 1.0
+        assert inj.calls[1].index == 2
+        assert inj.calls[1].n_vars == 1
+
+    def test_first_matching_rule_wins(self, tiny_lp):
+        inj = FaultInjectingSolver(
+            [StatusFault(LPStatus.NUMERICAL), RaiseFault()]
+        )
+        result = inj(tiny_lp)  # StatusFault shadows RaiseFault
+        assert result.status is LPStatus.NUMERICAL
+
+
+class TestFlakyCacheProxy:
+    @pytest.fixture
+    def matrix(self, square20):
+        return exponential_matrix(RegularGrid(square20, 2), 1.0)
+
+    def test_drop_all_forces_misses(self, matrix):
+        proxy = FlakyCacheProxy(drop_all=True)
+        proxy.put((0,), matrix)
+        assert proxy.get((0,)) is None
+        assert proxy.dropped_lookups == 1
+        assert (0,) not in proxy
+        assert len(proxy) == 1  # the entry exists, lookups just fail
+
+    def test_targeted_drop(self, matrix):
+        inner = NodeMechanismCache()
+        proxy = FlakyCacheProxy(inner, drop_paths=[(1,)])
+        proxy.put((0,), matrix)
+        proxy.put((1,), matrix, degraded=True, source="exponential")
+        assert proxy.get((0,)) is matrix
+        assert proxy.get((1,)) is None
+        assert set(proxy.degraded_entries()) == {(1,)}
+        assert proxy.size_bytes == inner.size_bytes
+
+    def test_clear_resets(self, matrix):
+        proxy = FlakyCacheProxy(drop_all=True)
+        proxy.put((0,), matrix)
+        proxy.get((0,))
+        proxy.clear()
+        assert len(proxy) == 0
+        assert proxy.dropped_lookups == 0

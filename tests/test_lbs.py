@@ -79,6 +79,21 @@ class TestService:
         assert outcome.extra_distance > 5.0
         assert outcome.recall_at_k == 0.0
 
+    def test_recall_denominator_is_truth_size_not_k(self, store):
+        # k exceeds the catalogue: both queries return all five POIs, so
+        # the answer is complete and recall must be 1.0 — dividing by k
+        # would wrongly report 5/50.
+        service = LocationBasedService(store)
+        outcome = service.evaluate_query(Point(1, 1), Point(10, 10), k=50)
+        assert outcome.recall_at_k == 1.0
+
+    def test_recall_partial_overlap(self, store):
+        # truth at (1,1) with k=3 is {0, 1, 2}; the displaced query
+        # answers {3, 4, 2} — one of three true results survives.
+        service = LocationBasedService(store)
+        outcome = service.evaluate_query(Point(1, 1), Point(10, 10), k=3)
+        assert outcome.recall_at_k == pytest.approx(1 / 3)
+
     def test_evaluate_mechanism_report(self, store, square20, rng):
         service = LocationBasedService(store)
         grid = RegularGrid(square20, 8)

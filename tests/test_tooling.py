@@ -1,0 +1,95 @@
+"""Tier-1 wiring for the repo's static checks.
+
+Runs ``scripts/check_privacy_guards.py`` against the real source tree
+(so an unguarded ``MechanismMatrix(...)`` construction fails the test
+suite, not just CI scripts nobody runs) and pins the checker's own
+matching rules on a synthetic tree.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+pytestmark = pytest.mark.faults
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_privacy_guards.py"
+
+
+def _load_checker():
+    import importlib.util
+
+    spec = importlib.util.spec_from_file_location(
+        "check_privacy_guards", SCRIPT
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestSourceTreeIsClean:
+    def test_script_exits_zero_on_this_repo(self):
+        proc = subprocess.run(
+            [sys.executable, str(SCRIPT)],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "OK" in proc.stdout
+
+    def test_no_violations_via_api(self):
+        checker = _load_checker()
+        assert checker.find_violations() == []
+
+
+class TestCheckerRules:
+    @pytest.fixture
+    def checker(self):
+        return _load_checker()
+
+    def _tree(self, tmp_path, rel_path, content):
+        path = tmp_path / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(content, encoding="utf-8")
+        return tmp_path
+
+    def test_flags_direct_construction(self, checker, tmp_path):
+        root = self._tree(
+            tmp_path, "core/bad.py", "m = MechanismMatrix(a, b, k)\n"
+        )
+        violations = checker.find_violations(root)
+        assert len(violations) == 1
+        assert violations[0][1] == 1
+
+    def test_allows_mechanisms_and_testing(self, checker, tmp_path):
+        root = self._tree(
+            tmp_path, "mechanisms/ok.py", "m = MechanismMatrix(a, b, k)\n"
+        )
+        self._tree(
+            root, "testing/ok.py", "m = MechanismMatrix(a, b, k)\n"
+        )
+        self._tree(
+            root, "privacy/guard.py", "m = MechanismMatrix(a, b, k)\n"
+        )
+        assert checker.find_violations(root) == []
+
+    def test_guard_exempt_comment_opts_out(self, checker, tmp_path):
+        root = self._tree(
+            tmp_path,
+            "core/annotated.py",
+            "m = MechanismMatrix(a, b, k)  # guard-exempt: frozen test vector\n",
+        )
+        assert checker.find_violations(root) == []
+
+    def test_mentions_in_comments_and_imports_ignored(self, checker, tmp_path):
+        root = self._tree(
+            tmp_path,
+            "core/fine.py",
+            "# MechanismMatrix(...) is built elsewhere\n"
+            "from repro.mechanisms.matrix import MechanismMatrix\n"
+            "def f(m: MechanismMatrix) -> None: ...\n",
+        )
+        assert checker.find_violations(root) == []
