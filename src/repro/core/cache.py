@@ -18,6 +18,7 @@ level and epsilon, and why.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Iterable
 
 from repro.mechanisms.matrix import MechanismMatrix
 
@@ -64,6 +65,7 @@ class NodeMechanismCache:
     _store: dict[tuple[int, ...], CacheEntry] = field(default_factory=dict)
     hits: int = 0
     misses: int = 0
+    builds: int = 0
 
     def get(self, path: tuple[int, ...]) -> MechanismMatrix | None:
         """Look up the solved matrix for a node, counting hit/miss."""
@@ -101,6 +103,39 @@ class NodeMechanismCache:
         self._store[path] = entry
         return entry
 
+    def get_or_build_many(
+        self,
+        paths: Iterable[tuple[int, ...]],
+        build: Callable[[tuple[int, ...]], tuple[MechanismMatrix, dict]],
+    ) -> dict[tuple[int, ...], CacheEntry]:
+        """Bulk get-or-build: one lookup per distinct path, solving misses.
+
+        This is the batch sanitiser's cache warm-up: every distinct node
+        of a walk level costs exactly one lookup and — on a miss — one
+        call to ``build(path)``, which must return ``(matrix,
+        provenance)`` where ``provenance`` holds the :meth:`put` keyword
+        arguments (``degraded``/``source``/``reason``/``level``/
+        ``epsilon``).  Built entries are stored through :meth:`put` and
+        looked up through :meth:`entry`, so subclasses that intercept
+        those (e.g. the fault harness's ``FlakyCacheProxy``) keep their
+        semantics on the bulk path, and the ``hits``/``misses`` counters
+        stay accurate.  ``builds`` counts the factory invocations.
+
+        Fault safety: a ``build`` failure propagates to the caller, but
+        entries built before the failure are already cached — a
+        mid-batch fault costs only the affected node, never work that
+        already succeeded.
+        """
+        out: dict[tuple[int, ...], CacheEntry] = {}
+        for path in paths:
+            entry = self.entry(path)
+            if entry is None:
+                matrix, provenance = build(path)
+                self.builds += 1
+                entry = self.put(path, matrix, **provenance)
+            out[path] = entry
+        return out
+
     def degraded_entries(self) -> dict[tuple[int, ...], CacheEntry]:
         """All nodes currently running on a substituted mechanism."""
         return {p: e for p, e in self._store.items() if e.degraded}
@@ -116,6 +151,7 @@ class NodeMechanismCache:
         self._store.clear()
         self.hits = 0
         self.misses = 0
+        self.builds = 0
 
     @property
     def size_bytes(self) -> int:

@@ -196,3 +196,50 @@ class SanitizationSession:
         self._history.append(record)
         self._degradations.append(walk.degradation)
         return record
+
+    def report_batch(
+        self, xs: list[Point], rng: np.random.Generator
+    ) -> list[SessionReport]:
+        """Sanitise a batch of locations through the vectorised walk.
+
+        Spends one report's budget per point and is all-or-nothing: the
+        whole batch must fit the remaining lifetime budget *before* any
+        location is sampled, so a partial batch can never leak a walk
+        the accountant would have refused.  Every point still gets its
+        own :class:`SessionReport` (sequence number, spend, degradation
+        provenance), exactly as if reported one by one.
+
+        Raises
+        ------
+        BudgetError
+            When the remaining budget cannot cover ``len(xs)`` reports;
+            nothing is sampled and nothing is spent in that case.
+        """
+        points = list(xs)
+        if not points:
+            return []
+        needed = len(points) * self._per_report
+        if not self._accountant.can_spend(needed):
+            raise BudgetError(
+                f"lifetime budget cannot cover a batch of {len(points)} "
+                f"reports (remaining {self.remaining:.4g} < needed "
+                f"{needed:.4g}); no report was issued"
+            )
+        walks = self._mechanism.sanitize_batch(points, rng)
+        records: list[SessionReport] = []
+        for x, walk in zip(points, walks):
+            self._accountant.spend(
+                self._per_report, label=f"report-{len(self._history)}"
+            )
+            record = SessionReport(
+                sequence=len(self._history),
+                actual=x,
+                reported=walk.point,
+                epsilon_spent=self._per_report,
+                epsilon_remaining=self.remaining,
+                degraded_levels=walk.degradation.degraded_levels,
+            )
+            self._history.append(record)
+            self._degradations.append(walk.degradation)
+            records.append(record)
+        return records

@@ -8,6 +8,8 @@ leaf level has effective granularity ``g^h`` (Figure 4 of the paper).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.exceptions import GridError
 from repro.geo.bbox import BoundingBox
 from repro.geo.point import Point
@@ -68,6 +70,37 @@ class HierarchicalGrid(SpatialIndex):
         return IndexNode(
             bounds=cell.bounds, level=node.level + 1, path=node.path + (cell.index,)
         )
+
+    def locate_child_indices(
+        self, node: IndexNode, coords: np.ndarray
+    ) -> np.ndarray:
+        """Vectorised :meth:`locate_child` over an ``(m, 2)`` array.
+
+        Uses the same half-open cell convention as
+        :meth:`~repro.grid.regular.RegularGrid.locate` (top/right domain
+        boundary folds into the last row/column), so it agrees with the
+        scalar path point-for-point.
+        """
+        coords = np.asarray(coords, dtype=float).reshape(-1, 2)
+        out = np.full(coords.shape[0], -1, dtype=np.int64)
+        if node.level >= self._height or coords.shape[0] == 0:
+            return out
+        b = node.bounds
+        x = coords[:, 0]
+        y = coords[:, 1]
+        inside = (
+            (x >= b.min_x) & (x <= b.max_x) & (y >= b.min_y) & (y <= b.max_y)
+        )
+        cell_w = b.width / self._g
+        cell_h = b.height / self._g
+        cols = np.minimum(
+            ((x - b.min_x) / cell_w).astype(np.int64), self._g - 1
+        )
+        rows = np.minimum(
+            ((y - b.min_y) / cell_h).astype(np.int64), self._g - 1
+        )
+        out[inside] = (rows * self._g + cols)[inside]
+        return out
 
     def max_height(self) -> int:
         return self._height

@@ -14,6 +14,8 @@ from __future__ import annotations
 import abc
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.geo.bbox import BoundingBox
 from repro.geo.point import Point
 
@@ -81,6 +83,27 @@ class SpatialIndex(abc.ABC):
             if child.bounds.contains(p):
                 return child
         return None
+
+    def locate_child_indices(
+        self, node: IndexNode, coords: np.ndarray
+    ) -> np.ndarray:
+        """Child position of each coordinate pair among ``node``'s children.
+
+        ``coords`` is an ``(m, 2)`` array of x/y pairs; the result is a
+        length-``m`` int64 array holding each point's child position
+        (``child.path[-1]``), or ``-1`` where the point falls outside
+        ``node`` (the batch walk then applies the Algorithm 1 lines 9-10
+        uniform fallback).  The default implementation loops over
+        :meth:`locate_child`; grids with arithmetic addressing override
+        it with a fully vectorised version.
+        """
+        coords = np.asarray(coords, dtype=float).reshape(-1, 2)
+        out = np.full(coords.shape[0], -1, dtype=np.int64)
+        for i, (x, y) in enumerate(coords):
+            child = self.locate_child(node, Point(float(x), float(y)))
+            if child is not None:
+                out[i] = child.path[-1]
+        return out
 
     def max_height(self) -> int:
         """Maximum leaf depth of the index (root is depth 0)."""

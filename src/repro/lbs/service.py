@@ -121,15 +121,51 @@ class LocationBasedService:
         rng: np.random.Generator,
         k: int = 5,
     ) -> ServiceReport:
-        """Simulate a workload through ``mechanism`` and aggregate QoS."""
-        if not requests:
-            raise EvaluationError("service evaluation needs at least one request")
-        if k < 1:
-            raise EvaluationError(f"k must be >= 1, got {k}")
+        """Simulate a workload through ``mechanism`` and aggregate QoS.
+
+        Sanitisation goes through ``mechanism.sample_many``, so
+        mechanisms with a vectorised batch path (planar Laplace, and MSM
+        via :meth:`~repro.core.msm.MultiStepMechanism.sanitize_batch`)
+        serve the whole workload at batch throughput.
+        """
+        self._validate_workload(requests, k)
         reported = mechanism.sample_many(requests, rng)
         outcomes = [
             self.evaluate_query(x, z, k) for x, z in zip(requests, reported)
         ]
+        return self._aggregate(outcomes, k)
+
+    def evaluate_session(
+        self,
+        session,
+        requests: list[Point],
+        rng: np.random.Generator,
+        k: int = 5,
+    ) -> ServiceReport:
+        """Serve a workload through a budgeted sanitisation session.
+
+        ``session`` is a :class:`~repro.core.session.SanitizationSession`
+        (duck-typed on ``report_batch`` to keep this module free of a
+        core dependency); the whole workload is sanitised in one batch —
+        spending the session's lifetime budget per request — and then
+        evaluated against the POI store like any other workload.
+        """
+        self._validate_workload(requests, k)
+        reports = session.report_batch(requests, rng)
+        outcomes = [
+            self.evaluate_query(r.actual, r.reported, k) for r in reports
+        ]
+        return self._aggregate(outcomes, k)
+
+    def _validate_workload(self, requests: list[Point], k: int) -> None:
+        if not requests:
+            raise EvaluationError("service evaluation needs at least one request")
+        if k < 1:
+            raise EvaluationError(f"k must be >= 1, got {k}")
+
+    def _aggregate(
+        self, outcomes: list[QueryOutcome], k: int
+    ) -> ServiceReport:
         extra = np.asarray([o.extra_distance for o in outcomes])
         recall = np.asarray([o.recall_at_k for o in outcomes])
         return ServiceReport(

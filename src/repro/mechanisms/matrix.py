@@ -108,6 +108,33 @@ class MechanismMatrix:
         """Draw an output location from row ``x_index``."""
         return self._outputs[self.sample(x_index, rng)]
 
+    def sample_rows(
+        self, x_indices: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Draw one output index per entry of ``x_indices``, vectorised.
+
+        Equivalent in distribution to calling :meth:`sample` once per
+        index (each draw is independent, conditioned only on its row),
+        but implemented by CDF inversion over the gathered rows — one
+        ``rng.random`` call and a comparison instead of ``len(x_indices)``
+        ``rng.choice`` calls.  This is the batch-sanitisation hot path.
+        """
+        idx = np.asarray(x_indices, dtype=np.int64).ravel()
+        if idx.size == 0:
+            return np.empty(0, dtype=np.int64)
+        n_rows, n_cols = self._k.shape
+        if np.any((idx < 0) | (idx >= n_rows)):
+            raise MechanismError(
+                f"row indices outside [0, {n_rows}): "
+                f"min={idx.min()}, max={idx.max()}"
+            )
+        cdf = np.cumsum(self._k[idx], axis=1)
+        u = rng.random(idx.size)
+        out = (u[:, None] > cdf).sum(axis=1)
+        # Float round-off can leave cdf[:, -1] a hair under 1.0; clamp so
+        # a u drawn in that sliver still maps to the last output.
+        return np.minimum(out, n_cols - 1).astype(np.int64)
+
     def expected_loss(self, prior: np.ndarray, metric: Metric) -> float:
         """Exact expected utility loss ``sum_x Pi(x) K(x)(z) dQ(x, z)``.
 

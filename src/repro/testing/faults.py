@@ -278,6 +278,13 @@ class FlakyCacheProxy(NodeMechanismCache):
     onto the solve path.  Writes pass through, so the harness can
     simulate both cold starts (``drop_all=True``) and targeted
     evictions.  Inject via ``MultiStepMechanism(cache=...)``.
+
+    The bulk warm-up of the batch sanitiser
+    (:meth:`NodeMechanismCache.get_or_build_many`) is inherited and runs
+    through this proxy's :meth:`entry`/:meth:`put`, so dropped paths
+    force re-solves on the batch path exactly as they do per point —
+    which is how the fault suite shows a mid-batch solver failure
+    degrading only the affected node's group.
     """
 
     def __init__(
@@ -327,6 +334,7 @@ class FlakyCacheProxy(NodeMechanismCache):
         self._inner.clear()
         self.hits = 0
         self.misses = 0
+        self.builds = 0
         self.dropped_lookups = 0
 
     @property

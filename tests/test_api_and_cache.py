@@ -93,3 +93,47 @@ class TestNodeMechanismCache:
         cache.put((0,), self._matrix())
         cache.put((1,), self._matrix())
         assert cache.size_bytes == 2 * 4 * 8  # two 2x2 float64 matrices
+
+    def test_get_or_build_many_builds_only_misses(self):
+        cache = NodeMechanismCache()
+        cache.put((0,), self._matrix(), source="opt")
+        built: list[tuple[int, ...]] = []
+
+        def build(path):
+            built.append(path)
+            return (self._matrix(), dict(source="opt", level=1, epsilon=0.5))
+
+        entries = cache.get_or_build_many([(0,), (1,), (2,)], build)
+        assert set(entries) == {(0,), (1,), (2,)}
+        assert built == [(1,), (2,)]
+        assert cache.builds == 2
+        assert cache.hits == 1 and cache.misses == 2
+        assert entries[(1,)].epsilon == 0.5
+        # Everything is cached now: a second bulk call builds nothing.
+        cache.get_or_build_many([(0,), (1,), (2,)], build)
+        assert cache.builds == 2
+        assert cache.hits == 4
+
+    def test_get_or_build_many_keeps_partial_progress_on_failure(self):
+        cache = NodeMechanismCache()
+
+        def build(path):
+            if path == (1,):
+                raise SolverError("boom")
+            return (self._matrix(), dict(source="opt"))
+
+        with pytest.raises(SolverError):
+            cache.get_or_build_many([(0,), (1,), (2,)], build)
+        # The node built before the failure is cached; later ones are not.
+        assert (0,) in cache
+        assert (1,) not in cache and (2,) not in cache
+        assert cache.builds == 1
+
+    def test_clear_resets_builds(self):
+        cache = NodeMechanismCache()
+        cache.get_or_build_many(
+            [(0,)], lambda p: (self._matrix(), dict(source="opt"))
+        )
+        assert cache.builds == 1
+        cache.clear()
+        assert cache.builds == 0

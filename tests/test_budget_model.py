@@ -5,7 +5,7 @@ import math
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
+from hypothesis import assume, given, settings
 from hypothesis import strategies as st
 
 from repro.exceptions import BudgetError
@@ -228,6 +228,78 @@ class TestAlgorithm2:
         assert 1 <= plan.height <= 16
         # Only the last level may be starved.
         assert all(i == plan.height - 1 for i in plan.starved_levels)
+
+
+class TestBudgetProperties:
+    """Property layer for the budget model (PR-2 satellite).
+
+    Pins down the three contracts the batch engine leans on: the
+    allocation responds monotonically to the same-cell target ``rho``,
+    no allocator ever hands out more budget than the caller configured,
+    and the two ``T(s)`` implementations agree to 1e-9 across the
+    crossover region where the library switches between them.
+    """
+
+    @given(
+        st.floats(min_value=0.35, max_value=0.95),
+        st.floats(min_value=0.35, max_value=0.95),
+        st.floats(min_value=2.0, max_value=15.0),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_requirement_monotone_in_rho(self, a, b, side):
+        """A stricter same-cell target never gets cheaper."""
+        lo, hi = sorted((a, b))
+        assume(hi - lo > 1e-6)
+        assert min_epsilon_for_rho(lo, side) <= min_epsilon_for_rho(hi, side)
+
+    @given(
+        st.floats(min_value=0.1, max_value=4.0),
+        st.integers(min_value=2, max_value=5),
+        st.floats(min_value=0.35, max_value=0.9),
+        st.floats(min_value=0.35, max_value=0.9),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_allocation_monotone_in_rho(self, eps, g, a, b):
+        """Raising rho never deepens the tree and never lowers the
+        per-level requirements the allocator funds against."""
+        lo, hi = sorted((a, b))
+        assume(hi - lo > 1e-6)
+        plan_lo = allocate_budget(eps, g, 20.0, rho=lo)
+        plan_hi = allocate_budget(eps, g, 20.0, rho=hi)
+        assert plan_hi.height <= plan_lo.height
+        shared = min(plan_lo.height, plan_hi.height)
+        for i in range(shared):
+            assert (
+                plan_hi.requirements[i]
+                >= plan_lo.requirements[i] * (1.0 - 1e-9)
+            )
+
+    @given(
+        st.floats(min_value=0.05, max_value=5.0),
+        st.integers(min_value=2, max_value=6),
+        st.floats(min_value=0.4, max_value=0.95),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_budgets_sum_at_most_epsilon(self, eps, g, rho, height):
+        """No allocator hands out more than the configured budget."""
+        free = allocate_budget(eps, g, 20.0, rho=rho)
+        pinned = allocate_budget_fixed_height(
+            eps, g, 20.0, height=height, rho=rho
+        )
+        for plan in (free, pinned):
+            assert sum(plan.budgets) <= eps * (1.0 + 1e-9)
+            assert all(b > 0 for b in plan.budgets)
+
+    @given(st.floats(min_value=3.0, max_value=5.5))
+    @settings(max_examples=60, deadline=None)
+    def test_series_matches_direct_in_crossover_region(self, s):
+        """Eq. (8)/(9) series vs brute-force lattice sum around the
+        dispatch cutoff at s = 4: both sides of the switch must agree
+        to 1e-9 so the budget model is continuous in s."""
+        assert lattice_sum_series(s) == pytest.approx(
+            lattice_sum_direct(s), rel=1e-9
+        )
 
 
 class TestFixedHeight:

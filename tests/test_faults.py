@@ -9,11 +9,16 @@ import numpy as np
 import pytest
 
 from repro.core.cache import NodeMechanismCache
-from repro.exceptions import SolverError
+from repro.core.msm import MultiStepMechanism
+from repro.core.resilience import ResilienceConfig, ResilientSolver
+from repro.exceptions import DegradedModeWarning, SolverError
 from repro.lp import LinearProgramBuilder, solve
 from repro.lp.result import LPStatus
+from repro.geo.point import Point
 from repro.mechanisms.exponential import exponential_matrix
+from repro.grid.hierarchy import HierarchicalGrid
 from repro.grid.regular import RegularGrid
+from repro.priors.base import GridPrior
 from repro.testing.faults import (
     FaultInjectingSolver,
     FlakyCacheProxy,
@@ -179,3 +184,56 @@ class TestFlakyCacheProxy:
         proxy.clear()
         assert len(proxy) == 0
         assert proxy.dropped_lookups == 0
+
+
+class TestBatchFaultSafety:
+    """The bulk cache path must be fault-safe: a mid-batch solver
+    failure degrades only the affected node's group and leaves every
+    other point's walk undegraded."""
+
+    def test_mid_batch_failure_degrades_only_affected_node(self, square20):
+        prior = GridPrior.uniform(RegularGrid(square20, 9))
+        index = HierarchicalGrid(square20, 3, 2)
+        # Warm a real cache with a healthy solver, then serve a batch
+        # through a proxy that drops exactly one level-2 node while the
+        # solver is hard down: re-solving the dropped node is
+        # unrecoverable, so precisely that node's group must degrade.
+        healthy = MultiStepMechanism(index, (0.5, 0.7), prior)
+        healthy.precompute()
+        dropped = (4,)  # the level-2 node under the centre child
+        proxy = FlakyCacheProxy(healthy.cache, drop_paths=[dropped])
+        dead_solver = ResilientSolver(
+            ResilienceConfig.starting_with("highs-ds"),
+            solve_fn=FaultInjectingSolver(
+                [RaiseFault(message="mid-batch outage")]
+            ),
+        )
+        msm = MultiStepMechanism(
+            index, (0.5, 0.7), prior, solver=dead_solver, cache=proxy
+        )
+        rng = np.random.default_rng(20190326)
+        coords = rng.uniform(0.0, 20.0, size=(400, 2))
+        points = [Point(float(x), float(y)) for x, y in coords]
+        with pytest.warns(DegradedModeWarning, match="exponential fallback"):
+            walks = msm.sanitize_batch(points, rng)
+        assert len(walks) == len(points)
+        through_dropped = 0
+        for walk in walks:
+            for step in walk.trace:
+                if step.node_path == dropped:
+                    assert step.degraded
+                    assert step.mechanism == "exponential"
+                    through_dropped += 1
+                else:
+                    assert not step.degraded
+                    assert step.mechanism in ("opt", "bundle")
+            if any(s.node_path == dropped for s in walk.trace):
+                assert walk.degradation.degraded_levels == (2,)
+            else:
+                assert walk.degradation.clean
+        # The scenario actually exercised the failure: some points
+        # walked through the dead node, and only one re-solve happened.
+        assert through_dropped > 0
+        assert through_dropped < len(points)
+        assert proxy.dropped_lookups >= 1
+        assert proxy.builds == 1

@@ -226,3 +226,95 @@ class TestAdaptiveIndexes:
         msm = MultiStepMechanism(index, (0.2, 0.2, 0.2), fine_prior)
         _, probs = msm.reported_distribution(Point(10, 10))
         assert probs.sum() == pytest.approx(1.0)
+
+class TestBatchWalk:
+    def test_empty_batch(self, msm2, rng):
+        assert msm2.sanitize_batch([], rng) == []
+
+    def test_outputs_are_leaf_centers(self, msm2, rng):
+        leaf_centers = {
+            leaf.bounds.center.as_tuple() for leaf in msm2.index.leaves()
+        }
+        xs = [Point(1, 1), Point(10, 10), Point(19, 19)] * 5
+        walks = msm2.sanitize_batch(xs, rng)
+        assert len(walks) == len(xs)
+        for walk in walks:
+            assert walk.point.as_tuple() in leaf_centers
+
+    def test_traces_record_full_descent(self, msm2, rng):
+        walks = msm2.sanitize_batch([Point(5, 5), Point(15, 2)], rng)
+        for walk in walks:
+            assert [t.level for t in walk.trace] == [1, 2]
+            assert walk.trace[0].node_path == ()
+            # Level 2 descends into the child reported at level 1.
+            assert walk.trace[1].node_path == (
+                walk.trace[0].reported_index,
+            )
+            # Output is the centre of the leaf the walk ended in.
+            leaf_path = walk.trace[1].node_path + (
+                walk.trace[1].reported_index,
+            )
+            node = msm2.index.root
+            for child_index in leaf_path:
+                node = msm2.index.children(node)[child_index]
+            assert walk.point == node.bounds.center
+            assert walk.degradation.clean
+
+    def test_sample_many_matches_batch_points(self, msm2):
+        xs = [Point(2, 2), Point(10, 10), Point(18, 18)] * 4
+        points = msm2.sample_many(xs, np.random.default_rng(7))
+        walks = msm2.sanitize_batch(xs, np.random.default_rng(7))
+        assert points == [w.point for w in walks]
+
+    def test_batch_determinism_given_seed(self, msm2):
+        xs = [Point(3, 3), Point(12, 8)] * 10
+        a = msm2.sanitize_batch(xs, np.random.default_rng(11))
+        b = msm2.sanitize_batch(xs, np.random.default_rng(11))
+        assert [w.point for w in a] == [w.point for w in b]
+        assert [w.trace for w in a] == [w.trace for w in b]
+
+    def test_precomputed_batch_does_no_lp_work(self, msm2):
+        msm2.precompute()
+        before = msm2.lp_seconds
+        builds_before = msm2.cache.builds
+        msm2.sanitize_batch(
+            [Point(4, 4), Point(16, 16)] * 8, np.random.default_rng(3)
+        )
+        assert msm2.lp_seconds == before
+        assert msm2.cache.builds == builds_before
+
+    def test_cold_batch_solves_each_node_once(self, square20):
+        from repro.grid.regular import RegularGrid
+        from repro.priors.base import GridPrior
+
+        prior = GridPrior.uniform(RegularGrid(square20, 9))
+        index = HierarchicalGrid(square20, 3, 2)
+        msm = MultiStepMechanism(index, (0.5, 0.7), prior)
+        rng = np.random.default_rng(20190326)
+        coords = rng.uniform(0.0, 20.0, size=(500, 2))
+        msm.sanitize_batch(
+            [Point(float(x), float(y)) for x, y in coords], rng
+        )
+        # 500 points over 9 level-1 cells reach every level-2 node, yet
+        # each distinct node is built exactly once: root + 9 children.
+        assert msm.cache.builds == 10
+        assert len(msm.cache) == 10
+
+    def test_outside_point_gets_random_x_hat(self, msm2, rng):
+        walks = msm2.sanitize_batch([Point(-50.0, -50.0)], rng)
+        assert walks[0].trace[0].x_hat_random
+        in_domain = msm2.sanitize_batch([Point(5.0, 5.0)], rng)
+        assert not in_domain[0].trace[0].x_hat_random
+
+    def test_batch_over_adaptive_index(self, fine_prior, small_dataset, rng):
+        sample = small_dataset.sample_requests(600, rng)
+        index = QuadtreeIndex(
+            small_dataset.bounds, sample, capacity=150, max_depth=3
+        )
+        msm = MultiStepMechanism(index, (0.2, 0.2, 0.2), fine_prior)
+        walks = msm.sanitize_batch(sample[:40], rng)
+        assert len(walks) == 40
+        for walk in walks:
+            assert small_dataset.bounds.contains(walk.point)
+            # Uneven quadtree depth: traces may stop before 3 levels.
+            assert 1 <= len(walk.trace) <= 3

@@ -1,0 +1,252 @@
+"""Statistical verification of the batch sanitisation engine.
+
+Two claims are verified by sampling rather than by construction:
+
+1. **Batch/single equivalence** — ``sanitize_batch`` and repeated
+   ``sanitize`` draw from the same per-leaf output distribution.  The
+   batch path consumes the random stream in a different order (grouped,
+   vectorised CDF inversion vs per-point ``rng.choice``), so outputs are
+   not bit-identical under a shared seed; what must hold is equality in
+   distribution, checked with a two-sample chi-square test.
+
+2. **Empirical privacy** — the epsilon *estimated from samples* of a
+   small MSM instance never exceeds the configured budget (plus a
+   documented sampling tolerance).  This closes the loop the exact
+   matrix tests cannot: it validates the sampler actually implementing
+   the verified matrices.
+
+All tests are fixed-seed and therefore deterministic; they carry the
+``statistical`` marker so slow chi-square runs can be deselected locally
+with ``-m "not statistical"``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.msm import MultiStepMechanism
+from repro.geo.bbox import BoundingBox
+from repro.geo.metric import EUCLIDEAN
+from repro.geo.point import Point
+from repro.grid.hierarchy import HierarchicalGrid
+from repro.grid.regular import RegularGrid
+from repro.priors.base import GridPrior
+from repro.privacy.hierarchical import hierarchical_bound
+
+pytestmark = pytest.mark.statistical
+
+#: Significance level for the goodness-of-fit checks; a *passing* test
+#: sees p above this, so at alpha = 0.01 a correct implementation fails
+#: spuriously 1% of the time per test *under reseeding* — with the fixed
+#: seeds below the outcomes are deterministic and were verified to pass.
+ALPHA = 0.01
+
+#: Minimum pooled count per chi-square bin; sparser bins are merged into
+#: one tail bucket so the chi-square approximation stays valid.
+MIN_POOLED = 10
+
+
+@pytest.fixture(scope="module")
+def square20() -> BoundingBox:
+    return BoundingBox.square(Point(0.0, 0.0), 20.0)
+
+
+@pytest.fixture(scope="module")
+def msm2(square20) -> MultiStepMechanism:
+    """A warm two-level MSM (g = 3, 81 leaves) over a uniform prior."""
+    prior = GridPrior.uniform(RegularGrid(square20, 9))
+    index = HierarchicalGrid(square20, 3, 2)
+    msm = MultiStepMechanism(index, (0.5, 0.7), prior)
+    msm.precompute()
+    return msm
+
+
+def leaf_counts(
+    msm: MultiStepMechanism, points: list[Point]
+) -> np.ndarray:
+    """Histogram reported points over the walk's leaf grid."""
+    depth = min(msm.height, msm.index.height)
+    grid = msm.index.level_grid(depth)
+    counts = np.zeros(grid.n_cells, dtype=float)
+    for p in points:
+        counts[grid.locate(p).index] += 1
+    return counts
+
+
+def merged_table(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """2 x k contingency table with sparse bins pooled into a tail bucket."""
+    pooled = a + b
+    keep = pooled >= MIN_POOLED
+    row_a = np.append(a[keep], a[~keep].sum())
+    row_b = np.append(b[keep], b[~keep].sum())
+    table = np.vstack([row_a, row_b])
+    return table[:, table.sum(axis=0) > 0]
+
+
+class TestBatchSingleEquivalence:
+    N = 6000
+
+    @pytest.mark.parametrize(
+        "x", [Point(3.3, 12.8), Point(10.0, 10.0), Point(18.7, 1.2)],
+        ids=["off-center", "center", "corner"],
+    )
+    def test_chi_square_two_sample(self, msm2, x):
+        """Batch and single sampling are indistinguishable at alpha=0.01."""
+        rng_single = np.random.default_rng(1101)
+        rng_batch = np.random.default_rng(2202)
+        single = [msm2.sample(x, rng_single) for _ in range(self.N)]
+        batch = [
+            w.point for w in msm2.sanitize_batch([x] * self.N, rng_batch)
+        ]
+        table = merged_table(
+            leaf_counts(msm2, single), leaf_counts(msm2, batch)
+        )
+        _, p_value, _, _ = stats.chi2_contingency(table)
+        assert p_value >= ALPHA, (
+            f"batch and single leaf distributions diverge (p={p_value:.4g})"
+        )
+
+    def test_both_match_exact_distribution(self, msm2):
+        """Both samplers match ``reported_distribution`` in closed form."""
+        x = Point(3.3, 12.8)
+        grid = msm2.index.level_grid(2)
+        exact = np.zeros(grid.n_cells)
+        for point, mass in zip(*msm2.reported_distribution(x)):
+            exact[grid.locate(point).index] += mass
+        rng = np.random.default_rng(3303)
+        for sampler in (
+            lambda: [msm2.sample(x, rng) for _ in range(self.N)],
+            lambda: [
+                w.point for w in msm2.sanitize_batch([x] * self.N, rng)
+            ],
+        ):
+            counts = leaf_counts(msm2, sampler())
+            expected = exact * self.N
+            keep = expected >= 5
+            f_obs = np.append(counts[keep], counts[~keep].sum())
+            f_exp = np.append(expected[keep], expected[~keep].sum())
+            # Guard the test itself: everything must be accounted for.
+            assert f_obs.sum() == pytest.approx(self.N)
+            p_value = stats.chisquare(f_obs, f_exp).pvalue
+            assert p_value >= ALPHA, f"sampler diverges from exact (p={p_value:.4g})"
+
+    def test_mixed_batch_groups_by_node(self, msm2):
+        """A heterogeneous batch equals per-point sampling, point by point.
+
+        Feeds two distinct inputs interleaved, so the grouping machinery
+        has to split and re-merge the batch; each input's marginal must
+        still match its own single-point distribution.
+        """
+        a, b = Point(2.0, 2.0), Point(17.5, 16.5)
+        n = 4000
+        rng_batch = np.random.default_rng(4404)
+        rng_single = np.random.default_rng(5505)
+        walks = msm2.sanitize_batch([a, b] * n, rng_batch)
+        batch_a = [w.point for w in walks[0::2]]
+        batch_b = [w.point for w in walks[1::2]]
+        single_a = [msm2.sample(a, rng_single) for _ in range(n)]
+        single_b = [msm2.sample(b, rng_single) for _ in range(n)]
+        for batch, single in ((batch_a, single_a), (batch_b, single_b)):
+            table = merged_table(
+                leaf_counts(msm2, single), leaf_counts(msm2, batch)
+            )
+            _, p_value, _, _ = stats.chi2_contingency(table)
+            assert p_value >= ALPHA
+
+
+class TestEmpiricalEpsilon:
+    """Sampled-frequency epsilon never exceeds the configured budget.
+
+    Tolerance (documented, fail-open): only cells sampled at least
+    ``MIN_COUNT = 100`` times on both sides enter the estimate, so the
+    standard error of a log-ratio is at most ``sqrt(2 / 100) ~= 0.14``
+    which, divided by the >= 6.6 km separation of distinct cell
+    centres, is ~0.02 in epsilon units (~4% of the configured 0.5); we
+    allow 15% relative headroom, far above that noise floor, so the
+    test only fires on a genuine privacy regression, not on sampling
+    luck.
+    """
+
+    MIN_COUNT = 100
+    TOLERANCE = 0.15
+
+    def test_single_level_empirical_epsilon(self, square20):
+        """Height-1 MSM: one guarded OPT step, Euclidean guarantee."""
+        epsilon = 0.5
+        prior = GridPrior.uniform(RegularGrid(square20, 3))
+        index = HierarchicalGrid(square20, 3, 1)
+        msm = MultiStepMechanism(index, (epsilon,), prior)
+        grid = index.level_grid(1)
+        centers = grid.centers()
+        n_per_input = 4000  # 9 inputs x 4000 = 36k samples (>= 20k)
+        rng = np.random.default_rng(6606)
+        counts = np.zeros((len(centers), grid.n_cells))
+        for i, x in enumerate(centers):
+            walks = msm.sanitize_batch([x] * n_per_input, rng)
+            counts[i] = leaf_counts(msm, [w.point for w in walks])
+        eps_hat = 0.0
+        for i in range(len(centers)):
+            for j in range(len(centers)):
+                if i == j:
+                    continue
+                both = (counts[i] >= self.MIN_COUNT) & (
+                    counts[j] >= self.MIN_COUNT
+                )
+                if not both.any():
+                    continue
+                ratio = np.log(counts[i][both] / counts[j][both]).max()
+                d = EUCLIDEAN(centers[i], centers[j])
+                eps_hat = max(eps_hat, ratio / d)
+        assert eps_hat > 0.0  # the estimate actually saw binding pairs
+        assert eps_hat <= epsilon * (1.0 + self.TOLERANCE), (
+            f"empirical epsilon {eps_hat:.4f} exceeds configured "
+            f"{epsilon} beyond the {self.TOLERANCE:.0%} sampling tolerance"
+        )
+
+    def test_multi_level_hierarchical_bound(self, msm2):
+        """Height-2 MSM: log-ratios respect the hierarchical bound.
+
+        The rigorous multi-level guarantee is stated against the
+        hierarchical distinguishability metric
+        (:mod:`repro.privacy.hierarchical`), so the sampled log-ratio of
+        any output between two inputs must stay below
+        ``hierarchical_bound(x, x')`` — the exponent whose budget sum is
+        the configured epsilon — within the same sampling tolerance.
+        """
+        grid = msm2.index.level_grid(2)
+        # Close pairs (adjacent leaf cells) so distributions overlap
+        # enough for well-sampled shared outputs; the far fourth input
+        # checks that disjoint-support pairs are skipped, not failed.
+        inputs = [
+            Point(3.3, 3.3),
+            Point(5.5, 3.3),
+            Point(3.3, 5.5),
+            Point(10.0, 10.0),
+        ]
+        n_per_input = 8000  # 4 x 8000 = 32k samples (>= 20k)
+        rng = np.random.default_rng(7707)
+        counts = np.zeros((len(inputs), grid.n_cells))
+        for i, x in enumerate(inputs):
+            walks = msm2.sanitize_batch([x] * n_per_input, rng)
+            counts[i] = leaf_counts(msm2, [w.point for w in walks])
+        checked = 0
+        for i in range(len(inputs)):
+            for j in range(len(inputs)):
+                if i == j:
+                    continue
+                bound = hierarchical_bound(msm2, inputs[i], inputs[j])
+                both = (counts[i] >= self.MIN_COUNT) & (
+                    counts[j] >= self.MIN_COUNT
+                )
+                if not both.any():
+                    continue
+                ratio = np.log(counts[i][both] / counts[j][both]).max()
+                assert ratio <= bound * (1.0 + self.TOLERANCE) + math.sqrt(
+                    2.0 / self.MIN_COUNT
+                )
+                checked += 1
+        assert checked > 0
