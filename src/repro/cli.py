@@ -123,6 +123,8 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"location ({args.x}, {args.y}) outside the bundle domain"
             )
+        if args.remap:
+            msm.enable_remap()
         z = msm.sample(x, rng)
         print(f"actual   : ({x.x:.4f}, {x.y:.4f}) km")
         print(f"reported : ({z.x:.4f}, {z.y:.4f}) km")
@@ -134,7 +136,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     grid = RegularGrid(dataset.bounds, args.prior_granularity)
     prior = empirical_prior(grid, dataset.points(), smoothing=0.1)
     msm = MultiStepMechanism.build(
-        args.epsilon, args.g, prior, rho=args.rho
+        args.epsilon, args.g, prior, rho=args.rho, remap=args.remap
     )
     if not dataset.bounds.contains(x):
         raise SystemExit(
@@ -199,6 +201,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_san.add_argument("--y", type=float, required=True,
                        help="planar y in km")
     p_san.add_argument("--seed", type=int, default=0)
+    p_san.add_argument("--remap", action="store_true",
+                       help="apply the optimal Bayesian remap to the output "
+                            "(post-processing; never weakens the guarantee)")
     p_san.set_defaults(func=_cmd_sanitize)
 
     p_bundle = sub.add_parser(

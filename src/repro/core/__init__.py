@@ -11,6 +11,14 @@ from repro.core.budget import (
 )
 from repro.core.bundle import BundleInfo, load_bundle, sample_from_bundle, save_bundle
 from repro.core.cache import CacheEntry, NodeMechanismCache
+from repro.core.engine import (
+    ExecutionPolicy,
+    OptimalRemapPostProcessor,
+    PostProcessor,
+    SerialExecution,
+    ShardedExecution,
+    WalkEngine,
+)
 from repro.core.resilience import (
     DegradationReport,
     DegradedNode,
@@ -28,8 +36,13 @@ __all__ = [
     "CacheEntry",
     "DegradationReport",
     "DegradedNode",
+    "ExecutionPolicy",
     "MultiStepMechanism",
     "NodeMechanismCache",
+    "OptimalRemapPostProcessor",
+    "PostProcessor",
+    "SerialExecution",
+    "ShardedExecution",
     "ResilienceConfig",
     "ResilientSolver",
     "SanitizationSession",
@@ -37,6 +50,7 @@ __all__ = [
     "SolveAttempt",
     "SolveRecord",
     "StepTrace",
+    "WalkEngine",
     "WalkResult",
     "allocate_budget",
     "lattice_sum",

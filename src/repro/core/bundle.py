@@ -96,7 +96,7 @@ def save_bundle(msm: MultiStepMechanism, path: str | Path) -> BundleInfo:
     payload["meta_prior_g"] = np.asarray([msm.prior.grid.granularity])
     payload["meta_prior"] = msm.prior.probabilities
     payload["meta_dq"] = np.frombuffer(
-        msm._dq.name.encode(), dtype=np.uint8
+        msm.dq.name.encode(), dtype=np.uint8
     )
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)

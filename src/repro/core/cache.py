@@ -136,6 +136,36 @@ class NodeMechanismCache:
             out[path] = entry
         return out
 
+    def snapshot(self) -> dict[tuple[int, ...], CacheEntry]:
+        """A shallow copy of the store (entries are frozen, so safe to
+        ship across process boundaries for :meth:`merge`)."""
+        return dict(self._store)
+
+    def merge(self, entries: dict[tuple[int, ...], CacheEntry]) -> int:
+        """Adopt entries solved elsewhere (e.g. by a worker shard).
+
+        Already-known paths are kept as-is — the local entry was solved
+        and guarded first, and identical inputs yield identical LPs, so
+        there is nothing to reconcile.  New entries go through
+        :meth:`put` so proxy subclasses keep their interception
+        semantics.  Returns the number of newly adopted entries.
+        """
+        adopted = 0
+        for path, entry in entries.items():
+            if path in self._store:
+                continue
+            self.put(
+                path,
+                entry.matrix,
+                degraded=entry.degraded,
+                source=entry.source,
+                reason=entry.reason,
+                level=entry.level,
+                epsilon=entry.epsilon,
+            )
+            adopted += 1
+        return adopted
+
     def degraded_entries(self) -> dict[tuple[int, ...], CacheEntry]:
         """All nodes currently running on a substituted mechanism."""
         return {p: e for p, e in self._store.items() if e.degraded}

@@ -1,0 +1,801 @@
+"""The unified MSM walk engine.
+
+Every sanitisation in the library — one point or fifty thousand — runs
+through a single staged pipeline owned by :class:`WalkEngine`:
+
+    locate  → resolve → sample  → descend → finalise
+    (snap     (cache /   (vector-  (pick      (optional
+    to a      resilient  ised CDF  reported   post-processing,
+    child)    solver)    draw)     child)     e.g. optimal remap)
+
+The scalar path is literally a batch of one:
+:meth:`~repro.core.msm.MultiStepMechanism.sample_with_report` calls the
+same engine code as
+:meth:`~repro.core.msm.MultiStepMechanism.sanitize_batch`, so the two
+are byte-identical under a shared seed — there is no second walk
+implementation to drift out of sync.
+
+*How* the engine runs a batch is a pluggable
+:class:`ExecutionPolicy`: :class:`SerialExecution` walks the whole
+batch in-process (the right default below ~10k points or on one core),
+while :class:`ShardedExecution` partitions the batch by top-level index
+node, walks each shard in a worker process with its own seeded RNG
+stream, and merges the per-shard :class:`WalkResult` lists — traces,
+degradation reports and newly solved cache entries included — back
+into input order.
+
+*What happens after* the walk is a pluggable :class:`PostProcessor`:
+:class:`OptimalRemapPostProcessor` applies the optimal Bayesian remap
+of Chatzikokolakis et al. ("Trading Optimality for Performance in
+Location Privacy"), a deterministic output-only transformation that by
+the data-processing inequality never weakens GeoInd and never
+increases posterior-expected loss.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import pickle
+import time
+import warnings
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Sequence
+
+import numpy as np
+
+from repro.exceptions import (
+    DegradedModeWarning,
+    MechanismError,
+    SolverError,
+)
+from repro.geo.metric import EUCLIDEAN, Metric
+from repro.geo.point import Point
+from repro.grid.index import IndexNode, SpatialIndex
+from repro.mechanisms.exponential import exponential_matrix_from_locations
+from repro.mechanisms.matrix import MechanismMatrix
+from repro.mechanisms.optimal import optimal_mechanism_from_locations
+from repro.mechanisms.remap import optimal_remap_assignment
+from repro.priors.base import GridPrior
+from repro.privacy.guard import guard_mechanism
+from repro.core.cache import CacheEntry, NodeMechanismCache
+from repro.core.resilience import (
+    DegradationReport,
+    DegradedNode,
+    ResilientSolver,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.msm import MultiStepMechanism
+
+
+@dataclass(frozen=True)
+class StepTrace:
+    """One level of an MSM walk, for inspection and tests."""
+
+    level: int
+    node_path: tuple[int, ...]
+    x_hat_index: int
+    x_hat_random: bool
+    reported_index: int
+    degraded: bool = False
+    mechanism: str = "opt"
+
+
+@dataclass(frozen=True)
+class WalkResult:
+    """A sanitised point plus the full account of how it was produced.
+
+    ``raw_point`` is set by post-processing stages (e.g. the optimal
+    remap) to the point the walk itself produced, so provenance
+    survives output transformations; it is None when no post-processor
+    ran.
+    """
+
+    point: Point
+    trace: tuple[StepTrace, ...]
+    degradation: DegradationReport
+    raw_point: Point | None = None
+
+
+# ----------------------------------------------------------------------
+# post-processing stage
+# ----------------------------------------------------------------------
+class PostProcessor(abc.ABC):
+    """The finalise stage: an output-only transformation of walk results.
+
+    Implementations must be *deterministic functions of the output*
+    (plus public knowledge such as the prior), so that by the
+    data-processing inequality they cannot weaken the GeoInd guarantee
+    the walk already established.
+    """
+
+    #: short label recorded in provenance / tables
+    name: str = "post"
+
+    @abc.abstractmethod
+    def finalise(self, results: list[WalkResult]) -> list[WalkResult]:
+        """Transform a batch of walk results (same length, same order)."""
+
+
+class OptimalRemapPostProcessor(PostProcessor):
+    """Optimal Bayesian remap over the walk's leaf outputs.
+
+    On observing walk output ``z``, report instead the leaf centre
+    minimising the posterior-expected quality loss under the modelling
+    prior (Chatzikokolakis et al.; also the utility lever Bordenabe et
+    al.'s optimal-mechanism construction exploits).  The remap table is
+    built lazily on first use from the *exact* end-to-end walk matrix
+    (:meth:`~repro.core.msm.MultiStepMechanism.to_matrix`), which
+    restricts this post-processor to analysis-scale instances over a
+    :class:`~repro.grid.hierarchy.HierarchicalGrid`; the per-query cost
+    once built is one dictionary lookup.
+
+    Being a deterministic function of the mechanism output alone, the
+    remap never weakens GeoInd, and by construction it never increases
+    the prior-expected loss of the end-to-end mechanism.
+    """
+
+    name = "optimal-remap"
+
+    def __init__(self, msm: "MultiStepMechanism", dq: Metric | None = None):
+        self._msm = msm
+        self._dq = dq
+        self._table: dict[int, Point] | None = None
+        self._leaf_grid = None
+
+    @property
+    def table(self) -> dict[int, Point]:
+        """Leaf cell index -> remapped output (built lazily, then cached).
+
+        Keyed by the leaf grid's cell index rather than raw coordinates,
+        so walk outputs (node-bounds centres) and matrix outputs (grid
+        centres) cannot miss each other over float rounding."""
+        if self._table is None:
+            self._table = self._build_table()
+        return self._table
+
+    @property
+    def leaf_grid(self):
+        """The grid whose cells key :attr:`table` (built with it)."""
+        self.table
+        return self._leaf_grid
+
+    def assignment(self) -> np.ndarray:
+        """The remap assignment over the end-to-end matrix outputs."""
+        matrix, prior = self._end_to_end()
+        dq = self._dq if self._dq is not None else self._msm.dq
+        return optimal_remap_assignment(matrix, prior, dq)
+
+    def _end_to_end(self) -> tuple[MechanismMatrix, np.ndarray]:
+        from repro.priors.aggregate import aggregate_mass
+
+        msm = self._msm
+        matrix = msm.to_matrix()
+        depth = min(msm.height, msm.index.max_height())
+        leaf_grid = msm.index.level_grid(depth)
+        self._leaf_grid = leaf_grid
+        mass = aggregate_mass(msm.prior, leaf_grid)
+        total = mass.sum()
+        if total <= 0:
+            prior = np.full(leaf_grid.n_cells, 1.0 / leaf_grid.n_cells)
+        else:
+            prior = mass / total
+        return matrix, prior
+
+    def _build_table(self) -> dict[int, Point]:
+        matrix, prior = self._end_to_end()
+        dq = self._dq if self._dq is not None else self._msm.dq
+        assignment = optimal_remap_assignment(matrix, prior, dq)
+        outputs = matrix.outputs
+        return {
+            z_index: outputs[int(w)]
+            for z_index, w in enumerate(assignment)
+        }
+
+    def finalise(self, results: list[WalkResult]) -> list[WalkResult]:
+        table = self.table
+        grid = self._leaf_grid
+        out: list[WalkResult] = []
+        for walk in results:
+            if not grid.bounds.contains(walk.point):
+                raise MechanismError(
+                    f"walk output {walk.point} is outside the remap "
+                    f"table's leaf grid; was the index changed after the "
+                    f"table was built?"
+                )
+            remapped = table[grid.locate(walk.point).index]
+            out.append(replace(walk, point=remapped, raw_point=walk.point))
+        return out
+
+
+# ----------------------------------------------------------------------
+# execution policies
+# ----------------------------------------------------------------------
+class ExecutionPolicy(abc.ABC):
+    """How a batch of walks is scheduled onto hardware.
+
+    Policies only decide *where* :meth:`WalkEngine.walk` runs; the walk
+    semantics (and hence the privacy guarantee) are identical under
+    every policy.
+    """
+
+    #: short label recorded in benchmarks
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def execute(
+        self,
+        engine: "WalkEngine",
+        points: list[Point],
+        rng: np.random.Generator,
+    ) -> list[WalkResult]:
+        """Run the engine over ``points`` and return per-point results."""
+
+
+class SerialExecution(ExecutionPolicy):
+    """Walk the whole batch in-process (one vectorised pipeline)."""
+
+    name = "serial"
+
+    def execute(
+        self,
+        engine: "WalkEngine",
+        points: list[Point],
+        rng: np.random.Generator,
+    ) -> list[WalkResult]:
+        return engine.walk(points, rng)
+
+
+def _run_shard(
+    engine: "WalkEngine",
+    points: list[Point],
+    stream: "np.random.Generator | np.random.SeedSequence",
+) -> tuple[list[WalkResult], dict[tuple[int, ...], CacheEntry], float]:
+    """Worker entry point: walk one shard with its own seeded stream.
+
+    Returns the shard's results plus the worker cache content and LP
+    wall-clock, so the parent can adopt newly solved nodes and keep its
+    accounting truthful.  Module-level so it pickles under every
+    multiprocessing start method.
+    """
+    rng = np.random.default_rng(stream)
+    results = engine.walk(points, rng, postprocess=False)
+    return results, engine.cache.snapshot(), engine.lp_seconds
+
+
+class ShardedExecution(ExecutionPolicy):
+    """Partition a batch by top-level index node across worker processes.
+
+    Each shard holds the points whose *actual* location falls in the
+    same child of the root (points outside the domain form one extra
+    shard), walks in its own process with an independent RNG stream
+    spawned from the caller's generator
+    (:meth:`numpy.random.Generator.spawn`), and returns full per-point
+    provenance.  The parent merges shard results back into input order
+    and adopts every node mechanism the workers solved, so a sharded
+    run warms the parent cache exactly like a serial one.
+
+    Outputs are *distribution-identical* to serial execution but not
+    bit-identical under a shared seed (shards consume independent
+    streams); the equivalence is verified statistically in
+    ``tests/test_engine.py``.
+
+    The policy degrades gracefully: batches smaller than
+    ``min_batch_size``, machines without a usable worker pool, single
+    shards, or engines that cannot be pickled all fall back to the
+    serial pipeline — never to an error.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker-process cap; defaults to the CPU count visible to this
+        process.  Parallel speedup obviously requires > 1 core.
+    min_batch_size:
+        Batches below this size skip the pool (fork + pickle overhead
+        would dominate); the default keeps single-point calls — the
+        scalar path — on the serial fast path.
+    mp_start_method:
+        ``multiprocessing`` start method; ``fork`` (where available)
+        shares the parent's warm cache with workers for free.
+    """
+
+    name = "sharded"
+
+    def __init__(
+        self,
+        max_workers: int | None = None,
+        min_batch_size: int = 2048,
+        mp_start_method: str | None = None,
+    ):
+        if max_workers is not None and max_workers < 1:
+            raise MechanismError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self._max_workers = max_workers
+        self._min_batch_size = min_batch_size
+        self._mp_start_method = mp_start_method
+
+    @property
+    def max_workers(self) -> int:
+        """The effective worker cap on this machine."""
+        if self._max_workers is not None:
+            return self._max_workers
+        return os.cpu_count() or 1
+
+    def shard_keys(
+        self, engine: "WalkEngine", coords: np.ndarray
+    ) -> np.ndarray:
+        """Top-level child index per point (-1 for out-of-domain)."""
+        index = engine.index
+        return index.locate_child_indices(index.root, coords)
+
+    def partition(
+        self, engine: "WalkEngine", points: list[Point]
+    ) -> list[list[int]]:
+        """Point indices grouped by shard key, in deterministic order."""
+        coords = np.asarray([(p.x, p.y) for p in points], dtype=float)
+        keys = self.shard_keys(engine, coords)
+        shards: dict[int, list[int]] = {}
+        for i, key in enumerate(keys):
+            shards.setdefault(int(key), []).append(i)
+        return [shards[key] for key in sorted(shards)]
+
+    def execute(
+        self,
+        engine: "WalkEngine",
+        points: list[Point],
+        rng: np.random.Generator,
+    ) -> list[WalkResult]:
+        shards = self.partition(engine, points)
+        workers = min(self.max_workers, len(shards))
+        if (
+            len(points) < self._min_batch_size
+            or workers < 2
+            or len(shards) < 2
+        ):
+            return engine.walk(points, rng)
+        worker_engine = engine.worker_copy()
+        try:
+            payload = pickle.dumps(worker_engine)
+        except Exception as exc:  # unpicklable solver/cache injections
+            warnings.warn(
+                f"sharded execution unavailable (engine not picklable: "
+                f"{exc}); falling back to serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            return engine.walk(points, rng)
+        del payload
+        seeds = rng.spawn(len(shards))
+        results: list[WalkResult | None] = [None] * len(points)
+        import concurrent.futures
+        import multiprocessing
+
+        method = self._mp_start_method
+        if method is None:
+            method = (
+                "fork"
+                if "fork" in multiprocessing.get_all_start_methods()
+                else None
+            )
+        context = (
+            multiprocessing.get_context(method)
+            if method is not None
+            else multiprocessing.get_context()
+        )
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = [
+                pool.submit(
+                    _run_shard,
+                    worker_engine,
+                    [points[i] for i in shard],
+                    seed,
+                )
+                for shard, seed in zip(shards, seeds)
+            ]
+            for shard, future in zip(shards, futures):
+                shard_results, entries, lp_seconds = future.result()
+                for i, walk in zip(shard, shard_results):
+                    results[i] = walk
+                engine.cache.merge(entries)
+                engine.add_lp_seconds(lp_seconds)
+        return engine.finalise([w for w in results if w is not None])
+
+
+# ----------------------------------------------------------------------
+# the engine
+# ----------------------------------------------------------------------
+class WalkEngine:
+    """One staged, vectorised implementation of the MSM level walk.
+
+    The engine owns the walk configuration (index, per-level budgets,
+    prior, metrics, resilient solver, guard/degrade policy, node cache)
+    and exposes the stages — :meth:`locate`, :meth:`resolve_many`,
+    :meth:`sample`, :meth:`finalise` — plus the :meth:`walk` loop that
+    strings them together.  :class:`~repro.core.msm.MultiStepMechanism`
+    is a thin facade over an engine; execution policies schedule it;
+    post-processors transform its output.
+    """
+
+    def __init__(
+        self,
+        index: SpatialIndex,
+        budgets: Sequence[float],
+        prior: GridPrior,
+        dq: Metric = EUCLIDEAN,
+        dx: Metric = EUCLIDEAN,
+        backend: str = "highs-ds",
+        spanner_dilation: float | None = None,
+        solver: ResilientSolver | None = None,
+        degrade: bool = True,
+        guard: bool = True,
+        cache: NodeMechanismCache | None = None,
+        executor: ExecutionPolicy | None = None,
+        postprocessor: PostProcessor | None = None,
+    ):
+        self._index = index
+        self._budgets = tuple(float(b) for b in budgets)
+        self._prior = prior
+        self._dq = dq
+        self._dx = dx
+        self._backend = backend
+        self._spanner_dilation = spanner_dilation
+        self._solver = solver if solver is not None else ResilientSolver()
+        self._degrade = degrade
+        self._guard = guard
+        self._cache = cache if cache is not None else NodeMechanismCache()
+        self._executor = executor if executor is not None else SerialExecution()
+        self._postprocessor = postprocessor
+        self._lp_seconds = 0.0
+
+    # ------------------------------------------------------------------
+    # accessors
+    # ------------------------------------------------------------------
+    @property
+    def index(self) -> SpatialIndex:
+        return self._index
+
+    @property
+    def budgets(self) -> tuple[float, ...]:
+        return self._budgets
+
+    @property
+    def prior(self) -> GridPrior:
+        return self._prior
+
+    @property
+    def dq(self) -> Metric:
+        return self._dq
+
+    @property
+    def dx(self) -> Metric:
+        return self._dx
+
+    @property
+    def cache(self) -> NodeMechanismCache:
+        return self._cache
+
+    @property
+    def solver(self) -> ResilientSolver:
+        return self._solver
+
+    @property
+    def lp_seconds(self) -> float:
+        """Cumulative wall-clock spent solving per-node LPs."""
+        return self._lp_seconds
+
+    def add_lp_seconds(self, seconds: float) -> None:
+        """Fold in LP wall-clock accrued elsewhere (worker shards)."""
+        self._lp_seconds += float(seconds)
+
+    @property
+    def executor(self) -> ExecutionPolicy:
+        return self._executor
+
+    @executor.setter
+    def executor(self, policy: ExecutionPolicy) -> None:
+        self._executor = policy
+
+    @property
+    def postprocessor(self) -> PostProcessor | None:
+        return self._postprocessor
+
+    @postprocessor.setter
+    def postprocessor(self, post: PostProcessor | None) -> None:
+        self._postprocessor = post
+
+    def worker_copy(self) -> "WalkEngine":
+        """A copy suitable for a worker process: serial, no post stage.
+
+        Workers share the parent's (forked or pickled) cache content
+        but must not recurse into a pool of their own, and
+        post-processing runs exactly once, in the parent, after the
+        merge.
+        """
+        return WalkEngine(
+            self._index,
+            self._budgets,
+            self._prior,
+            dq=self._dq,
+            dx=self._dx,
+            backend=self._backend,
+            spanner_dilation=self._spanner_dilation,
+            solver=self._solver,
+            degrade=self._degrade,
+            guard=self._guard,
+            cache=self._cache,
+            executor=SerialExecution(),
+            postprocessor=None,
+        )
+
+    # ------------------------------------------------------------------
+    # entry point
+    # ------------------------------------------------------------------
+    def run(
+        self, points: Sequence[Point], rng: np.random.Generator
+    ) -> list[WalkResult]:
+        """Sanitise ``points`` under the configured execution policy."""
+        points = list(points)
+        if not points:
+            return []
+        if not self._index.children(self._index.root):
+            raise MechanismError(
+                "index root has no children; nothing to report"
+            )
+        return self._executor.execute(self, points, rng)
+
+    # ------------------------------------------------------------------
+    # the staged pipeline
+    # ------------------------------------------------------------------
+    def walk(
+        self,
+        points: Sequence[Point],
+        rng: np.random.Generator,
+        postprocess: bool = True,
+    ) -> list[WalkResult]:
+        """The level walk itself: every stage, one code path, any batch.
+
+        Semantically each point gets an independent Algorithm-1 walk
+        with full :class:`StepTrace` provenance and a per-point
+        :class:`~repro.core.resilience.DegradationReport`; the loop is
+        structured for throughput (group by node, bulk cache warm-up so
+        each level LP solves once, vectorised CDF-inversion sampling).
+        A batch of one *is* the scalar path.
+        """
+        points = list(points)
+        if not points:
+            return []
+        if not self._index.children(self._index.root):
+            raise MechanismError(
+                "index root has no children; nothing to report"
+            )
+        n = len(points)
+        coords = np.asarray([(p.x, p.y) for p in points], dtype=float)
+        nodes: list[IndexNode] = [self._index.root] * n
+        traces: list[list[StepTrace]] = [[] for _ in range(n)]
+        substitutions: list[list[DegradedNode]] = [[] for _ in range(n)]
+        active = list(range(n))
+        for level, eps in enumerate(self._budgets, start=1):
+            if not active:
+                break
+            groups: dict[tuple[int, ...], list[int]] = {}
+            for i in active:
+                groups.setdefault(nodes[i].path, []).append(i)
+            group_nodes = {
+                path: nodes[idxs[0]] for path, idxs in groups.items()
+            }
+            children_of = {
+                path: self._index.children(node)
+                for path, node in group_nodes.items()
+            }
+            entries = self.resolve_many(level, group_nodes, children_of)
+            next_active: list[int] = []
+            for path, idxs in groups.items():
+                children = children_of[path]
+                if not children:
+                    continue  # bottomed out early (adaptive indexes)
+                entry = entries[path]
+                x_hat, drifted = self.locate(
+                    group_nodes[path], children, coords[idxs], rng
+                )
+                reported = self.sample(entry, x_hat, rng)
+                degraded_node = (
+                    DegradedNode(
+                        node_path=path,
+                        level=level,
+                        epsilon=eps,
+                        fallback=entry.source,
+                        reason=entry.reason or "",
+                    )
+                    if entry.degraded
+                    else None
+                )
+                for pos, i in enumerate(idxs):
+                    traces[i].append(
+                        StepTrace(
+                            level=level,
+                            node_path=path,
+                            x_hat_index=int(x_hat[pos]),
+                            x_hat_random=bool(drifted[pos]),
+                            reported_index=int(reported[pos]),
+                            degraded=entry.degraded,
+                            mechanism=entry.source,
+                        )
+                    )
+                    if degraded_node is not None:
+                        substitutions[i].append(degraded_node)
+                    nodes[i] = children[reported[pos]]
+                next_active.extend(idxs)
+            active = next_active
+        results = [
+            WalkResult(
+                point=nodes[i].bounds.center,
+                trace=tuple(traces[i]),
+                degradation=DegradationReport(tuple(substitutions[i])),
+            )
+            for i in range(n)
+        ]
+        return self.finalise(results) if postprocess else results
+
+    # -- stage: locate --------------------------------------------------
+    def locate(
+        self,
+        node: IndexNode,
+        children: Sequence[IndexNode],
+        coords: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Algorithm 1 lines 8-10, vectorised: snap each point to the
+        child containing it, or draw a uniform child where the walk has
+        drifted outside the node.  Returns ``(x_hat, drifted)``."""
+        x_hat = self._index.locate_child_indices(node, coords)
+        drifted = x_hat < 0
+        n_drifted = int(drifted.sum())
+        if n_drifted:
+            x_hat[drifted] = rng.integers(len(children), size=n_drifted)
+        return x_hat, drifted
+
+    # -- stage: resolve -------------------------------------------------
+    def resolve(
+        self,
+        node: IndexNode,
+        level: int,
+        children: Sequence[IndexNode],
+    ) -> CacheEntry:
+        """The validated step mechanism for one node (cache or solve)."""
+        return self.resolve_many(
+            level, {node.path: node}, {node.path: list(children)}
+        )[node.path]
+
+    def resolve_many(
+        self,
+        level: int,
+        group_nodes: dict[tuple[int, ...], IndexNode],
+        children_of: dict[tuple[int, ...], list[IndexNode]],
+    ) -> dict[tuple[int, ...], CacheEntry]:
+        """Bulk get-or-build: each distinct internal node of a level is
+        solved exactly once (through the resilient chain), guarded, and
+        cached before any point samples from it."""
+        return self._cache.get_or_build_many(
+            [path for path, kids in children_of.items() if kids],
+            lambda path: self.solve_step(
+                group_nodes[path], level, children_of[path]
+            ),
+        )
+
+    def solve_step(
+        self,
+        node: IndexNode,
+        level: int,
+        children: Sequence[IndexNode],
+    ) -> tuple[MechanismMatrix, dict]:
+        """Solve (or degrade to) one node's step mechanism and guard it.
+
+        Fail-closed contract: the returned matrix has either been
+        solved optimally through the resilient fallback chain or — when
+        that chain is exhausted and degradation is enabled — replaced
+        by the closed-form exponential mechanism at the same per-level
+        epsilon.  Either way the privacy guard validates it before it
+        may be cached or sampled from; a guard violation raises instead
+        of ever letting the walk sample from a bad matrix.  Returns the
+        matrix with the provenance dict
+        :meth:`~repro.core.cache.NodeMechanismCache.put` expects.
+        """
+        locations = [child.bounds.center for child in children]
+        sub_prior = self.child_prior(children)
+        eps = self._budgets[level - 1]
+        start = time.perf_counter()
+        degraded_reason: str | None = None
+        try:
+            try:
+                result = optimal_mechanism_from_locations(
+                    eps,
+                    locations,
+                    sub_prior,
+                    self._dq,
+                    dx=self._dx,
+                    backend=self._backend,
+                    spanner_dilation=self._spanner_dilation,
+                    solver=self._solver,
+                )
+                matrix = result.matrix
+            except SolverError as exc:
+                if not self._degrade:
+                    raise
+                degraded_reason = f"{type(exc).__name__}: {exc}"
+                matrix = exponential_matrix_from_locations(
+                    locations, eps, dx=self._dx
+                )
+                warnings.warn(
+                    DegradedModeWarning(
+                        f"level-{level} OPT solve failed at node "
+                        f"{node.path}; serving the exponential fallback "
+                        f"at eps={eps:.4g} (utility is sub-optimal, "
+                        f"privacy unchanged)"
+                    ),
+                    stacklevel=2,
+                )
+        finally:
+            self._lp_seconds += time.perf_counter() - start
+        if self._guard:
+            guard_mechanism(matrix, eps, dx=self._dx)
+        return (
+            matrix,
+            dict(
+                degraded=degraded_reason is not None,
+                source="exponential" if degraded_reason is not None else "opt",
+                reason=degraded_reason,
+                level=level,
+                epsilon=eps,
+            ),
+        )
+
+    def child_prior(self, children: Sequence[IndexNode]) -> np.ndarray:
+        """Global prior mass restricted to ``children`` and renormalised."""
+        centers = self._prior.grid.centers_array()
+        probs = self._prior.probabilities
+        masses = np.zeros(len(children))
+        for j, child in enumerate(children):
+            b = child.bounds
+            inside = (
+                (centers[:, 0] >= b.min_x)
+                & (centers[:, 0] < b.max_x)
+                & (centers[:, 1] >= b.min_y)
+                & (centers[:, 1] < b.max_y)
+            )
+            masses[j] = probs[inside].sum()
+        total = masses.sum()
+        if total <= 0:
+            return np.full(len(children), 1.0 / len(children))
+        return masses / total
+
+    # -- stage: sample --------------------------------------------------
+    def sample(
+        self,
+        entry: CacheEntry,
+        x_hat: np.ndarray,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Draw one reported child per point from the guarded step matrix
+        (vectorised CDF inversion over the gathered rows)."""
+        return entry.matrix.sample_rows(x_hat, rng)
+
+    # -- stage: finalise ------------------------------------------------
+    def finalise(self, results: list[WalkResult]) -> list[WalkResult]:
+        """Apply the post-processing stage, when one is configured."""
+        if self._postprocessor is None or not results:
+            return results
+        out = self._postprocessor.finalise(list(results))
+        if len(out) != len(results):
+            raise MechanismError(
+                f"post-processor {self._postprocessor.name!r} changed the "
+                f"batch size: {len(results)} walks in, {len(out)} out"
+            )
+        return out
+
+
+#: Builder signature the cache's bulk warm-up expects.
+StepBuilder = Callable[[tuple[int, ...]], tuple[MechanismMatrix, dict]]

@@ -13,35 +13,40 @@ composition the full walk satisfies GeoInd at the budget sum.  Utility
 is protected by the budget-allocation model of
 :mod:`repro.core.budget`, which keeps the probability of "staying on
 track" at least ``rho`` per level for as long as the budget lasts.
+
+The walk itself lives in :mod:`repro.core.engine`: this class is a thin
+facade over one :class:`~repro.core.engine.WalkEngine`, so the scalar
+path (:meth:`MultiStepMechanism.sample_with_report`) and the batch path
+(:meth:`MultiStepMechanism.sanitize_batch`) are the *same* staged
+pipeline — a scalar call is a batch of one, byte-identical under a
+shared seed.
 """
 
 from __future__ import annotations
 
-import time
-import warnings
-from dataclasses import dataclass
 from typing import Sequence
 
 import numpy as np
 
-from repro.exceptions import (
-    BudgetError,
-    DegradedModeWarning,
-    MechanismError,
-    SolverError,
-)
+from repro.exceptions import BudgetError, MechanismError
 from repro.geo.metric import EUCLIDEAN, Metric
 from repro.geo.point import Point
 from repro.grid.hierarchy import HierarchicalGrid
 from repro.grid.index import IndexNode, SpatialIndex
 from repro.mechanisms.base import Mechanism
-from repro.mechanisms.exponential import exponential_matrix_from_locations
 from repro.mechanisms.matrix import MechanismMatrix
-from repro.mechanisms.optimal import optimal_mechanism_from_locations
 from repro.priors.base import GridPrior
-from repro.privacy.guard import guard_mechanism, guarded_matrix
+from repro.privacy.guard import guarded_matrix
 from repro.core.budget.allocation import BudgetPlan, allocate_budget
 from repro.core.cache import CacheEntry, NodeMechanismCache
+from repro.core.engine import (
+    ExecutionPolicy,
+    OptimalRemapPostProcessor,
+    PostProcessor,
+    StepTrace,
+    WalkEngine,
+    WalkResult,
+)
 from repro.core.resilience import (
     DegradationReport,
     DegradedNode,
@@ -49,27 +54,11 @@ from repro.core.resilience import (
     ResilientSolver,
 )
 
-
-@dataclass(frozen=True)
-class StepTrace:
-    """One level of an MSM walk, for inspection and tests."""
-
-    level: int
-    node_path: tuple[int, ...]
-    x_hat_index: int
-    x_hat_random: bool
-    reported_index: int
-    degraded: bool = False
-    mechanism: str = "opt"
-
-
-@dataclass(frozen=True)
-class WalkResult:
-    """A sanitised point plus the full account of how it was produced."""
-
-    point: Point
-    trace: tuple[StepTrace, ...]
-    degradation: DegradationReport
+__all__ = [
+    "MultiStepMechanism",
+    "StepTrace",
+    "WalkResult",
+]
 
 
 class MultiStepMechanism(Mechanism):
@@ -117,6 +106,17 @@ class MultiStepMechanism(Mechanism):
         An externally-owned :class:`NodeMechanismCache` (the fault
         harness uses this to inject cache faults); a fresh one by
         default.
+    executor:
+        The :class:`~repro.core.engine.ExecutionPolicy` scheduling
+        batch walks — :class:`~repro.core.engine.SerialExecution` by
+        default, :class:`~repro.core.engine.ShardedExecution` for
+        multi-core process sharding.
+    postprocessor:
+        An optional :class:`~repro.core.engine.PostProcessor` applied
+        to every walk output (the finalise stage).
+    remap:
+        Convenience flag: True wires the optimal Bayesian remap
+        post-processor (ignored when ``postprocessor`` is given).
 
     Use :meth:`build` for the end-to-end constructor that also runs the
     budget allocator.
@@ -136,19 +136,15 @@ class MultiStepMechanism(Mechanism):
         degrade: bool = True,
         guard: bool = True,
         cache: NodeMechanismCache | None = None,
+        executor: ExecutionPolicy | None = None,
+        postprocessor: PostProcessor | None = None,
+        remap: bool = False,
     ):
         budgets = tuple(float(b) for b in budgets)
         if not budgets:
             raise BudgetError("MSM needs at least one level budget")
         if any(b <= 0 for b in budgets):
             raise BudgetError(f"all level budgets must be positive: {budgets}")
-        self._index = index
-        self._budgets = budgets
-        self._prior = prior
-        self._dq = dq
-        self._dx = dx
-        self._backend = backend
-        self._spanner_dilation = spanner_dilation
         if solver is None:
             config = (
                 resilience
@@ -156,11 +152,23 @@ class MultiStepMechanism(Mechanism):
                 else ResilienceConfig.starting_with(backend)
             )
             solver = ResilientSolver(config)
-        self._solver = solver
-        self._degrade = degrade
-        self._guard = guard
-        self._cache = cache if cache is not None else NodeMechanismCache()
-        self._lp_seconds = 0.0
+        self._engine = WalkEngine(
+            index,
+            budgets,
+            prior,
+            dq=dq,
+            dx=dx,
+            backend=backend,
+            spanner_dilation=spanner_dilation,
+            solver=solver,
+            degrade=degrade,
+            guard=guard,
+            cache=cache,
+            executor=executor,
+            postprocessor=postprocessor,
+        )
+        if remap and postprocessor is None:
+            self._engine.postprocessor = OptimalRemapPostProcessor(self)
         self.epsilon = sum(budgets)
         self.name = "MSM"
 
@@ -183,6 +191,9 @@ class MultiStepMechanism(Mechanism):
         solver: ResilientSolver | None = None,
         degrade: bool = True,
         guard: bool = True,
+        executor: ExecutionPolicy | None = None,
+        postprocessor: PostProcessor | None = None,
+        remap: bool = False,
     ) -> "MultiStepMechanism":
         """Allocate the budget (Algorithm 2) and build MSM over a GIHI.
 
@@ -207,6 +218,9 @@ class MultiStepMechanism(Mechanism):
             solver=solver,
             degrade=degrade,
             guard=guard,
+            executor=executor,
+            postprocessor=postprocessor,
+            remap=remap,
         )
 
     @classmethod
@@ -222,6 +236,9 @@ class MultiStepMechanism(Mechanism):
         solver: ResilientSolver | None = None,
         degrade: bool = True,
         guard: bool = True,
+        executor: ExecutionPolicy | None = None,
+        postprocessor: PostProcessor | None = None,
+        remap: bool = False,
     ) -> "MultiStepMechanism":
         """Build MSM over a GIHI shaped by an existing budget plan."""
         index = HierarchicalGrid(
@@ -239,6 +256,9 @@ class MultiStepMechanism(Mechanism):
             solver=solver,
             degrade=degrade,
             guard=guard,
+            executor=executor,
+            postprocessor=postprocessor,
+            remap=remap,
         )
         msm._plan = plan
         return msm
@@ -249,14 +269,19 @@ class MultiStepMechanism(Mechanism):
     _plan: BudgetPlan | None = None
 
     @property
+    def engine(self) -> WalkEngine:
+        """The staged walk engine everything below routes through."""
+        return self._engine
+
+    @property
     def index(self) -> SpatialIndex:
         """The hierarchical index MSM walks."""
-        return self._index
+        return self._engine.index
 
     @property
     def budgets(self) -> tuple[float, ...]:
         """Per-level budgets, top first."""
-        return self._budgets
+        return self._engine.budgets
 
     @property
     def plan(self) -> BudgetPlan | None:
@@ -266,30 +291,58 @@ class MultiStepMechanism(Mechanism):
     @property
     def prior(self) -> GridPrior:
         """The global fine-grained prior."""
-        return self._prior
+        return self._engine.prior
+
+    @property
+    def dq(self) -> Metric:
+        """The utility-loss metric each per-step OPT optimises."""
+        return self._engine.dq
 
     @property
     def cache(self) -> NodeMechanismCache:
         """The per-node mechanism cache."""
-        return self._cache
+        return self._engine.cache
 
     @property
     def solver(self) -> ResilientSolver:
         """The resilient LP solver every per-level OPT goes through."""
-        return self._solver
+        return self._engine.solver
 
     @property
     def lp_seconds(self) -> float:
         """Cumulative wall-clock spent solving per-node LPs."""
-        return self._lp_seconds
+        return self._engine.lp_seconds
 
     @property
     def height(self) -> int:
         """Number of levels the walk descends."""
-        return len(self._budgets)
+        return len(self._engine.budgets)
+
+    @property
+    def executor(self) -> ExecutionPolicy:
+        """The execution policy scheduling batch walks."""
+        return self._engine.executor
+
+    @executor.setter
+    def executor(self, policy: ExecutionPolicy) -> None:
+        self._engine.executor = policy
+
+    @property
+    def postprocessor(self) -> PostProcessor | None:
+        """The finalise-stage post-processor, when one is configured."""
+        return self._engine.postprocessor
+
+    def enable_remap(self, dq: Metric | None = None) -> None:
+        """Wire the optimal Bayesian remap into the finalise stage.
+
+        Works on any MSM over a hierarchical grid, including one
+        restored from an offline bundle; the remap table is built
+        lazily on the first sanitisation.
+        """
+        self._engine.postprocessor = OptimalRemapPostProcessor(self, dq=dq)
 
     # ------------------------------------------------------------------
-    # the walk
+    # the walk — every entry point is the same engine pipeline
     # ------------------------------------------------------------------
     def sample(self, x: Point, rng: np.random.Generator) -> Point:
         return self.sample_with_report(x, rng).point
@@ -306,162 +359,42 @@ class MultiStepMechanism(Mechanism):
     ) -> WalkResult:
         """Sanitise ``x`` with the full trace and degradation report.
 
-        Every step matrix sampled here has passed the privacy guard (at
-        that level's epsilon) when guarding is enabled; the
+        A batch of one through the engine — byte-identical to
+        ``sanitize_batch([x], rng)[0]`` under a shared seed.  Every
+        step matrix sampled here has passed the privacy guard (at that
+        level's epsilon) when guarding is enabled; the
         :class:`~repro.core.resilience.DegradationReport` lists exactly
         the levels served by a substituted fallback mechanism.
         """
-        node = self._index.root
-        trace: list[StepTrace] = []
-        substitutions: list[DegradedNode] = []
-        for level, eps in enumerate(self._budgets, start=1):
-            children = self._index.children(node)
-            if not children:
-                break
-            entry = self._step_entry(node, level, children)
-            x_hat, was_random = self._x_hat_index(node, x, len(children), rng)
-            reported = entry.matrix.sample(x_hat, rng)
-            trace.append(
-                StepTrace(
-                    level=level,
-                    node_path=node.path,
-                    x_hat_index=x_hat,
-                    x_hat_random=was_random,
-                    reported_index=reported,
-                    degraded=entry.degraded,
-                    mechanism=entry.source,
-                )
-            )
-            if entry.degraded:
-                substitutions.append(
-                    DegradedNode(
-                        node_path=node.path,
-                        level=level,
-                        epsilon=eps,
-                        fallback=entry.source,
-                        reason=entry.reason or "",
-                    )
-                )
-            node = children[reported]
-        if not trace:
-            raise MechanismError("index root has no children; nothing to report")
-        return WalkResult(
-            point=node.bounds.center,
-            trace=tuple(trace),
-            degradation=DegradationReport(tuple(substitutions)),
-        )
+        return self._engine.run([x], rng)[0]
 
-    # ------------------------------------------------------------------
-    # the batch walk
-    # ------------------------------------------------------------------
     def sanitize_batch(
         self, xs: Sequence[Point], rng: np.random.Generator
     ) -> list[WalkResult]:
-        """Sanitise many locations in one vectorised walk.
+        """Sanitise many locations in one engine run.
 
-        Semantically equivalent to ``[self.sample_with_report(x, rng)
-        for x in xs]`` — every point gets its own independent walk, full
+        Every point gets its own independent walk, full
         :class:`StepTrace` provenance and per-point
-        :class:`~repro.core.resilience.DegradationReport` — but
-        restructured for throughput: at each level the active points are
-        grouped by their current index node, the cache is warmed once
-        per distinct node (each level LP solved exactly once, through
-        the resilient chain), and all of a group's draws are sampled in
-        one vectorised CDF inversion over the cached row-stochastic
-        matrix instead of one ``rng.choice`` per point.
-
-        The random stream is consumed in a different order than the
-        scalar loop, so individual outputs differ under a shared seed;
-        the per-point output *distribution* is identical (verified
-        statistically in ``tests/test_statistical.py``).  Degradation
-        applies per node: when a node's solve is unrecoverable, exactly
-        the points walking through that node carry the substituted
-        mechanism in their traces, and only those.
+        :class:`~repro.core.resilience.DegradationReport`, while the
+        engine restructures the work for throughput: points are
+        grouped by node at each level, the cache is warmed once per
+        distinct node (each level LP solved exactly once, through the
+        resilient chain), and each group's draws happen in one
+        vectorised CDF inversion.  Under the default
+        :class:`~repro.core.engine.SerialExecution` the whole batch
+        shares one random stream; a
+        :class:`~repro.core.engine.ShardedExecution` partitions the
+        batch across worker processes with independent spawned streams
+        (distribution-identical, not bit-identical — verified
+        statistically in ``tests/test_engine.py``).  Degradation
+        applies per node: when a node's solve is unrecoverable,
+        exactly the points walking through that node carry the
+        substituted mechanism in their traces, and only those.
         """
-        points = list(xs)
-        if not points:
-            return []
-        if not self._index.children(self._index.root):
-            raise MechanismError("index root has no children; nothing to report")
-        n = len(points)
-        coords = np.asarray([(p.x, p.y) for p in points], dtype=float)
-        nodes: list[IndexNode] = [self._index.root] * n
-        traces: list[list[StepTrace]] = [[] for _ in range(n)]
-        substitutions: list[list[DegradedNode]] = [[] for _ in range(n)]
-        active = list(range(n))
-        for level, eps in enumerate(self._budgets, start=1):
-            if not active:
-                break
-            groups: dict[tuple[int, ...], list[int]] = {}
-            for i in active:
-                groups.setdefault(nodes[i].path, []).append(i)
-            group_nodes = {
-                path: nodes[idxs[0]] for path, idxs in groups.items()
-            }
-            children_of = {
-                path: self._index.children(node)
-                for path, node in group_nodes.items()
-            }
-            # Warm-up: every distinct internal node solved exactly once
-            # (bulk get-or-build), before any point samples from it.
-            entries = self._cache.get_or_build_many(
-                [path for path, kids in children_of.items() if kids],
-                lambda path: self._solve_step(
-                    group_nodes[path], level, children_of[path]
-                ),
-            )
-            next_active: list[int] = []
-            for path, idxs in groups.items():
-                children = children_of[path]
-                if not children:
-                    continue  # bottomed out early (adaptive indexes)
-                entry = entries[path]
-                x_hat = self._index.locate_child_indices(
-                    group_nodes[path], coords[idxs]
-                )
-                drifted = x_hat < 0
-                n_drifted = int(drifted.sum())
-                if n_drifted:
-                    x_hat[drifted] = rng.integers(
-                        len(children), size=n_drifted
-                    )
-                reported = entry.matrix.sample_rows(x_hat, rng)
-                for pos, i in enumerate(idxs):
-                    traces[i].append(
-                        StepTrace(
-                            level=level,
-                            node_path=path,
-                            x_hat_index=int(x_hat[pos]),
-                            x_hat_random=bool(drifted[pos]),
-                            reported_index=int(reported[pos]),
-                            degraded=entry.degraded,
-                            mechanism=entry.source,
-                        )
-                    )
-                    if entry.degraded:
-                        substitutions[i].append(
-                            DegradedNode(
-                                node_path=path,
-                                level=level,
-                                epsilon=eps,
-                                fallback=entry.source,
-                                reason=entry.reason or "",
-                            )
-                        )
-                    nodes[i] = children[reported[pos]]
-                next_active.extend(idxs)
-            active = next_active
-        return [
-            WalkResult(
-                point=nodes[i].bounds.center,
-                trace=tuple(traces[i]),
-                degradation=DegradationReport(tuple(substitutions[i])),
-            )
-            for i in range(n)
-        ]
+        return self._engine.run(xs, rng)
 
     def sample_many(
-        self, xs: list[Point], rng: np.random.Generator
+        self, xs: Sequence[Point], rng: np.random.Generator
     ) -> list[Point]:
         """Batch sanitisation via the vectorised walk (same distribution
         as per-point :meth:`sample`, far higher throughput)."""
@@ -470,7 +403,7 @@ class MultiStepMechanism(Mechanism):
     def degradation_summary(self) -> DegradationReport:
         """Substitutions across every node solved so far (whole cache)."""
         substitutions = []
-        for path, entry in sorted(self._cache.degraded_entries().items()):
+        for path, entry in sorted(self.cache.degraded_entries().items()):
             substitutions.append(
                 DegradedNode(
                     node_path=path,
@@ -489,19 +422,24 @@ class MultiStepMechanism(Mechanism):
         the lines-9-10 random fallback in closed form: when the current
         node does not contain ``x``, the effective mechanism row is the
         uniform mixture of all rows.  Used for exact expected-loss
-        computation and for the privacy product-matrix tests.
+        computation and for the privacy product-matrix tests.  This is
+        the distribution of the *walk itself* — the finalise stage, a
+        deterministic output transformation, is intentionally not
+        folded in.
         """
+        index = self.index
+        budgets = self.budgets
         points: list[Point] = []
         probs: list[float] = []
 
         def walk(node: IndexNode, level: int, mass: float) -> None:
-            children = self._index.children(node)
-            if level > len(self._budgets) or not children:
+            children = index.children(node)
+            if level > len(budgets) or not children:
                 points.append(node.bounds.center)
                 probs.append(mass)
                 return
             matrix = self._step_mechanism(node, level, children)
-            child_of_x = self._index.locate_child(node, x)
+            child_of_x = index.locate_child(node, x)
             if child_of_x is not None:
                 row = matrix.row(child_of_x.path[-1])
             else:
@@ -511,12 +449,12 @@ class MultiStepMechanism(Mechanism):
                 if p > 0:
                     walk(child, level + 1, mass * p)
 
-        walk(self._index.root, 1, 1.0)
+        walk(index.root, 1, 1.0)
         return (points, np.asarray(probs))
 
     def expected_loss(self, x: Point, dq: Metric | None = None) -> float:
         """Exact expected utility loss for actual location ``x``."""
-        metric = dq if dq is not None else self._dq
+        metric = dq if dq is not None else self.dq
         points, probs = self.reported_distribution(x)
         losses = np.asarray([metric(x, z) for z in points])
         return float(probs @ losses)
@@ -540,9 +478,7 @@ class MultiStepMechanism(Mechanism):
         (:mod:`repro.privacy.hierarchical`); the per-step matrices the
         online path samples from are always guarded regardless.
         """
-        from repro.grid.hierarchy import HierarchicalGrid
-
-        index = self._index
+        index = self.index
         if not isinstance(index, HierarchicalGrid):
             raise MechanismError(
                 "to_matrix requires MSM over a HierarchicalGrid"
@@ -560,7 +496,7 @@ class MultiStepMechanism(Mechanism):
             centers,
             k,
             epsilon=self.epsilon if guard else None,
-            dx=self._dx,
+            dx=self._engine.dx,
         )
 
     # ------------------------------------------------------------------
@@ -575,15 +511,15 @@ class MultiStepMechanism(Mechanism):
         the paper's "tens of megabytes" offline bundle.
         """
         solved = 0
-        queue: list[tuple[IndexNode, int]] = [(self._index.root, 1)]
+        queue: list[tuple[IndexNode, int]] = [(self.index.root, 1)]
         while queue:
             node, level = queue.pop()
-            if level > len(self._budgets):
+            if level > self.height:
                 continue
-            children = self._index.children(node)
+            children = self.index.children(node)
             if not children:
                 continue
-            if node.path not in self._cache:
+            if node.path not in self.cache:
                 self._step_mechanism(node, level, children)
                 solved += 1
                 if max_nodes is not None and solved >= max_nodes:
@@ -592,40 +528,8 @@ class MultiStepMechanism(Mechanism):
         return solved
 
     # ------------------------------------------------------------------
-    # internals
+    # internals — thin delegations into the engine's resolve stage
     # ------------------------------------------------------------------
-    def _x_hat_index(
-        self,
-        node: IndexNode,
-        x: Point,
-        n_children: int,
-        rng: np.random.Generator,
-    ) -> tuple[int, bool]:
-        """Algorithm 1 lines 8-10: snap ``x`` or pick a random child."""
-        child = self._index.locate_child(node, x)
-        if child is not None:
-            return (child.path[-1], False)
-        return (int(rng.integers(n_children)), True)
-
-    def _child_prior(self, children: Sequence[IndexNode]) -> np.ndarray:
-        """Global prior mass restricted to ``children`` and renormalised."""
-        centers = self._prior.grid.centers_array()
-        probs = self._prior.probabilities
-        masses = np.zeros(len(children))
-        for j, child in enumerate(children):
-            b = child.bounds
-            inside = (
-                (centers[:, 0] >= b.min_x)
-                & (centers[:, 0] < b.max_x)
-                & (centers[:, 1] >= b.min_y)
-                & (centers[:, 1] < b.max_y)
-            )
-            masses[j] = probs[inside].sum()
-        total = masses.sum()
-        if total <= 0:
-            return np.full(len(children), 1.0 / len(children))
-        return masses / total
-
     def _step_mechanism(
         self,
         node: IndexNode,
@@ -641,77 +545,7 @@ class MultiStepMechanism(Mechanism):
         level: int,
         children: Sequence[IndexNode],
     ) -> CacheEntry:
-        """The step mechanism for one node, cached by node path.
-
-        Fail-closed contract: the returned entry's matrix has either
-        been solved optimally through the resilient fallback chain or —
-        when that chain is exhausted and degradation is enabled —
-        replaced by the closed-form exponential mechanism at the same
-        per-level epsilon.  Either way the privacy guard validates it
-        before it is cached; a guard violation raises instead of ever
-        letting the walk sample from a bad matrix.
-        """
-        cached = self._cache.entry(node.path)
-        if cached is not None:
-            return cached
-        matrix, provenance = self._solve_step(node, level, children)
-        return self._cache.put(node.path, matrix, **provenance)
-
-    def _solve_step(
-        self,
-        node: IndexNode,
-        level: int,
-        children: Sequence[IndexNode],
-    ) -> tuple[MechanismMatrix, dict]:
-        """Solve (or degrade to) one node's step mechanism, guard it, and
-        return it with the provenance dict :meth:`NodeMechanismCache.put`
-        expects.  Shared by the scalar walk (via :meth:`_step_entry`) and
-        the batch walk (via the cache's bulk get-or-build)."""
-        locations = [child.bounds.center for child in children]
-        sub_prior = self._child_prior(children)
-        eps = self._budgets[level - 1]
-        start = time.perf_counter()
-        degraded_reason: str | None = None
-        try:
-            try:
-                result = optimal_mechanism_from_locations(
-                    eps,
-                    locations,
-                    sub_prior,
-                    self._dq,
-                    dx=self._dx,
-                    backend=self._backend,
-                    spanner_dilation=self._spanner_dilation,
-                    solver=self._solver,
-                )
-                matrix = result.matrix
-            except SolverError as exc:
-                if not self._degrade:
-                    raise
-                degraded_reason = f"{type(exc).__name__}: {exc}"
-                matrix = exponential_matrix_from_locations(
-                    locations, eps, dx=self._dx
-                )
-                warnings.warn(
-                    DegradedModeWarning(
-                        f"level-{level} OPT solve failed at node "
-                        f"{node.path}; serving the exponential fallback "
-                        f"at eps={eps:.4g} (utility is sub-optimal, "
-                        f"privacy unchanged)"
-                    ),
-                    stacklevel=2,
-                )
-        finally:
-            self._lp_seconds += time.perf_counter() - start
-        if self._guard:
-            guard_mechanism(matrix, eps, dx=self._dx)
-        return (
-            matrix,
-            dict(
-                degraded=degraded_reason is not None,
-                source="exponential" if degraded_reason is not None else "opt",
-                reason=degraded_reason,
-                level=level,
-                epsilon=eps,
-            ),
-        )
+        """The step mechanism for one node, via the engine's resolve
+        stage (cache by node path, resilient solve on a miss, guard
+        before it may be sampled from)."""
+        return self._engine.resolve(node, level, children)

@@ -16,6 +16,7 @@ of its experiments.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -24,6 +25,7 @@ from repro.geo.metric import EUCLIDEAN, Metric
 from repro.geo.point import Point
 from repro.priors.base import GridPrior
 from repro.privacy.composition import BudgetAccountant
+from repro.core.engine import ExecutionPolicy, PostProcessor
 from repro.core.msm import MultiStepMechanism
 from repro.core.resilience import DegradationReport, ResilienceConfig, ResilientSolver
 
@@ -67,6 +69,14 @@ class SanitizationSession:
         Same-cell probability target for the budget allocator.
     dq:
         Utility metric the per-step mechanisms optimise.
+    executor:
+        Execution policy for batch reports (serial by default; pass a
+        :class:`~repro.core.engine.ShardedExecution` to spread large
+        :meth:`report_batch` workloads across worker processes).
+    postprocessor / remap:
+        Optional finalise stage for every report; ``remap=True`` wires
+        the optimal Bayesian remap (a deterministic output-only
+        transformation, so the accountant's arithmetic is unchanged).
 
     The per-report mechanism is built once and reused (its randomness
     comes from the caller-supplied generator), so a session's marginal
@@ -86,6 +96,9 @@ class SanitizationSession:
         solver: ResilientSolver | None = None,
         degrade: bool = True,
         guard: bool = True,
+        executor: ExecutionPolicy | None = None,
+        postprocessor: PostProcessor | None = None,
+        remap: bool = False,
     ):
         if per_report_epsilon <= 0:
             raise BudgetError(
@@ -101,7 +114,8 @@ class SanitizationSession:
         self._mechanism = MultiStepMechanism.build(
             per_report_epsilon, granularity, prior, rho=rho, dq=dq,
             backend=backend, resilience=resilience, solver=solver,
-            degrade=degrade, guard=guard,
+            degrade=degrade, guard=guard, executor=executor,
+            postprocessor=postprocessor, remap=remap,
         )
         self._history: list[SessionReport] = []
         self._degradations: list[DegradationReport] = []
@@ -198,7 +212,7 @@ class SanitizationSession:
         return record
 
     def report_batch(
-        self, xs: list[Point], rng: np.random.Generator
+        self, xs: Sequence[Point], rng: np.random.Generator
     ) -> list[SessionReport]:
         """Sanitise a batch of locations through the vectorised walk.
 

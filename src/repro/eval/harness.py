@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -69,7 +70,7 @@ class EvaluationResult:
 
 def evaluate_mechanism(
     mechanism: Mechanism,
-    requests: list[Point],
+    requests: Sequence[Point],
     rng: np.random.Generator,
     metrics: tuple[Metric, ...] = DEFAULT_METRICS,
 ) -> EvaluationResult:

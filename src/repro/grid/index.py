@@ -99,6 +99,8 @@ class SpatialIndex(abc.ABC):
         """
         coords = np.asarray(coords, dtype=float).reshape(-1, 2)
         out = np.full(coords.shape[0], -1, dtype=np.int64)
+        if self.is_leaf(node):
+            return out
         for i, (x, y) in enumerate(coords):
             child = self.locate_child(node, Point(float(x), float(y)))
             if child is not None:

@@ -18,6 +18,7 @@ concrete quantities a product team would track:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -117,7 +118,7 @@ class LocationBasedService:
     def evaluate_mechanism(
         self,
         mechanism: Mechanism,
-        requests: list[Point],
+        requests: Sequence[Point],
         rng: np.random.Generator,
         k: int = 5,
     ) -> ServiceReport:
@@ -138,7 +139,7 @@ class LocationBasedService:
     def evaluate_session(
         self,
         session,
-        requests: list[Point],
+        requests: Sequence[Point],
         rng: np.random.Generator,
         k: int = 5,
     ) -> ServiceReport:
@@ -157,7 +158,7 @@ class LocationBasedService:
         ]
         return self._aggregate(outcomes, k)
 
-    def _validate_workload(self, requests: list[Point], k: int) -> None:
+    def _validate_workload(self, requests: Sequence[Point], k: int) -> None:
         if not requests:
             raise EvaluationError("service evaluation needs at least one request")
         if k < 1:

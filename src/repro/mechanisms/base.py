@@ -10,6 +10,7 @@ reproducible and mechanisms stay stateless.
 from __future__ import annotations
 
 import abc
+from typing import Sequence
 
 import numpy as np
 
@@ -32,7 +33,7 @@ class Mechanism(abc.ABC):
         """Report a sanitised location for actual location ``x``."""
 
     def sample_many(
-        self, xs: list[Point], rng: np.random.Generator
+        self, xs: Sequence[Point], rng: np.random.Generator
     ) -> list[Point]:
         """Sanitise a batch of locations (overridable for vectorisation)."""
         return [self.sample(x, rng) for x in xs]

@@ -14,6 +14,8 @@ which deterministic post-processing leaves GeoInd intact.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 from scipy.special import lambertw
 
@@ -124,7 +126,7 @@ class PlanarLaplaceMechanism(Mechanism):
         return z
 
     def sample_many(
-        self, xs: list[Point], rng: np.random.Generator
+        self, xs: Sequence[Point], rng: np.random.Generator
     ) -> list[Point]:
         """Vectorised batch sampling (the PL hot path in the harness)."""
         n = len(xs)

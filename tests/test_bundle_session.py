@@ -84,7 +84,7 @@ class TestBundle:
         )
         info = save_bundle(msm, tmp_path / "b.npz")
         restored = load_bundle(info.path)
-        assert restored._dq.name == "squared_euclidean"
+        assert restored.dq.name == "squared_euclidean"
 
 
 class TestSession:

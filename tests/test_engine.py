@@ -1,0 +1,501 @@
+"""Tests for the unified walk engine (`repro.core.engine`).
+
+Covers the refactor's load-bearing claims: the scalar path is a batch
+of one (byte-identical results under a shared seed), every stage works
+in isolation, the sharded executor is distribution-equivalent to serial
+execution and merges caches/provenance correctly, and the optimal-remap
+post-processor transforms outputs without ever touching the guarantee
+(the guarded step matrices are unchanged and the prior-expected loss
+never goes up).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.exceptions import MechanismError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.grid.hierarchy import HierarchicalGrid
+from repro.grid.kdtree import KDTreeIndex
+from repro.grid.quadtree import QuadtreeIndex
+from repro.grid.regular import RegularGrid
+from repro.priors.base import GridPrior
+from repro.privacy.guard import guard_mechanism
+from repro.core.cache import NodeMechanismCache
+from repro.core.engine import (
+    OptimalRemapPostProcessor,
+    PostProcessor,
+    SerialExecution,
+    ShardedExecution,
+    WalkEngine,
+)
+from repro.core.msm import MultiStepMechanism
+from repro.core.resilience import ResilientSolver
+
+
+@pytest.fixture(scope="module")
+def square20() -> BoundingBox:
+    return BoundingBox.square(Point(0.0, 0.0), 20.0)
+
+
+@pytest.fixture(scope="module")
+def uniform9(square20) -> GridPrior:
+    return GridPrior.uniform(RegularGrid(square20, 9))
+
+
+@pytest.fixture(scope="module")
+def msm2(square20, uniform9) -> MultiStepMechanism:
+    """A warm two-level MSM (g = 3, 81 leaves) over a uniform prior."""
+    msm = MultiStepMechanism(
+        HierarchicalGrid(square20, 3, 2), (0.5, 0.7), uniform9
+    )
+    msm.precompute()
+    return msm
+
+
+def uniform_points(n: int, seed: int, side: float = 20.0) -> list[Point]:
+    coords = np.random.default_rng(seed).uniform(0.0, side, size=(n, 2))
+    return [Point(float(x), float(y)) for x, y in coords]
+
+
+# ----------------------------------------------------------------------
+# the headline contract: scalar == batch of one
+# ----------------------------------------------------------------------
+class TestScalarIsBatchOfOne:
+    @pytest.mark.parametrize(
+        "x", [Point(3.3, 12.8), Point(10.0, 10.0), Point(-5.0, 40.0)],
+        ids=["off-center", "center", "out-of-domain"],
+    )
+    def test_walkresult_equality_under_shared_seed(self, msm2, x):
+        scalar = msm2.sample_with_report(x, np.random.default_rng(7))
+        batch = msm2.sanitize_batch([x], np.random.default_rng(7))
+        assert len(batch) == 1
+        assert scalar == batch[0]
+
+    def test_engine_run_is_the_shared_implementation(self, msm2, rng):
+        x = Point(4.4, 4.4)
+        via_facade = msm2.sample_with_report(x, np.random.default_rng(3))
+        via_engine = msm2.engine.run([x], np.random.default_rng(3))[0]
+        assert via_facade == via_engine
+
+    def test_sample_many_matches_sanitize_batch(self, msm2):
+        xs = uniform_points(40, seed=5)
+        points = msm2.sample_many(xs, np.random.default_rng(13))
+        walks = msm2.sanitize_batch(xs, np.random.default_rng(13))
+        assert points == [w.point for w in walks]
+
+
+# ----------------------------------------------------------------------
+# per-stage unit tests
+# ----------------------------------------------------------------------
+class TestStages:
+    @pytest.fixture()
+    def engine(self, square20, uniform9) -> WalkEngine:
+        return WalkEngine(
+            HierarchicalGrid(square20, 3, 2), (0.5, 0.7), uniform9
+        )
+
+    def test_locate_snaps_inside_points(self, engine, rng):
+        root = engine.index.root
+        children = engine.index.children(root)
+        coords = np.asarray([[1.0, 1.0], [19.0, 19.0], [10.0, 1.0]])
+        x_hat, drifted = engine.locate(root, children, coords, rng)
+        assert x_hat.tolist() == [0, 8, 1]
+        assert not drifted.any()
+
+    def test_locate_randomises_drifted_points(self, engine):
+        root = engine.index.root
+        children = engine.index.children(root)
+        coords = np.asarray([[-3.0, 5.0], [25.0, 25.0]])
+        draws = set()
+        for seed in range(30):
+            rng = np.random.default_rng(seed)
+            x_hat, drifted = engine.locate(root, children, coords, rng)
+            assert drifted.all()
+            assert ((0 <= x_hat) & (x_hat < len(children))).all()
+            draws.update(x_hat.tolist())
+        assert len(draws) > 1  # actually random, not a constant fill
+
+    def test_resolve_solves_once_then_hits_cache(self, engine):
+        root = engine.index.root
+        children = engine.index.children(root)
+        first = engine.resolve(root, 1, children)
+        builds = engine.cache.builds
+        again = engine.resolve(root, 1, children)
+        assert engine.cache.builds == builds
+        assert again.matrix is first.matrix
+        assert first.level == 1
+        assert first.epsilon == pytest.approx(0.5)
+        assert not first.degraded
+
+    def test_resolve_many_skips_leaf_groups(self, engine):
+        root = engine.index.root
+        entries = engine.resolve_many(1, {root.path: root}, {root.path: []})
+        assert entries == {}
+        assert engine.cache.builds == 0
+
+    def test_sample_is_vectorised_cdf_inversion(self, engine):
+        root = engine.index.root
+        children = engine.index.children(root)
+        entry = engine.resolve(root, 1, children)
+        x_hat = np.asarray([0, 4, 8, 4])
+        a = engine.sample(entry, x_hat, np.random.default_rng(17))
+        b = entry.matrix.sample_rows(x_hat, np.random.default_rng(17))
+        assert a.tolist() == b.tolist()
+        assert ((0 <= a) & (a < len(children))).all()
+
+    def test_run_empty_batch(self, engine, rng):
+        assert engine.run([], rng) == []
+
+    def test_run_rejects_childless_root(self, square20, uniform9, rng):
+        leaf_only = QuadtreeIndex(square20, [], capacity=64)
+        engine = WalkEngine(leaf_only, (0.5,), uniform9)
+        with pytest.raises(MechanismError, match="no children"):
+            engine.run([Point(5.0, 5.0)], rng)
+
+    def test_worker_copy_is_serial_and_shares_state(self, engine):
+        engine.executor = ShardedExecution()
+        engine.postprocessor = _IdentityPost()
+        worker = engine.worker_copy()
+        assert isinstance(worker.executor, SerialExecution)
+        assert worker.postprocessor is None
+        assert worker.cache is engine.cache
+        assert worker.solver is engine.solver
+
+    def test_lp_seconds_accounting_merges(self, engine):
+        before = engine.lp_seconds
+        engine.add_lp_seconds(1.25)
+        assert engine.lp_seconds == pytest.approx(before + 1.25)
+
+
+class _IdentityPost(PostProcessor):
+    name = "identity"
+
+    def finalise(self, results):
+        return list(results)
+
+
+class _DroppingPost(PostProcessor):
+    name = "dropper"
+
+    def finalise(self, results):
+        return list(results)[:-1]
+
+
+class TestFinaliseStage:
+    def test_batch_size_change_is_rejected(self, square20, uniform9, rng):
+        engine = WalkEngine(
+            HierarchicalGrid(square20, 3, 1), (0.5,), uniform9,
+            postprocessor=_DroppingPost(),
+        )
+        with pytest.raises(MechanismError, match="changed the batch size"):
+            engine.run(uniform_points(4, seed=1), rng)
+
+    def test_identity_post_preserves_results(self, square20, uniform9):
+        plain = WalkEngine(HierarchicalGrid(square20, 3, 1), (0.5,), uniform9)
+        posted = WalkEngine(
+            HierarchicalGrid(square20, 3, 1), (0.5,), uniform9,
+            postprocessor=_IdentityPost(),
+        )
+        xs = uniform_points(10, seed=2)
+        a = plain.run(xs, np.random.default_rng(4))
+        b = posted.run(xs, np.random.default_rng(4))
+        assert a == b
+
+
+# ----------------------------------------------------------------------
+# execution policies
+# ----------------------------------------------------------------------
+class TestShardedExecution:
+    def test_max_workers_validation(self):
+        with pytest.raises(MechanismError, match="max_workers"):
+            ShardedExecution(max_workers=0)
+
+    def test_partition_groups_by_top_level_node(self, msm2):
+        policy = ShardedExecution()
+        points = [
+            Point(1.0, 1.0),    # child 0
+            Point(19.0, 1.0),   # child 2
+            Point(1.5, 1.5),    # child 0 again
+            Point(-9.0, 0.0),   # out of domain -> its own shard
+        ]
+        shards = policy.partition(msm2.engine, points)
+        assert sorted(map(sorted, shards)) == [[0, 2], [1], [3]]
+
+    def test_small_batch_falls_back_to_serial_byte_identical(self, msm2):
+        xs = uniform_points(32, seed=3)
+        serial = msm2.sanitize_batch(xs, np.random.default_rng(9))
+        msm2.executor = ShardedExecution()  # min_batch_size default 2048
+        try:
+            sharded = msm2.sanitize_batch(xs, np.random.default_rng(9))
+        finally:
+            msm2.executor = SerialExecution()
+        assert serial == sharded
+
+    def test_single_shard_falls_back_to_serial(self, msm2):
+        xs = [Point(1.0, 1.0)] * 8  # all in top-level child 0
+        serial = msm2.sanitize_batch(xs, np.random.default_rng(21))
+        msm2.executor = ShardedExecution(max_workers=2, min_batch_size=0)
+        try:
+            sharded = msm2.sanitize_batch(xs, np.random.default_rng(21))
+        finally:
+            msm2.executor = SerialExecution()
+        assert serial == sharded
+
+    def test_unpicklable_engine_degrades_to_serial(self, square20, uniform9):
+        solver = ResilientSolver()
+        solver.unpicklable_marker = lambda: None  # lambdas don't pickle
+        msm = MultiStepMechanism(
+            HierarchicalGrid(square20, 3, 1), (0.5,), uniform9,
+            solver=solver,
+            executor=ShardedExecution(max_workers=2, min_batch_size=0),
+        )
+        xs = uniform_points(24, seed=6)
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            walks = msm.sanitize_batch(xs, np.random.default_rng(2))
+        assert len(walks) == len(xs)
+
+    def test_sharded_run_merges_results_and_cache(self, square20, uniform9):
+        msm = MultiStepMechanism(
+            HierarchicalGrid(square20, 3, 2), (0.5, 0.7), uniform9,
+            executor=ShardedExecution(max_workers=2, min_batch_size=0),
+        )
+        xs = uniform_points(60, seed=8)
+        walks = msm.sanitize_batch(xs, np.random.default_rng(14))
+        assert len(walks) == len(xs)
+        # Results come back in input order with full per-point provenance,
+        # and each trace is self-consistent across levels.
+        for walk in walks:
+            assert len(walk.trace) == 2
+            assert walk.trace[0].node_path == ()
+            assert walk.trace[1].node_path == (
+                walk.trace[0].reported_index,
+            )
+            assert walk.degradation.clean
+        # The parent adopted the workers' solved nodes: a follow-up
+        # serial walk finds a warm cache (no new solves needed for the
+        # nodes the shards visited).
+        assert () in msm.cache
+        assert len(msm.cache) >= 2
+        builds_before = msm.cache.builds
+        msm.executor = SerialExecution()
+        msm.sanitize_batch(xs, np.random.default_rng(15))
+        assert msm.cache.builds == builds_before
+
+    def test_cache_merge_keeps_existing_entries(self):
+        a, b = NodeMechanismCache(), NodeMechanismCache()
+        msm_matrix = None  # filled below from a tiny solve-free matrix
+        from repro.mechanisms.exponential import (
+            exponential_matrix_from_locations,
+        )
+        locs = [Point(0.0, 0.0), Point(1.0, 0.0)]
+        m1 = exponential_matrix_from_locations(locs, 1.0)
+        m2 = exponential_matrix_from_locations(locs, 2.0)
+        a.put((0,), m1, level=1, epsilon=1.0)
+        b.put((0,), m2, level=1, epsilon=2.0)
+        b.put((1,), m2, level=1, epsilon=2.0)
+        adopted = a.merge(b.snapshot())
+        assert adopted == 1
+        assert a.get((0,)) is m1  # local entry wins
+        assert a.get((1,)) is m2
+
+
+@pytest.mark.statistical
+class TestShardedDistributionEquivalence:
+    N = 6000
+    ALPHA = 0.01
+    MIN_POOLED = 10
+
+    def leaf_counts(self, msm, points):
+        grid = msm.index.level_grid(min(msm.height, msm.index.height))
+        counts = np.zeros(grid.n_cells, dtype=float)
+        for p in points:
+            counts[grid.locate(p).index] += 1
+        return counts
+
+    def test_chi_square_serial_vs_sharded(self, msm2):
+        """Sharded execution is distribution-identical to serial.
+
+        Same input workload, independent seeds; the two leaf histograms
+        must be indistinguishable at alpha = 0.01 (fixed seeds, verified
+        deterministic outcome).
+        """
+        xs = uniform_points(self.N, seed=20190326)
+        serial = msm2.sanitize_batch(xs, np.random.default_rng(31))
+        msm2.executor = ShardedExecution(max_workers=2, min_batch_size=0)
+        try:
+            sharded = msm2.sanitize_batch(xs, np.random.default_rng(32))
+        finally:
+            msm2.executor = SerialExecution()
+        a = self.leaf_counts(msm2, [w.point for w in serial])
+        b = self.leaf_counts(msm2, [w.point for w in sharded])
+        pooled = a + b
+        keep = pooled >= self.MIN_POOLED
+        table = np.vstack([
+            np.append(a[keep], a[~keep].sum()),
+            np.append(b[keep], b[~keep].sum()),
+        ])
+        table = table[:, table.sum(axis=0) > 0]
+        _, p_value, _, _ = stats.chi2_contingency(table)
+        assert p_value >= self.ALPHA, (
+            f"serial and sharded leaf distributions diverge "
+            f"(p={p_value:.4g})"
+        )
+
+
+# ----------------------------------------------------------------------
+# the optimal-remap post-processing stage
+# ----------------------------------------------------------------------
+class TestOptimalRemap:
+    @pytest.fixture(scope="class")
+    def msm_remap(self, square20, uniform9) -> MultiStepMechanism:
+        msm = MultiStepMechanism(
+            HierarchicalGrid(square20, 3, 2), (0.5, 0.7), uniform9,
+            remap=True,
+        )
+        msm.precompute()
+        return msm
+
+    def test_remap_flag_wires_the_postprocessor(self, msm_remap):
+        assert isinstance(msm_remap.postprocessor, OptimalRemapPostProcessor)
+
+    def test_outputs_are_remapped_with_provenance(self, msm_remap, rng):
+        walks = msm_remap.sanitize_batch(uniform_points(50, seed=4), rng)
+        table = msm_remap.postprocessor.table
+        grid = msm_remap.postprocessor.leaf_grid
+        for walk in walks:
+            assert walk.raw_point is not None
+            assert walk.point == table[grid.locate(walk.raw_point).index]
+            assert len(walk.trace) == 2  # walk provenance survives
+
+    def test_scalar_batch_equality_holds_with_remap(self, msm_remap):
+        x = Point(7.7, 2.2)
+        scalar = msm_remap.sample_with_report(x, np.random.default_rng(5))
+        batch = msm_remap.sanitize_batch([x], np.random.default_rng(5))
+        assert scalar == batch[0]
+
+    def test_remap_never_increases_expected_loss(self, msm_remap, uniform9):
+        k = msm_remap.to_matrix()
+        assignment = msm_remap.postprocessor.assignment()
+        prior = np.full(len(k.inputs), 1.0 / len(k.inputs))
+        before = k.expected_loss(prior, msm_remap.dq)
+        after = k.with_remap(assignment).expected_loss(prior, msm_remap.dq)
+        assert after <= before + 1e-12
+
+    def test_remap_actually_moves_some_output(self, square20):
+        """Under a skewed prior the stage is not a no-op: some walk
+        output is remapped toward the mass.  (Under the uniform prior
+        of the other tests the optimal remap is correctly the
+        identity.)"""
+        grid = RegularGrid(square20, 3)
+        probs = np.full(grid.n_cells, 0.01)
+        probs[0] = 1.0
+        skewed = GridPrior(grid, probs / probs.sum())
+        msm = MultiStepMechanism(
+            HierarchicalGrid(square20, 3, 1), (0.4,), skewed, remap=True,
+        )
+        table = msm.postprocessor.table
+        leaf_grid = msm.postprocessor.leaf_grid
+        moved = [
+            z_index for z_index, w in table.items()
+            if leaf_grid.locate(w).index != z_index
+        ]
+        assert moved
+        # and a walk that lands on a moved leaf really is rerouted
+        from repro.core.engine import WalkResult
+        from repro.core.resilience import DegradationReport
+
+        landed = WalkResult(
+            point=leaf_grid.cell_by_index(moved[0]).bounds.center,
+            trace=(),
+            degradation=DegradationReport(()),
+        )
+        (finalised,) = msm.postprocessor.finalise([landed])
+        assert finalised.raw_point == landed.point
+        assert leaf_grid.locate(finalised.point).index != moved[0]
+
+    def test_step_matrices_still_pass_the_guard(self, msm_remap, rng):
+        """Remap is output-only: every matrix the engine sampled from
+        still satisfies per-level GeoInd exactly as without remap."""
+        msm_remap.sanitize_batch(uniform_points(30, seed=9), rng)
+        assert len(msm_remap.cache) > 0
+        for path, entry in msm_remap.cache.snapshot().items():
+            guard_mechanism(entry.matrix, entry.epsilon)
+
+    def test_session_passthrough(self, square20):
+        from repro.core.session import SanitizationSession
+        from repro.priors.base import GridPrior as GP
+
+        prior = GP.uniform(RegularGrid(square20, 4))
+        session = SanitizationSession(
+            10.0, 1.5, prior, granularity=2, remap=True,
+        )
+        assert isinstance(
+            session.mechanism.postprocessor, OptimalRemapPostProcessor
+        )
+        report = session.report(Point(5.0, 5.0), np.random.default_rng(1))
+        assert session.spent == pytest.approx(1.5)
+        assert prior.grid.bounds.contains(report.reported)
+
+
+# ----------------------------------------------------------------------
+# the batch walk over adaptive indexes (vectorised locate overrides)
+# ----------------------------------------------------------------------
+class TestAdaptiveIndexBatch:
+    @pytest.fixture(scope="class")
+    def sample_points(self) -> list[Point]:
+        return uniform_points(300, seed=77)
+
+    @pytest.fixture(scope="class")
+    def quadtree(self, square20, sample_points) -> QuadtreeIndex:
+        return QuadtreeIndex(
+            square20, sample_points, capacity=40, max_depth=4
+        )
+
+    @pytest.fixture(scope="class")
+    def kdtree(self, square20, sample_points) -> KDTreeIndex:
+        return KDTreeIndex(square20, sample_points, max_depth=3)
+
+    @pytest.mark.parametrize("index_name", ["quadtree", "kdtree"])
+    def test_vectorised_locate_agrees_with_scalar(
+        self, index_name, request
+    ):
+        from repro.grid.index import SpatialIndex
+
+        index = request.getfixturevalue(index_name)
+        pts = uniform_points(500, seed=88) + [Point(-1.0, 5.0)]
+        coords = np.asarray([(p.x, p.y) for p in pts])
+        stack = [index.root]
+        checked = 0
+        while stack:
+            node = stack.pop()
+            kids = index.children(node)
+            if not kids:
+                continue
+            stack.extend(kids)
+            fast = index.locate_child_indices(node, coords)
+            slow = SpatialIndex.locate_child_indices(index, node, coords)
+            assert fast.tolist() == slow.tolist()
+            checked += 1
+        assert checked >= 3  # the walk above actually exercised the tree
+
+    @pytest.mark.parametrize("index_name", ["quadtree", "kdtree"])
+    def test_sanitize_batch_over_adaptive_index(
+        self, index_name, request, square20, uniform9
+    ):
+        index = request.getfixturevalue(index_name)
+        msm = MultiStepMechanism(index, (0.6, 0.6), uniform9)
+        xs = uniform_points(80, seed=99)
+        walks = msm.sanitize_batch(xs, np.random.default_rng(6))
+        assert len(walks) == len(xs)
+        for walk in walks:
+            assert square20.contains(walk.point)
+            assert 1 <= len(walk.trace) <= 2
+        # scalar == batch-of-one holds over adaptive indexes too
+        x = xs[0]
+        scalar = msm.sample_with_report(x, np.random.default_rng(12))
+        batch = msm.sanitize_batch([x], np.random.default_rng(12))
+        assert scalar == batch[0]
