@@ -15,6 +15,15 @@ so the README table has an auditable source).  Runnable both ways:
     PYTHONPATH=src python benchmarks/bench_engine.py
     PYTHONPATH=src python -m pytest benchmarks/bench_engine.py
 
+The default run keeps observability *disabled* — that is the regime the
+committed throughput numbers (and the < 3% overhead acceptance
+criterion) refer to.  ``--metrics PATH`` re-runs with a live metrics
+registry and writes a Prometheus text dump (the CI obs smoke step
+parses it); ``--trace-out PATH`` additionally records span trees.
+``--points N`` shrinks the workload for smoke runs (the result file is
+only written at the full default size, so smoke runs cannot clobber the
+committed benchmark).
+
 Honesty note: process sharding can only beat the serial pipeline when
 more than one core is actually available.  The recorded result includes
 ``cpu_count`` and ``workers``; the >= 2x acceptance assertion is made
@@ -56,12 +65,17 @@ BUDGETS = (0.4, 0.5, 0.6)
 SEED = 20190326
 
 
-def build_msm() -> MultiStepMechanism:
-    """The benchmark instance: depth-3 GIHI, uniform prior, warm cache."""
+def build_msm(obs=None) -> MultiStepMechanism:
+    """The benchmark instance: depth-3 GIHI, uniform prior, warm cache.
+
+    ``obs`` is only set by the instrumented smoke path, and before the
+    warm-up, so the cache-build / LP metrics of the precompute sweep
+    land in the registry too.
+    """
     square = BoundingBox.square(Point(0.0, 0.0), 20.0)
     prior = GridPrior.uniform(RegularGrid(square, GRANULARITY**HEIGHT))
     index = HierarchicalGrid(square, GRANULARITY, HEIGHT)
-    msm = MultiStepMechanism(index, BUDGETS, prior)
+    msm = MultiStepMechanism(index, BUDGETS, prior, obs=obs)
     msm.precompute()
     return msm
 
@@ -129,9 +143,84 @@ def test_sharded_throughput():
         assert result["sharded_points_per_second"] > 0, result
 
 
-def main() -> None:
-    result = run_benchmark()
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+def run_instrumented(
+    n: int, metrics_path: str | None, trace_path: str | None
+) -> dict:
+    """Serial + sharded run with a live registry; dump telemetry.
+
+    Separate from :func:`run_benchmark` on purpose: the committed
+    throughput numbers come from the *disabled* path, while this one
+    exists so CI can validate that the observability layer produces a
+    parseable Prometheus dump covering the engine's metric glossary.
+    """
+    from repro.obs import Observability
+    from repro.obs.export import to_jsonl, to_prometheus
+
+    obs = Observability.collecting(trace=trace_path is not None)
+    msm = build_msm(obs=obs)
+    points = workload(n)
+    cpu_count = os.cpu_count() or 1
+    workers = min(cpu_count, GRANULARITY * GRANULARITY)
+
+    msm.executor = SerialExecution()
+    serial = msm.sanitize_batch_report(points, np.random.default_rng(SEED))
+
+    msm.executor = ShardedExecution(max_workers=workers, min_batch_size=0)
+    sharded = msm.sanitize_batch_report(points, np.random.default_rng(SEED))
+
+    assert len(serial) == len(sharded) == n
+    if metrics_path is not None:
+        text = to_prometheus(obs.snapshot())
+        if metrics_path == "-":
+            print(text, end="")
+        else:
+            Path(metrics_path).write_text(text)
+    if trace_path is not None:
+        Path(trace_path).write_text(to_jsonl(obs.snapshot(), obs.spans))
+    return {
+        "benchmark": "walk-engine-instrumented-smoke",
+        "n_points": n,
+        "serial_points_per_second": round(
+            serial.telemetry.points_per_second, 1
+        ),
+        "sharded_points_per_second": round(
+            sharded.telemetry.points_per_second, 1
+        ),
+        "metrics": metrics_path,
+        "trace": trace_path,
+    }
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--points", type=int, default=N_POINTS,
+        help=f"workload size (default {N_POINTS}; the committed result "
+             "file is only rewritten at the default size)",
+    )
+    parser.add_argument(
+        "--metrics", nargs="?", const="-", default=None, metavar="PATH",
+        help="run with observability enabled and write a Prometheus text "
+             "dump to PATH (stdout if no PATH is given)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="also record span trees and write spans + metrics as JSON "
+             "lines to PATH (implies an instrumented run)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.metrics is not None or args.trace_out is not None:
+        result = run_instrumented(args.points, args.metrics, args.trace_out)
+        if args.metrics != "-":
+            print(json.dumps(result, indent=2))
+        return
+
+    result = run_benchmark(args.points)
+    if args.points == N_POINTS:
+        RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
     print(json.dumps(result, indent=2))
 
 

@@ -6,6 +6,8 @@ Subcommands::
     repro plan        --epsilon 0.5 --g 4          budget allocation plan
     repro sanitize    --epsilon 0.5 --g 4 --x --y  sanitise one location
     repro sanitize    --bundle austin.npz --x --y  sample a saved bundle
+    repro sanitize    ... --metrics [PATH]         + Prometheus metrics dump
+    repro sanitize    ... --trace-out PATH         + span/metric JSON lines
     repro bundle      --epsilon 0.5 --g 4 --out p  write an offline bundle
     repro experiment  fig3|fig5|table2|fig6|fig8|fig10|latency|
                       ablation-budget|ablation-spanner|ablation-index|
@@ -112,9 +114,39 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_observability(args: argparse.Namespace):
+    """An enabled handle when --metrics/--trace-out was passed, else None."""
+    if args.metrics is None and args.trace_out is None:
+        return None
+    from repro.obs import Observability
+
+    return Observability.collecting(trace=args.trace_out is not None)
+
+
+def _write_observability(obs, args: argparse.Namespace) -> None:
+    """Dump the run's telemetry to the requested destinations."""
+    if obs is None:
+        return
+    from repro.obs.export import to_jsonl, to_prometheus
+
+    if args.metrics is not None:
+        text = to_prometheus(obs.snapshot())
+        if args.metrics == "-":
+            sys.stdout.write(text)
+        else:
+            with open(args.metrics, "w") as fh:
+                fh.write(text)
+            print(f"metrics  : {args.metrics}")
+    if args.trace_out is not None:
+        with open(args.trace_out, "w") as fh:
+            fh.write(to_jsonl(obs.snapshot(), obs.spans))
+        print(f"trace    : {args.trace_out}")
+
+
 def _cmd_sanitize(args: argparse.Namespace) -> int:
     rng = np.random.default_rng(args.seed)
     x = Point(args.x, args.y)
+    obs = _make_observability(args)
     if args.bundle is not None:
         from repro.core.bundle import load_bundle
 
@@ -123,12 +155,15 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
             raise SystemExit(
                 f"location ({args.x}, {args.y}) outside the bundle domain"
             )
+        if obs is not None:
+            msm.engine.bind_observability(obs)
         if args.remap:
             msm.enable_remap()
         z = msm.sample(x, rng)
         print(f"actual   : ({x.x:.4f}, {x.y:.4f}) km")
         print(f"reported : ({z.x:.4f}, {z.y:.4f}) km")
         print(f"distance : {x.distance_to(z):.4f} km")
+        _write_observability(obs, args)
         return 0
     if args.epsilon is None:
         raise SystemExit("--epsilon is required when no --bundle is given")
@@ -136,7 +171,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     grid = RegularGrid(dataset.bounds, args.prior_granularity)
     prior = empirical_prior(grid, dataset.points(), smoothing=0.1)
     msm = MultiStepMechanism.build(
-        args.epsilon, args.g, prior, rho=args.rho, remap=args.remap
+        args.epsilon, args.g, prior, rho=args.rho, remap=args.remap, obs=obs
     )
     if not dataset.bounds.contains(x):
         raise SystemExit(
@@ -149,6 +184,7 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     print(f"distance : {x.distance_to(z):.4f} km")
     print(f"height   : {msm.height}, budgets "
           + "/".join(f"{b:.3f}" for b in msm.budgets))
+    _write_observability(obs, args)
     return 0
 
 
@@ -204,6 +240,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_san.add_argument("--remap", action="store_true",
                        help="apply the optimal Bayesian remap to the output "
                             "(post-processing; never weakens the guarantee)")
+    p_san.add_argument("--metrics", nargs="?", const="-", default=None,
+                       metavar="PATH",
+                       help="collect runtime metrics and write them in "
+                            "Prometheus text format to PATH (stdout if no "
+                            "PATH is given)")
+    p_san.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="record the walk's span tree and dump spans + "
+                            "metrics as JSON lines to PATH")
     p_san.set_defaults(func=_cmd_sanitize)
 
     p_bundle = sub.add_parser(

@@ -17,7 +17,9 @@ from repro.core.engine import (
     PostProcessor,
     SerialExecution,
     ShardedExecution,
+    TelemetrySummary,
     WalkEngine,
+    WalkReport,
 )
 from repro.core.resilience import (
     DegradationReport,
@@ -50,7 +52,9 @@ __all__ = [
     "SolveAttempt",
     "SolveRecord",
     "StepTrace",
+    "TelemetrySummary",
     "WalkEngine",
+    "WalkReport",
     "WalkResult",
     "allocate_budget",
     "lattice_sum",

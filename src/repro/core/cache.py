@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.mechanisms.matrix import MechanismMatrix
+from repro.obs import NOOP, Observability
 
 
 @dataclass(frozen=True)
@@ -66,19 +67,41 @@ class NodeMechanismCache:
     hits: int = 0
     misses: int = 0
     builds: int = 0
+    merges: int = 0
+
+    # observability handle; a plain class attribute (not a dataclass
+    # field) so existing constructor calls and pickles are unaffected.
+    # bind_observability() shadows it per instance.
+    _obs = NOOP
+
+    def bind_observability(self, obs: Observability) -> None:
+        """Attach an observability handle (metrics mirror the counters)."""
+        self._obs = obs
 
     def get(self, path: tuple[int, ...]) -> MechanismMatrix | None:
         """Look up the solved matrix for a node, counting hit/miss."""
         entry = self.entry(path)
         return None if entry is None else entry.matrix
 
+    def _record_hit(self) -> None:
+        """Count a hit on this object *and* in the metrics registry."""
+        self.hits += 1
+        if self._obs.enabled:
+            self._obs.metrics.counter("repro_cache_hits_total").inc()
+
+    def _record_miss(self) -> None:
+        """Count a miss on this object *and* in the metrics registry."""
+        self.misses += 1
+        if self._obs.enabled:
+            self._obs.metrics.counter("repro_cache_misses_total").inc()
+
     def entry(self, path: tuple[int, ...]) -> CacheEntry | None:
         """Look up the full cache entry for a node, counting hit/miss."""
         entry = self._store.get(path)
         if entry is None:
-            self.misses += 1
+            self._record_miss()
         else:
-            self.hits += 1
+            self._record_hit()
         return entry
 
     def put(
@@ -126,13 +149,33 @@ class NodeMechanismCache:
         mid-batch fault costs only the affected node, never work that
         already succeeded.
         """
-        out: dict[tuple[int, ...], CacheEntry] = {}
+        obs = self._obs
+        if not obs.enabled:
+            out: dict[tuple[int, ...], CacheEntry] = {}
+            for path in paths:
+                entry = self.entry(path)
+                if entry is None:
+                    matrix, provenance = build(path)
+                    self.builds += 1
+                    entry = self.put(path, matrix, **provenance)
+                out[path] = entry
+            return out
+        tracer = obs.tracer
+        out = {}
         for path in paths:
-            entry = self.entry(path)
-            if entry is None:
-                matrix, provenance = build(path)
-                self.builds += 1
-                entry = self.put(path, matrix, **provenance)
+            with tracer.span("resolve.node", path="/".join(map(str, path))) as sp:
+                with tracer.span("cache.get"):
+                    entry = self.entry(path)
+                hit = entry is not None
+                if entry is None:
+                    with tracer.span("cache.build"):
+                        matrix, provenance = build(path)
+                    self.builds += 1
+                    obs.metrics.counter("repro_cache_builds_total").inc()
+                    entry = self.put(path, matrix, **provenance)
+                if sp is not None:
+                    sp.attributes["cache_hit"] = hit
+                    sp.attributes["degraded"] = entry.degraded
             out[path] = entry
         return out
 
@@ -164,6 +207,10 @@ class NodeMechanismCache:
                 epsilon=entry.epsilon,
             )
             adopted += 1
+        self.merges += 1
+        if self._obs.enabled:
+            self._obs.metrics.counter("repro_cache_merges_total").inc()
+            self._obs.metrics.counter("repro_cache_adopted_total").inc(adopted)
         return adopted
 
     def degraded_entries(self) -> dict[tuple[int, ...], CacheEntry]:
@@ -182,6 +229,7 @@ class NodeMechanismCache:
         self.hits = 0
         self.misses = 0
         self.builds = 0
+        self.merges = 0
 
     @property
     def size_bytes(self) -> int:

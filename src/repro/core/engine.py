@@ -56,6 +56,14 @@ from repro.mechanisms.exponential import exponential_matrix_from_locations
 from repro.mechanisms.matrix import MechanismMatrix
 from repro.mechanisms.optimal import optimal_mechanism_from_locations
 from repro.mechanisms.remap import optimal_remap_assignment
+from repro.obs import (
+    NOOP,
+    SIZE_EDGES,
+    MetricsRegistry,
+    MetricsSnapshot,
+    NoopTracer,
+    Observability,
+)
 from repro.priors.base import GridPrior
 from repro.privacy.guard import guard_mechanism
 from repro.core.cache import CacheEntry, NodeMechanismCache
@@ -96,6 +104,51 @@ class WalkResult:
     trace: tuple[StepTrace, ...]
     degradation: DegradationReport
     raw_point: Point | None = None
+
+
+@dataclass(frozen=True)
+class TelemetrySummary:
+    """The per-batch account :meth:`WalkEngine.run_report` attaches.
+
+    Built from the metrics-registry delta accrued by one batch, so its
+    numbers are the observability layer's numbers — the telemetry-vs-
+    truth tests cross-check them against the engine's own counters.
+    """
+
+    n_points: int
+    wall_seconds: float
+    lp_seconds: float
+    lp_solves: int
+    cache_hits: int
+    cache_misses: int
+    cache_builds: int
+    degraded_steps: int
+    degraded_walks: int
+    snapshot: MetricsSnapshot
+
+    @property
+    def points_per_second(self) -> float:
+        """Batch throughput (0.0 for an instantaneous empty batch)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.n_points / self.wall_seconds
+
+
+@dataclass(frozen=True)
+class WalkReport:
+    """A batch's results plus (when observability is on) its telemetry."""
+
+    results: tuple[WalkResult, ...]
+    telemetry: TelemetrySummary | None = None
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, i):
+        return self.results[i]
 
 
 # ----------------------------------------------------------------------
@@ -251,17 +304,40 @@ def _run_shard(
     engine: "WalkEngine",
     points: list[Point],
     stream: "np.random.Generator | np.random.SeedSequence",
-) -> tuple[list[WalkResult], dict[tuple[int, ...], CacheEntry], float]:
+) -> tuple[
+    list[WalkResult],
+    dict[tuple[int, ...], CacheEntry],
+    float,
+    "MetricsSnapshot | None",
+]:
     """Worker entry point: walk one shard with its own seeded stream.
 
-    Returns the shard's results plus the worker cache content and LP
-    wall-clock, so the parent can adopt newly solved nodes and keep its
-    accounting truthful.  Module-level so it pickles under every
-    multiprocessing start method.
+    Returns the shard's results plus the worker cache content, LP
+    wall-clock, and — when the parent runs with observability — the
+    shard's own metrics snapshot, so the parent can adopt newly solved
+    nodes and merge per-shard telemetry without losing attribution.
+    Module-level so it pickles under every multiprocessing start method.
+
+    The worker always rebinds a *fresh* registry: the pickled engine
+    carries the parent's registry contents, and walking into those would
+    double-count the parent's history once the snapshot merges back.
+    Spans are not recorded in workers (they cannot cross the process
+    boundary meaningfully); per-shard structure is visible through the
+    ``shard.merge`` spans the parent emits instead.
     """
+    parent_obs = engine.observability
+    if parent_obs.enabled:
+        engine.bind_observability(
+            Observability(
+                metrics=MetricsRegistry(), tracer=NoopTracer(), enabled=True
+            )
+        )
     rng = np.random.default_rng(stream)
     results = engine.walk(points, rng, postprocess=False)
-    return results, engine.cache.snapshot(), engine.lp_seconds
+    shard_metrics = (
+        engine.observability.snapshot() if parent_obs.enabled else None
+    )
+    return results, engine.cache.snapshot(), engine.lp_seconds, shard_metrics
 
 
 class ShardedExecution(ExecutionPolicy):
@@ -341,6 +417,27 @@ class ShardedExecution(ExecutionPolicy):
             shards.setdefault(int(key), []).append(i)
         return [shards[key] for key in sorted(shards)]
 
+    def _serial_fallback(
+        self,
+        engine: "WalkEngine",
+        points: list[Point],
+        rng: np.random.Generator,
+        reason: str,
+    ) -> list[WalkResult]:
+        """Run the batch serially, recording why sharding stood down.
+
+        The fallback runs through the engine's own instrumented
+        :meth:`WalkEngine.walk`, so per-level LP timing attribution is
+        identical to a sharded run's merged worker registries — the
+        fallback never collapses attribution into an unlabeled bucket.
+        """
+        obs = engine.observability
+        if obs.enabled:
+            obs.metrics.counter(
+                "repro_exec_serial_fallback_total", reason=reason
+            ).inc()
+        return engine.walk(points, rng)
+
     def execute(
         self,
         engine: "WalkEngine",
@@ -349,12 +446,12 @@ class ShardedExecution(ExecutionPolicy):
     ) -> list[WalkResult]:
         shards = self.partition(engine, points)
         workers = min(self.max_workers, len(shards))
-        if (
-            len(points) < self._min_batch_size
-            or workers < 2
-            or len(shards) < 2
-        ):
-            return engine.walk(points, rng)
+        if len(points) < self._min_batch_size:
+            return self._serial_fallback(engine, points, rng, "small_batch")
+        if len(shards) < 2:
+            return self._serial_fallback(engine, points, rng, "single_shard")
+        if workers < 2:
+            return self._serial_fallback(engine, points, rng, "few_workers")
         worker_engine = engine.worker_copy()
         try:
             payload = pickle.dumps(worker_engine)
@@ -365,7 +462,7 @@ class ShardedExecution(ExecutionPolicy):
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return engine.walk(points, rng)
+            return self._serial_fallback(engine, points, rng, "unpicklable")
         del payload
         seeds = rng.spawn(len(shards))
         results: list[WalkResult | None] = [None] * len(points)
@@ -384,6 +481,14 @@ class ShardedExecution(ExecutionPolicy):
             if method is not None
             else multiprocessing.get_context()
         )
+        obs = engine.observability
+        if obs.enabled:
+            obs.metrics.counter("repro_shards_total").inc(len(shards))
+            shard_sizes = obs.metrics.histogram(
+                "repro_shard_points", edges=SIZE_EDGES
+            )
+            for shard in shards:
+                shard_sizes.observe(len(shard))
         with concurrent.futures.ProcessPoolExecutor(
             max_workers=workers, mp_context=context
         ) as pool:
@@ -396,12 +501,27 @@ class ShardedExecution(ExecutionPolicy):
                 )
                 for shard, seed in zip(shards, seeds)
             ]
-            for shard, future in zip(shards, futures):
-                shard_results, entries, lp_seconds = future.result()
+            for shard_id, (shard, future) in enumerate(zip(shards, futures)):
+                shard_results, entries, lp_seconds, shard_metrics = (
+                    future.result()
+                )
                 for i, walk in zip(shard, shard_results):
                     results[i] = walk
-                engine.cache.merge(entries)
-                engine.add_lp_seconds(lp_seconds)
+                merge_start = time.perf_counter()
+                with obs.tracer.span(
+                    "shard.merge", shard=shard_id, n=len(shard)
+                ):
+                    engine.cache.merge(entries)
+                    engine.add_lp_seconds(lp_seconds)
+                    if obs.enabled and shard_metrics is not None:
+                        obs.metrics.merge(shard_metrics)
+                if obs.enabled:
+                    obs.metrics.counter(
+                        "repro_shard_lp_seconds_total", shard=shard_id
+                    ).inc(lp_seconds)
+                    obs.metrics.counter(
+                        "repro_shard_merge_seconds_total"
+                    ).inc(time.perf_counter() - merge_start)
         return engine.finalise([w for w in results if w is not None])
 
 
@@ -435,6 +555,7 @@ class WalkEngine:
         cache: NodeMechanismCache | None = None,
         executor: ExecutionPolicy | None = None,
         postprocessor: PostProcessor | None = None,
+        obs: Observability | None = None,
     ):
         self._index = index
         self._budgets = tuple(float(b) for b in budgets)
@@ -450,6 +571,7 @@ class WalkEngine:
         self._executor = executor if executor is not None else SerialExecution()
         self._postprocessor = postprocessor
         self._lp_seconds = 0.0
+        self.bind_observability(obs if obs is not None else NOOP)
 
     # ------------------------------------------------------------------
     # accessors
@@ -481,6 +603,30 @@ class WalkEngine:
     @property
     def solver(self) -> ResilientSolver:
         return self._solver
+
+    @property
+    def observability(self) -> Observability:
+        """The bound observability handle (the shared no-op by default)."""
+        return self._obs
+
+    def bind_observability(self, obs: Observability) -> None:
+        """Attach an observability handle and propagate it downward.
+
+        When ``obs`` is enabled the cache and resilient solver are
+        rebound too (so their metrics land in the same registry) and the
+        configured per-level budgets are published as gauges.  The
+        disabled default deliberately does *not* touch the cache or
+        solver — they may carry their own binding, and the hot path must
+        stay untouched.
+        """
+        self._obs = obs
+        if obs.enabled:
+            self._cache.bind_observability(obs)
+            self._solver.bind_observability(obs)
+            for level, eps in enumerate(self._budgets, start=1):
+                obs.metrics.gauge(
+                    "repro_budget_level_epsilon", level=level
+                ).set(eps)
 
     @property
     def lp_seconds(self) -> float:
@@ -529,6 +675,7 @@ class WalkEngine:
             cache=self._cache,
             executor=SerialExecution(),
             postprocessor=None,
+            obs=self._obs,
         )
 
     # ------------------------------------------------------------------
@@ -545,7 +692,51 @@ class WalkEngine:
             raise MechanismError(
                 "index root has no children; nothing to report"
             )
-        return self._executor.execute(self, points, rng)
+        if not self._obs.enabled:
+            return self._executor.execute(self, points, rng)
+        metrics = self._obs.metrics
+        start = time.perf_counter()
+        results = self._executor.execute(self, points, rng)
+        elapsed = time.perf_counter() - start
+        metrics.counter("repro_walk_batches_total").inc()
+        metrics.counter("repro_walk_points_total").inc(len(points))
+        metrics.histogram("repro_sanitize_seconds").observe(elapsed)
+        return results
+
+    def run_report(
+        self, points: Sequence[Point], rng: np.random.Generator
+    ) -> WalkReport:
+        """Like :meth:`run`, but wrap the results in a :class:`WalkReport`.
+
+        With observability enabled the report carries a
+        :class:`TelemetrySummary` built from the registry delta this
+        batch accrued; disabled, ``telemetry`` is None.
+        """
+        if not self._obs.enabled:
+            return WalkReport(results=tuple(self.run(points, rng)))
+        before = self._obs.snapshot()
+        start = time.perf_counter()
+        results = self.run(points, rng)
+        wall = time.perf_counter() - start
+        delta = self._obs.snapshot().since(before)
+        degraded_walks = sum(
+            1 for w in results if not w.degradation.clean
+        )
+        telemetry = TelemetrySummary(
+            n_points=len(results),
+            wall_seconds=wall,
+            lp_seconds=delta.counter_total("repro_lp_solve_seconds_total"),
+            lp_solves=int(delta.counter_total("repro_lp_solves_total")),
+            cache_hits=int(delta.counter_total("repro_cache_hits_total")),
+            cache_misses=int(delta.counter_total("repro_cache_misses_total")),
+            cache_builds=int(delta.counter_total("repro_cache_builds_total")),
+            degraded_steps=int(
+                delta.counter_total("repro_walk_degraded_steps_total")
+            ),
+            degraded_walks=degraded_walks,
+            snapshot=delta,
+        )
+        return WalkReport(results=tuple(results), telemetry=telemetry)
 
     # ------------------------------------------------------------------
     # the staged pipeline
@@ -573,72 +764,124 @@ class WalkEngine:
                 "index root has no children; nothing to report"
             )
         n = len(points)
+        obs = self._obs
+        tracer = obs.tracer
         coords = np.asarray([(p.x, p.y) for p in points], dtype=float)
         nodes: list[IndexNode] = [self._index.root] * n
         traces: list[list[StepTrace]] = [[] for _ in range(n)]
         substitutions: list[list[DegradedNode]] = [[] for _ in range(n)]
         active = list(range(n))
-        for level, eps in enumerate(self._budgets, start=1):
-            if not active:
-                break
-            groups: dict[tuple[int, ...], list[int]] = {}
-            for i in active:
-                groups.setdefault(nodes[i].path, []).append(i)
-            group_nodes = {
-                path: nodes[idxs[0]] for path, idxs in groups.items()
-            }
-            children_of = {
-                path: self._index.children(node)
-                for path, node in group_nodes.items()
-            }
-            entries = self.resolve_many(level, group_nodes, children_of)
-            next_active: list[int] = []
-            for path, idxs in groups.items():
-                children = children_of[path]
-                if not children:
-                    continue  # bottomed out early (adaptive indexes)
-                entry = entries[path]
-                x_hat, drifted = self.locate(
-                    group_nodes[path], children, coords[idxs], rng
-                )
-                reported = self.sample(entry, x_hat, rng)
-                degraded_node = (
-                    DegradedNode(
-                        node_path=path,
-                        level=level,
-                        epsilon=eps,
-                        fallback=entry.source,
-                        reason=entry.reason or "",
+        with tracer.span("walk", n=n):
+            for level, eps in enumerate(self._budgets, start=1):
+                if not active:
+                    break
+                with tracer.span("level", level=level, epsilon=eps):
+                    groups: dict[tuple[int, ...], list[int]] = {}
+                    for i in active:
+                        groups.setdefault(nodes[i].path, []).append(i)
+                    group_nodes = {
+                        path: nodes[idxs[0]] for path, idxs in groups.items()
+                    }
+                    children_of = {
+                        path: self._index.children(node)
+                        for path, node in group_nodes.items()
+                    }
+                    entries = self.resolve_many(
+                        level, group_nodes, children_of
                     )
-                    if entry.degraded
-                    else None
-                )
-                for pos, i in enumerate(idxs):
-                    traces[i].append(
-                        StepTrace(
-                            level=level,
-                            node_path=path,
-                            x_hat_index=int(x_hat[pos]),
-                            x_hat_random=bool(drifted[pos]),
-                            reported_index=int(reported[pos]),
-                            degraded=entry.degraded,
-                            mechanism=entry.source,
+                    next_active: list[int] = []
+                    for path, idxs in groups.items():
+                        children = children_of[path]
+                        if not children:
+                            continue  # bottomed out early (adaptive indexes)
+                        entry = entries[path]
+                        with tracer.span("locate", n=len(idxs)) as sp:
+                            x_hat, drifted = self.locate(
+                                group_nodes[path], children, coords[idxs], rng
+                            )
+                            if sp is not None:
+                                sp.attributes["drifted"] = int(drifted.sum())
+                        with tracer.span("sample", n=len(idxs)):
+                            reported = self.sample(entry, x_hat, rng)
+                        degraded_node = (
+                            DegradedNode(
+                                node_path=path,
+                                level=level,
+                                epsilon=eps,
+                                fallback=entry.source,
+                                reason=entry.reason or "",
+                            )
+                            if entry.degraded
+                            else None
                         )
-                    )
-                    if degraded_node is not None:
-                        substitutions[i].append(degraded_node)
-                    nodes[i] = children[reported[pos]]
-                next_active.extend(idxs)
-            active = next_active
-        results = [
-            WalkResult(
-                point=nodes[i].bounds.center,
-                trace=tuple(traces[i]),
-                degradation=DegradationReport(tuple(substitutions[i])),
-            )
-            for i in range(n)
-        ]
-        return self.finalise(results) if postprocess else results
+                        with tracer.span("descend", n=len(idxs)):
+                            for pos, i in enumerate(idxs):
+                                traces[i].append(
+                                    StepTrace(
+                                        level=level,
+                                        node_path=path,
+                                        x_hat_index=int(x_hat[pos]),
+                                        x_hat_random=bool(drifted[pos]),
+                                        reported_index=int(reported[pos]),
+                                        degraded=entry.degraded,
+                                        mechanism=entry.source,
+                                    )
+                                )
+                                if degraded_node is not None:
+                                    substitutions[i].append(degraded_node)
+                                nodes[i] = children[reported[pos]]
+                            next_active.extend(idxs)
+                        if obs.enabled:
+                            self._record_level_group(
+                                level, entry, x_hat, drifted, reported
+                            )
+                    active = next_active
+            results = [
+                WalkResult(
+                    point=nodes[i].bounds.center,
+                    trace=tuple(traces[i]),
+                    degradation=DegradationReport(tuple(substitutions[i])),
+                )
+                for i in range(n)
+            ]
+            if obs.enabled:
+                obs.metrics.counter("repro_walk_degraded_walks_total").inc(
+                    sum(1 for subs in substitutions if subs)
+                )
+            return self.finalise(results) if postprocess else results
+
+    def _record_level_group(
+        self,
+        level: int,
+        entry: CacheEntry,
+        x_hat: np.ndarray,
+        drifted: np.ndarray,
+        reported: np.ndarray,
+    ) -> None:
+        """Per-group step metrics (only called when observability is on).
+
+        ``on_track`` counts non-drifted steps whose reported child equals
+        the true child — the numerator of the achieved same-cell
+        probability Pr[x|x] that the budget allocation (Section 5 of the
+        paper) promises to keep >= rho at every level:
+        ``on_track / (steps - drifted)``.
+        """
+        metrics = self._obs.metrics
+        n_steps = len(x_hat)
+        n_drifted = int(drifted.sum())
+        on_track = int((~drifted & (reported == x_hat)).sum())
+        metrics.counter("repro_walk_steps_total", level=level).inc(n_steps)
+        if n_drifted:
+            metrics.counter(
+                "repro_walk_drifted_total", level=level
+            ).inc(n_drifted)
+        metrics.counter(
+            "repro_walk_on_track_total", level=level
+        ).inc(on_track)
+        if entry.degraded:
+            metrics.counter(
+                "repro_walk_degraded_steps_total", level=level
+            ).inc(n_steps)
 
     # -- stage: locate --------------------------------------------------
     def locate(
@@ -679,12 +922,14 @@ class WalkEngine:
         """Bulk get-or-build: each distinct internal node of a level is
         solved exactly once (through the resilient chain), guarded, and
         cached before any point samples from it."""
-        return self._cache.get_or_build_many(
-            [path for path, kids in children_of.items() if kids],
-            lambda path: self.solve_step(
-                group_nodes[path], level, children_of[path]
-            ),
-        )
+        paths = [path for path, kids in children_of.items() if kids]
+        with self._obs.tracer.span("resolve", nodes=len(paths)):
+            return self._cache.get_or_build_many(
+                paths,
+                lambda path: self.solve_step(
+                    group_nodes[path], level, children_of[path]
+                ),
+            )
 
     def solve_step(
         self,
@@ -739,7 +984,16 @@ class WalkEngine:
                     stacklevel=2,
                 )
         finally:
-            self._lp_seconds += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self._lp_seconds += elapsed
+            if self._obs.enabled:
+                metrics = self._obs.metrics
+                metrics.counter(
+                    "repro_lp_solve_seconds_total", level=level
+                ).inc(elapsed)
+                metrics.counter(
+                    "repro_lp_solves_total", level=level
+                ).inc()
         if self._guard:
             guard_mechanism(matrix, eps, dx=self._dx)
         return (
@@ -786,15 +1040,21 @@ class WalkEngine:
     # -- stage: finalise ------------------------------------------------
     def finalise(self, results: list[WalkResult]) -> list[WalkResult]:
         """Apply the post-processing stage, when one is configured."""
-        if self._postprocessor is None or not results:
-            return results
-        out = self._postprocessor.finalise(list(results))
-        if len(out) != len(results):
-            raise MechanismError(
-                f"post-processor {self._postprocessor.name!r} changed the "
-                f"batch size: {len(results)} walks in, {len(out)} out"
-            )
-        return out
+        post = self._postprocessor
+        with self._obs.tracer.span(
+            "finalise",
+            n=len(results),
+            post="none" if post is None else post.name,
+        ):
+            if post is None or not results:
+                return results
+            out = post.finalise(list(results))
+            if len(out) != len(results):
+                raise MechanismError(
+                    f"post-processor {post.name!r} changed the "
+                    f"batch size: {len(results)} walks in, {len(out)} out"
+                )
+            return out
 
 
 #: Builder signature the cache's bulk warm-up expects.

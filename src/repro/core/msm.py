@@ -44,9 +44,12 @@ from repro.core.engine import (
     OptimalRemapPostProcessor,
     PostProcessor,
     StepTrace,
+    TelemetrySummary,
     WalkEngine,
+    WalkReport,
     WalkResult,
 )
+from repro.obs import Observability
 from repro.core.resilience import (
     DegradationReport,
     DegradedNode,
@@ -57,6 +60,8 @@ from repro.core.resilience import (
 __all__ = [
     "MultiStepMechanism",
     "StepTrace",
+    "TelemetrySummary",
+    "WalkReport",
     "WalkResult",
 ]
 
@@ -139,6 +144,7 @@ class MultiStepMechanism(Mechanism):
         executor: ExecutionPolicy | None = None,
         postprocessor: PostProcessor | None = None,
         remap: bool = False,
+        obs: Observability | None = None,
     ):
         budgets = tuple(float(b) for b in budgets)
         if not budgets:
@@ -166,6 +172,7 @@ class MultiStepMechanism(Mechanism):
             cache=cache,
             executor=executor,
             postprocessor=postprocessor,
+            obs=obs,
         )
         if remap and postprocessor is None:
             self._engine.postprocessor = OptimalRemapPostProcessor(self)
@@ -194,6 +201,7 @@ class MultiStepMechanism(Mechanism):
         executor: ExecutionPolicy | None = None,
         postprocessor: PostProcessor | None = None,
         remap: bool = False,
+        obs: Observability | None = None,
     ) -> "MultiStepMechanism":
         """Allocate the budget (Algorithm 2) and build MSM over a GIHI.
 
@@ -221,6 +229,7 @@ class MultiStepMechanism(Mechanism):
             executor=executor,
             postprocessor=postprocessor,
             remap=remap,
+            obs=obs,
         )
 
     @classmethod
@@ -239,6 +248,7 @@ class MultiStepMechanism(Mechanism):
         executor: ExecutionPolicy | None = None,
         postprocessor: PostProcessor | None = None,
         remap: bool = False,
+        obs: Observability | None = None,
     ) -> "MultiStepMechanism":
         """Build MSM over a GIHI shaped by an existing budget plan."""
         index = HierarchicalGrid(
@@ -259,8 +269,11 @@ class MultiStepMechanism(Mechanism):
             executor=executor,
             postprocessor=postprocessor,
             remap=remap,
+            obs=obs,
         )
         msm._plan = plan
+        if obs is not None and obs.enabled:
+            obs.metrics.gauge("repro_budget_rho_target").set(plan.rho)
         return msm
 
     # ------------------------------------------------------------------
@@ -312,6 +325,11 @@ class MultiStepMechanism(Mechanism):
     def lp_seconds(self) -> float:
         """Cumulative wall-clock spent solving per-node LPs."""
         return self._engine.lp_seconds
+
+    @property
+    def observability(self) -> Observability:
+        """The engine's observability handle (the no-op by default)."""
+        return self._engine.observability
 
     @property
     def height(self) -> int:
@@ -392,6 +410,15 @@ class MultiStepMechanism(Mechanism):
         substituted mechanism in their traces, and only those.
         """
         return self._engine.run(xs, rng)
+
+    def sanitize_batch_report(
+        self, xs: Sequence[Point], rng: np.random.Generator
+    ) -> WalkReport:
+        """Like :meth:`sanitize_batch`, wrapped in a
+        :class:`~repro.core.engine.WalkReport` whose ``telemetry``
+        summarises the batch's metrics delta when observability is
+        enabled (None otherwise)."""
+        return self._engine.run_report(xs, rng)
 
     def sample_many(
         self, xs: Sequence[Point], rng: np.random.Generator

@@ -43,6 +43,7 @@ from repro.exceptions import (
 from repro.lp import BACKENDS, solve as lp_solve
 from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult, LPStatus
+from repro.obs import NOOP, Observability
 
 #: Statuses worth retrying on the *same* backend (with a grown time
 #: limit): transient resource limits and numerical trouble.
@@ -177,6 +178,9 @@ class ResilientSolver:
         monkey-patching scipy internals.
     """
 
+    #: observability handle; shadowed per instance by bind_observability.
+    _obs = NOOP
+
     def __init__(
         self,
         config: ResilienceConfig | None = None,
@@ -185,6 +189,17 @@ class ResilientSolver:
         self._config = config if config is not None else ResilienceConfig()
         self._solve_fn: SolveFn = solve_fn if solve_fn is not None else lp_solve
         self._history: list[SolveRecord] = []
+
+    def bind_observability(self, obs: Observability) -> None:
+        """Attach an observability handle.
+
+        When enabled, every solve is wrapped in an ``lp.solve`` span and
+        per-backend attempt/retry/fallback counters are recorded; the
+        handle is also forwarded to ``solve_fn`` as an ``obs`` keyword so
+        the backend layer can instrument itself (the default
+        :func:`repro.lp.solve` and the fault-injection harness both
+        accept it)."""
+        self._obs = obs
 
     @property
     def config(self) -> ResilienceConfig:
@@ -216,6 +231,46 @@ class ResilientSolver:
             When every backend failed within its retry budget.  The
             exception carries all :class:`SolveAttempt` records.
         """
+        obs = self._obs
+        if not obs.enabled:
+            return self._solve_chain(problem, time_limit, {})
+        with obs.tracer.span(
+            "lp.solve",
+            n_vars=problem.n_vars,
+            n_constraints=problem.n_constraints,
+        ) as sp:
+            try:
+                return self._solve_chain(problem, time_limit, {"obs": obs})
+            finally:
+                # both outcomes append a record before leaving the chain
+                self._record_outcome(obs, sp, self._history[-1])
+
+    def _record_outcome(self, obs: Observability, sp, record) -> None:
+        metrics = obs.metrics
+        for attempt in record.attempts:
+            metrics.counter(
+                "repro_solver_attempts_total", backend=attempt.backend
+            ).inc()
+            if attempt.attempt > 1:
+                metrics.counter(
+                    "repro_solver_retries_total", backend=attempt.backend
+                ).inc()
+        if record.winner is None:
+            metrics.counter("repro_solver_exhausted_total").inc()
+        elif record.winner != self._config.backends[0]:
+            metrics.counter(
+                "repro_solver_fallbacks_total", backend=record.winner
+            ).inc()
+        if sp is not None:
+            sp.attributes["winner"] = record.winner
+            sp.attributes["attempts"] = record.n_attempts
+
+    def _solve_chain(
+        self,
+        problem: LinearProgram,
+        time_limit: float | None,
+        extra: dict,
+    ) -> LPResult:
         cfg = self._config
         attempts: list[SolveAttempt] = []
         for backend in cfg.backends:
@@ -224,7 +279,7 @@ class ResilientSolver:
                 start = time.perf_counter()
                 try:
                     result = self._solve_fn(
-                        problem, backend=backend, time_limit=limit
+                        problem, backend=backend, time_limit=limit, **extra
                     )
                 except (InfeasibleProblemError, UnboundedProblemError) as exc:
                     attempts.append(

@@ -28,6 +28,7 @@ from repro.privacy.composition import BudgetAccountant
 from repro.core.engine import ExecutionPolicy, PostProcessor
 from repro.core.msm import MultiStepMechanism
 from repro.core.resilience import DegradationReport, ResilienceConfig, ResilientSolver
+from repro.obs import NOOP, Observability
 
 
 @dataclass(frozen=True)
@@ -77,6 +78,13 @@ class SanitizationSession:
         Optional finalise stage for every report; ``remap=True`` wires
         the optimal Bayesian remap (a deterministic output-only
         transformation, so the accountant's arithmetic is unchanged).
+    metrics:
+        When True, the session builds a live
+        :class:`~repro.obs.Observability` handle (metrics registry +
+        recording tracer) and threads it through the whole stack —
+        engine, cache, resilient solver, LP backends.  Inspect it via
+        :attr:`observability`; export with :mod:`repro.obs.export`.
+        Off by default: the disabled path costs nothing.
 
     The per-report mechanism is built once and reused (its randomness
     comes from the caller-supplied generator), so a session's marginal
@@ -99,6 +107,7 @@ class SanitizationSession:
         executor: ExecutionPolicy | None = None,
         postprocessor: PostProcessor | None = None,
         remap: bool = False,
+        metrics: bool = False,
     ):
         if per_report_epsilon <= 0:
             raise BudgetError(
@@ -111,11 +120,17 @@ class SanitizationSession:
             )
         self._accountant = BudgetAccountant(total=lifetime_epsilon)
         self._per_report = float(per_report_epsilon)
+        self._obs = Observability.collecting(trace=True) if metrics else NOOP
+        if metrics:
+            self._obs.metrics.gauge("repro_budget_rho_target").set(rho)
+            self._obs.metrics.gauge(
+                "repro_session_epsilon_remaining"
+            ).set(self.remaining)
         self._mechanism = MultiStepMechanism.build(
             per_report_epsilon, granularity, prior, rho=rho, dq=dq,
             backend=backend, resilience=resilience, solver=solver,
             degrade=degrade, guard=guard, executor=executor,
-            postprocessor=postprocessor, remap=remap,
+            postprocessor=postprocessor, remap=remap, obs=self._obs,
         )
         self._history: list[SessionReport] = []
         self._degradations: list[DegradationReport] = []
@@ -127,6 +142,12 @@ class SanitizationSession:
     def mechanism(self) -> MultiStepMechanism:
         """The underlying per-report mechanism."""
         return self._mechanism
+
+    @property
+    def observability(self) -> Observability:
+        """The session's observability handle (no-op unless built with
+        ``metrics=True``)."""
+        return self._obs
 
     @property
     def per_report_epsilon(self) -> float:
@@ -190,6 +211,7 @@ class SanitizationSession:
             failed walk never sampled from an unguarded matrix.
         """
         if not self.can_report():
+            self._record_refusal()
             raise BudgetError(
                 f"lifetime budget exhausted after {len(self._history)} "
                 f"reports (remaining {self.remaining:.4g} < "
@@ -209,7 +231,23 @@ class SanitizationSession:
         )
         self._history.append(record)
         self._degradations.append(walk.degradation)
+        self._record_reports(1)
         return record
+
+    def _record_reports(self, n: int) -> None:
+        """Session-level budget metrics after ``n`` admitted reports."""
+        if not self._obs.enabled:
+            return
+        metrics = self._obs.metrics
+        metrics.counter("repro_session_reports_total").inc(n)
+        metrics.counter("repro_session_epsilon_spent_total").inc(
+            n * self._per_report
+        )
+        metrics.gauge("repro_session_epsilon_remaining").set(self.remaining)
+
+    def _record_refusal(self) -> None:
+        if self._obs.enabled:
+            self._obs.metrics.counter("repro_session_refusals_total").inc()
 
     def report_batch(
         self, xs: Sequence[Point], rng: np.random.Generator
@@ -234,6 +272,7 @@ class SanitizationSession:
             return []
         needed = len(points) * self._per_report
         if not self._accountant.can_spend(needed):
+            self._record_refusal()
             raise BudgetError(
                 f"lifetime budget cannot cover a batch of {len(points)} "
                 f"reports (remaining {self.remaining:.4g} < needed "
@@ -256,4 +295,5 @@ class SanitizationSession:
             self._history.append(record)
             self._degradations.append(walk.degradation)
             records.append(record)
+        self._record_reports(len(records))
         return records

@@ -118,6 +118,17 @@ class EvaluationError(ReproError):
     """An experiment harness was configured inconsistently."""
 
 
+class ObservabilityError(ReproError):
+    """The observability layer (:mod:`repro.obs`) was misused.
+
+    Raised on contract violations in instrumentation itself — a counter
+    asked to decrease, a metric name re-registered as a different type,
+    histogram bucket edges that differ across merged snapshots, or a
+    span closed out of order.  Never raised by the engine's hot path
+    when observability is disabled.
+    """
+
+
 class DegradedModeWarning(Warning):
     """MSM substituted a closed-form fallback for an unsolvable OPT level.
 

@@ -17,6 +17,7 @@ concrete quantities a product team would track:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -26,6 +27,7 @@ from repro.exceptions import EvaluationError
 from repro.geo.point import Point
 from repro.mechanisms.base import Mechanism
 from repro.lbs.poi import POIStore
+from repro.obs import NOOP, Observability
 
 
 @dataclass(frozen=True)
@@ -127,13 +129,19 @@ class LocationBasedService:
         Sanitisation goes through ``mechanism.sample_many``, so
         mechanisms with a vectorised batch path (planar Laplace, and MSM
         via :meth:`~repro.core.msm.MultiStepMechanism.sanitize_batch`)
-        serve the whole workload at batch throughput.
+        serve the whole workload at batch throughput.  When the
+        mechanism carries an enabled observability handle (MSM does when
+        built with one), the evaluation records request counts and
+        end-to-end latency into the same registry.
         """
         self._validate_workload(requests, k)
-        reported = mechanism.sample_many(requests, rng)
-        outcomes = [
-            self.evaluate_query(x, z, k) for x, z in zip(requests, reported)
-        ]
+        obs = getattr(mechanism, "observability", NOOP)
+        with _evaluation(obs, len(requests), k):
+            reported = mechanism.sample_many(requests, rng)
+            outcomes = [
+                self.evaluate_query(x, z, k)
+                for x, z in zip(requests, reported)
+            ]
         return self._aggregate(outcomes, k)
 
     def evaluate_session(
@@ -152,10 +160,12 @@ class LocationBasedService:
         evaluated against the POI store like any other workload.
         """
         self._validate_workload(requests, k)
-        reports = session.report_batch(requests, rng)
-        outcomes = [
-            self.evaluate_query(r.actual, r.reported, k) for r in reports
-        ]
+        obs = getattr(session, "observability", NOOP)
+        with _evaluation(obs, len(requests), k):
+            reports = session.report_batch(requests, rng)
+            outcomes = [
+                self.evaluate_query(r.actual, r.reported, k) for r in reports
+            ]
         return self._aggregate(outcomes, k)
 
     def _validate_workload(self, requests: Sequence[Point], k: int) -> None:
@@ -176,6 +186,37 @@ class LocationBasedService:
             median_extra_distance=float(np.median(extra)),
             mean_recall_at_k=float(recall.mean()),
         )
+
+
+class _evaluation:
+    """Span + metrics around one LBS workload evaluation.
+
+    A tiny context manager (not ``contextlib``) so the disabled path is
+    two attribute checks and nothing else.
+    """
+
+    __slots__ = ("_obs", "_n", "_k", "_span", "_start")
+
+    def __init__(self, obs: Observability, n: int, k: int):
+        self._obs = obs if isinstance(obs, Observability) else NOOP
+        self._n = n
+        self._k = k
+
+    def __enter__(self):
+        self._span = self._obs.tracer.span(
+            "lbs.evaluate", n=self._n, k=self._k
+        )
+        self._span.__enter__()
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        elapsed = time.perf_counter() - self._start
+        if self._obs.enabled and exc_type is None:
+            metrics = self._obs.metrics
+            metrics.counter("repro_lbs_requests_total").inc(self._n)
+            metrics.histogram("repro_lbs_evaluate_seconds").observe(elapsed)
+        return self._span.__exit__(exc_type, exc, tb)
 
 
 def required_radius_expansion(

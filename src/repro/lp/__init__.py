@@ -31,17 +31,38 @@ def solve(
     problem: LinearProgram,
     backend: str = "highs-ds",
     time_limit: float | None = None,
+    obs=None,
 ) -> LPResult:
     """Solve a linear program with the named backend.
 
     Returns the raw :class:`LPResult`; use :func:`solve_or_raise` when a
-    non-optimal outcome should be an exception.
+    non-optimal outcome should be an exception.  ``obs`` is an optional
+    :class:`repro.obs.Observability` handle; when given (and enabled),
+    backend-level call/seconds/iteration metrics and an ``lp.backend``
+    span are recorded.
     """
     if backend == "simplex":
-        return solve_simplex(problem)
+        result = solve_simplex(problem)
+        if obs is not None and obs.enabled:
+            _record_backend(obs, "simplex", result)
+        return result
     if backend in ("highs-ds", "highs-ipm", "highs"):
-        return solve_scipy(problem, method=backend, time_limit=time_limit)
+        return solve_scipy(
+            problem, method=backend, time_limit=time_limit, obs=obs
+        )
     raise SolverError(f"unknown LP backend {backend!r}; known: {BACKENDS}")
+
+
+def _record_backend(obs, method: str, result: LPResult) -> None:
+    """Backend-level metric emission shared by the solve dispatchers."""
+    metrics = obs.metrics
+    metrics.counter("repro_lp_backend_calls_total", method=method).inc()
+    metrics.counter(
+        "repro_lp_backend_seconds_total", method=method
+    ).inc(result.solve_seconds)
+    metrics.counter(
+        "repro_lp_iterations_total", method=method
+    ).inc(result.iterations)
 
 
 def solve_or_raise(

@@ -30,6 +30,7 @@ def solve_scipy(
     problem: LinearProgram,
     method: str = "highs-ds",
     time_limit: float | None = None,
+    obs=None,
 ) -> LPResult:
     """Solve ``problem`` with scipy/HiGHS.
 
@@ -46,11 +47,27 @@ def solve_scipy(
         stopped by the limit reports :attr:`LPStatus.TIME_LIMIT`
         (scipy folds it into its iteration-limit code 1; the HiGHS
         termination message disambiguates).
+    obs:
+        Optional :class:`repro.obs.Observability` handle; when enabled,
+        the solve is wrapped in an ``lp.backend`` span and per-method
+        call/seconds/iteration counters are recorded.
 
     Unknown scipy status codes map to :attr:`LPStatus.NUMERICAL`, but
     the raw code and termination message are always preserved on the
     :class:`LPResult` so the coercion is diagnosable downstream.
     """
+    if obs is not None and obs.enabled:
+        with obs.tracer.span(
+            "lp.backend", method=method, n_vars=problem.n_vars
+        ) as sp:
+            result = solve_scipy(problem, method=method, time_limit=time_limit)
+            if sp is not None:
+                sp.attributes["status"] = result.status.value
+                sp.attributes["iterations"] = result.iterations
+        from repro.lp import _record_backend
+
+        _record_backend(obs, method, result)
+        return result
     bounds = np.column_stack([problem.lb, problem.ub])
     options: dict[str, float] = {}
     if time_limit is not None:

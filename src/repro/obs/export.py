@@ -1,0 +1,301 @@
+"""Exporters (and their inverse parsers) for metrics and spans.
+
+Two wire formats, both dependency-free and both round-trippable — the
+parsers exist so tests and the CI smoke step can assert on exported
+output without regex heuristics:
+
+* **Prometheus text format** (:func:`to_prometheus` /
+  :func:`parse_prometheus`): counters as ``name_total``-style samples,
+  gauges as plain samples, histograms as cumulative
+  ``name_bucket{le="..."}`` series plus ``name_sum`` / ``name_count``.
+  Bucket counts are stored plain in the registry and cumulated here,
+  which is what the format specifies.
+
+* **JSON lines** (:func:`to_jsonl` / :func:`parse_jsonl`): one JSON
+  object per line, discriminated by ``"kind"`` — ``"metric"`` lines
+  carry a counter/gauge/histogram reading, ``"span"`` lines carry a
+  whole span tree (children nested).  This is the raw dump format for
+  ``--trace-out`` and for golden-file tests.
+
+Floats are rendered with :func:`repr`, the shortest string that
+round-trips exactly, so ``parse(export(snapshot)) == snapshot`` holds
+bit-for-bit and golden files stay byte-stable across platforms.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable
+
+from repro.exceptions import ObservabilityError
+from repro.obs.metrics import (
+    HistogramValue,
+    Labels,
+    MetricsSnapshot,
+    MetricValue,
+)
+from repro.obs.trace import Span
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+def _format_labels(labels: Labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(value)
+
+
+def to_prometheus(snapshot: MetricsSnapshot) -> str:
+    """Render a snapshot in the Prometheus exposition text format."""
+    lines: list[str] = []
+    typed: set[str] = set()
+
+    def type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for m in snapshot.counters:
+        type_line(m.name, "counter")
+        lines.append(f"{m.name}{_format_labels(m.labels)} {_format_value(m.value)}")
+    for m in snapshot.gauges:
+        type_line(m.name, "gauge")
+        lines.append(f"{m.name}{_format_labels(m.labels)} {_format_value(m.value)}")
+    for h in snapshot.histograms:
+        type_line(h.name, "histogram")
+        cumulative = 0
+        for edge, count in zip(h.edges, h.counts):
+            cumulative += count
+            le = _format_labels(h.labels, (("le", _format_value(edge)),))
+            lines.append(f"{h.name}_bucket{le} {cumulative}")
+        cumulative += h.counts[-1]
+        inf = _format_labels(h.labels, (("le", "+Inf"),))
+        lines.append(f"{h.name}_bucket{inf} {cumulative}")
+        lines.append(f"{h.name}_sum{_format_labels(h.labels)} {_format_value(h.sum)}")
+        lines.append(f"{h.name}_count{_format_labels(h.labels)} {h.count}")
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _parse_label_block(block: str) -> Labels:
+    block = block.strip()
+    if not block:
+        return ()
+    pairs = []
+    for part in block.split(","):
+        key, _, raw = part.partition("=")
+        value = raw.strip()
+        if not (value.startswith('"') and value.endswith('"')):
+            raise ObservabilityError(f"malformed label value in {part!r}")
+        pairs.append((key.strip(), value[1:-1]))
+    return tuple(sorted(pairs))
+
+
+def _parse_sample(line: str) -> tuple[str, Labels, str]:
+    """Split one sample line into (metric name, labels, value text)."""
+    if "{" in line:
+        name, _, rest = line.partition("{")
+        block, _, value = rest.rpartition("} ")
+        return name, _parse_label_block(block), value.strip()
+    name, _, value = line.rpartition(" ")
+    return name.strip(), (), value.strip()
+
+
+def parse_prometheus(text: str) -> MetricsSnapshot:
+    """Inverse of :func:`to_prometheus`; round-trips exactly.
+
+    Only accepts what :func:`to_prometheus` emits (``# TYPE`` lines and
+    samples); anything else raises :class:`ObservabilityError` — the CI
+    smoke step relies on that strictness to validate benchmark output.
+    """
+    kinds: dict[str, str] = {}
+    counters: list[MetricValue] = []
+    gauges: list[MetricValue] = []
+    # histogram assembly state: (name, labels) -> parts
+    buckets: dict[tuple[str, Labels], list[tuple[float, int]]] = {}
+    sums: dict[tuple[str, Labels], float] = {}
+    counts: dict[tuple[str, Labels], int] = {}
+
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) == 4 and parts[1] == "TYPE":
+                kinds[parts[2]] = parts[3]
+                continue
+            raise ObservabilityError(f"unrecognised comment line: {raw!r}")
+        name, labels, value = _parse_sample(line)
+        base, kind = name, kinds.get(name)
+        if kind is None:
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name.endswith(suffix) and kinds.get(name[: -len(suffix)]) == "histogram":
+                    base, kind = name[: -len(suffix)], "histogram"
+                    break
+        if kind is None:
+            raise ObservabilityError(f"sample before # TYPE line: {raw!r}")
+        if kind == "counter":
+            counters.append(MetricValue(name, labels, float(value)))
+        elif kind == "gauge":
+            gauges.append(MetricValue(name, labels, float(value)))
+        elif kind == "histogram":
+            if name.endswith("_bucket"):
+                le = dict(labels)["le"]
+                rest = tuple(p for p in labels if p[0] != "le")
+                if le == "+Inf":
+                    continue  # recoverable from count minus last edge
+                buckets.setdefault((base, rest), []).append(
+                    (float(le), int(value))
+                )
+            elif name.endswith("_sum"):
+                sums[(base, labels)] = float(value)
+            elif name.endswith("_count"):
+                counts[(base, labels)] = int(value)
+            else:
+                raise ObservabilityError(f"bad histogram sample: {raw!r}")
+        else:
+            raise ObservabilityError(f"unknown metric type {kind!r}")
+
+    histograms = []
+    for key in sorted(buckets):
+        series = sorted(buckets[key])
+        edges = tuple(e for e, _ in series)
+        cumulative = [c for _, c in series]
+        plain = [cumulative[0]] + [
+            b - a for a, b in zip(cumulative, cumulative[1:])
+        ]
+        total = counts.get(key, cumulative[-1])
+        plain.append(total - cumulative[-1])  # the +Inf bucket
+        histograms.append(
+            HistogramValue(
+                name=key[0],
+                labels=key[1],
+                edges=edges,
+                counts=tuple(plain),
+                sum=sums.get(key, 0.0),
+                count=total,
+            )
+        )
+    return MetricsSnapshot(
+        counters=tuple(sorted(counters, key=lambda m: (m.name, m.labels))),
+        gauges=tuple(sorted(gauges, key=lambda m: (m.name, m.labels))),
+        histograms=tuple(histograms),
+    )
+
+
+# ----------------------------------------------------------------------
+# JSON lines
+# ----------------------------------------------------------------------
+def _span_to_dict(span: Span) -> dict:
+    return {
+        "name": span.name,
+        "attributes": dict(span.attributes),
+        "start": span.start,
+        "end": span.end,
+        "children": [_span_to_dict(c) for c in span.children],
+    }
+
+
+def _span_from_dict(data: dict) -> Span:
+    return Span(
+        name=data["name"],
+        attributes=dict(data.get("attributes", {})),
+        start=float(data.get("start", 0.0)),
+        end=None if data.get("end") is None else float(data["end"]),
+        children=[_span_from_dict(c) for c in data.get("children", ())],
+    )
+
+
+def to_jsonl(
+    snapshot: MetricsSnapshot | None = None,
+    spans: Iterable[Span] = (),
+) -> str:
+    """One JSON object per line: metrics first, then span trees."""
+    lines: list[str] = []
+    if snapshot is not None:
+        for m in snapshot.counters:
+            lines.append(json.dumps(
+                {"kind": "metric", "type": "counter", "name": m.name,
+                 "labels": dict(m.labels), "value": m.value},
+                sort_keys=True,
+            ))
+        for m in snapshot.gauges:
+            lines.append(json.dumps(
+                {"kind": "metric", "type": "gauge", "name": m.name,
+                 "labels": dict(m.labels), "value": m.value},
+                sort_keys=True,
+            ))
+        for h in snapshot.histograms:
+            lines.append(json.dumps(
+                {"kind": "metric", "type": "histogram", "name": h.name,
+                 "labels": dict(h.labels), "edges": list(h.edges),
+                 "counts": list(h.counts), "sum": h.sum, "count": h.count},
+                sort_keys=True,
+            ))
+    for span in spans:
+        lines.append(json.dumps(
+            {"kind": "span", **_span_to_dict(span)}, sort_keys=True,
+        ))
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def parse_jsonl(text: str) -> tuple[MetricsSnapshot, list[Span]]:
+    """Inverse of :func:`to_jsonl`; round-trips exactly."""
+    counters: list[MetricValue] = []
+    gauges: list[MetricValue] = []
+    histograms: list[HistogramValue] = []
+    spans: list[Span] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        data = json.loads(line)
+        kind = data.get("kind")
+        if kind == "span":
+            spans.append(_span_from_dict(data))
+        elif kind == "metric":
+            labels = tuple(sorted(
+                (k, str(v)) for k, v in data.get("labels", {}).items()
+            ))
+            mtype = data["type"]
+            if mtype == "counter":
+                counters.append(
+                    MetricValue(data["name"], labels, float(data["value"]))
+                )
+            elif mtype == "gauge":
+                gauges.append(
+                    MetricValue(data["name"], labels, float(data["value"]))
+                )
+            elif mtype == "histogram":
+                histograms.append(
+                    HistogramValue(
+                        name=data["name"],
+                        labels=labels,
+                        edges=tuple(float(e) for e in data["edges"]),
+                        counts=tuple(int(c) for c in data["counts"]),
+                        sum=float(data["sum"]),
+                        count=int(data["count"]),
+                    )
+                )
+            else:
+                raise ObservabilityError(f"unknown metric type {mtype!r}")
+        else:
+            raise ObservabilityError(f"unknown line kind {kind!r}")
+    snapshot = MetricsSnapshot(
+        counters=tuple(sorted(counters, key=lambda m: (m.name, m.labels))),
+        gauges=tuple(sorted(gauges, key=lambda m: (m.name, m.labels))),
+        histograms=tuple(
+            sorted(histograms, key=lambda h: (h.name, h.labels))
+        ),
+    )
+    return snapshot, spans

@@ -1,0 +1,191 @@
+"""Hierarchical span tracing for the walk engine.
+
+The tracer is the structural half of the observability layer: where the
+:class:`~repro.obs.metrics.MetricsRegistry` says *how much*, spans say
+*where*.  A batch sanitisation produces one tree per walk::
+
+    walk
+    ├── level (level=1, epsilon=...)
+    │   ├── resolve (nodes=k)
+    │   │   └── resolve.node (path=..., cache_hit=...)   one per node
+    │   │       ├── cache.get
+    │   │       └── cache.build        (on a miss)
+    │   │           └── lp.solve       (the resilient chain)
+    │   │               └── lp.backend (one per backend attempt)
+    │   ├── locate  (node=..., n=...)  one per node group
+    │   ├── sample  (node=..., n=...)
+    │   └── descend (node=..., n=...)
+    ├── level (level=2, ...)
+    └── finalise (post=...)
+
+Two implementations share the :class:`Tracer` interface:
+
+* :class:`NoopTracer` — the default everywhere.  ``span()`` returns a
+  shared, stateless context manager; entering it yields ``None`` and
+  records nothing, so instrumented code costs a few attribute lookups
+  per *node group* (never per point) when observability is off.
+* :class:`RecordingTracer` — keeps an explicit span stack and builds
+  the tree.  The clock is injectable so tests can assert on exact
+  timings and exporters can be golden-file tested.
+
+Instrumented code never checks which tracer it holds::
+
+    with tracer.span("locate", node=path, n=len(idxs)) as sp:
+        ...                       # sp is None under the noop tracer
+        if sp is not None:
+            sp.attributes["drifted"] = int(drifted.sum())
+"""
+
+from __future__ import annotations
+
+import abc
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.exceptions import ObservabilityError
+
+
+@dataclass
+class Span:
+    """One timed, attributed node of a trace tree."""
+
+    name: str
+    attributes: dict[str, object] = field(default_factory=dict)
+    start: float = 0.0
+    end: float | None = None
+    children: list["Span"] = field(default_factory=list)
+
+    @property
+    def duration(self) -> float:
+        """Seconds between start and end (0.0 while still open)."""
+        return 0.0 if self.end is None else self.end - self.start
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, in start order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def find(self, name: str) -> list["Span"]:
+        """Every descendant (including self) with the given name."""
+        return [s for s in self.walk() if s.name == name]
+
+    def child_names(self) -> list[str]:
+        """Direct children's names, in execution order."""
+        return [c.name for c in self.children]
+
+
+class Tracer(abc.ABC):
+    """The span factory instrumented code talks to."""
+
+    #: False exactly for the no-op implementation; code that would do
+    #: real work just to enrich a span can skip it under a noop tracer.
+    enabled: bool = False
+
+    @abc.abstractmethod
+    def span(self, name: str, **attributes):
+        """A context manager opening a span; yields the :class:`Span`
+        under a recording tracer and ``None`` under the noop tracer."""
+
+
+class _NoopSpanContext:
+    """Reusable, stateless do-nothing context manager."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return None
+
+    def __exit__(self, exc_type, exc, tb):
+        return False
+
+
+_NOOP_SPAN = _NoopSpanContext()
+
+
+class NoopTracer(Tracer):
+    """Records nothing; the default tracer on every component."""
+
+    enabled = False
+
+    def span(self, name: str, **attributes):
+        return _NOOP_SPAN
+
+
+class _RecordingSpanContext:
+    """Opens a span on enter, closes and attaches it on exit."""
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "RecordingTracer", span: Span):
+        self._tracer = tracer
+        self._span = span
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            self._span.attributes["error"] = (
+                f"{exc_type.__name__}: {exc}"
+            )
+        self._tracer._pop(self._span)
+        return False
+
+
+class RecordingTracer(Tracer):
+    """Builds real span trees; one instance per observed run.
+
+    Parameters
+    ----------
+    clock:
+        Monotonic time source (:func:`time.perf_counter` by default);
+        injectable so tests and golden files see deterministic timings.
+
+    Spans opened while another span is active become its children;
+    spans opened at top level land in :attr:`roots`.  The tracer is a
+    plain stack — single-threaded per process, like the engine.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: Callable[[], float] | None = None):
+        self._clock = clock if clock is not None else time.perf_counter
+        self.roots: list[Span] = []
+        self._stack: list[Span] = []
+
+    def span(self, name: str, **attributes) -> _RecordingSpanContext:
+        return _RecordingSpanContext(
+            self, Span(name=name, attributes=dict(attributes))
+        )
+
+    def _push(self, span: Span) -> None:
+        span.start = self._clock()
+        self._stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        if not self._stack or self._stack[-1] is not span:
+            raise ObservabilityError(
+                f"span {span.name!r} closed out of order"
+            )
+        span.end = self._clock()
+        self._stack.pop()
+        if self._stack:
+            self._stack[-1].children.append(span)
+        else:
+            self.roots.append(span)
+
+    @property
+    def active(self) -> Span | None:
+        """The innermost open span, if any."""
+        return self._stack[-1] if self._stack else None
+
+    def find(self, name: str) -> list[Span]:
+        """Every recorded span with the given name, across all roots."""
+        return [s for root in self.roots for s in root.find(name)]
+
+    def clear(self) -> None:
+        """Drop every recorded root (open spans are kept on the stack)."""
+        self.roots.clear()

@@ -248,7 +248,12 @@ class FaultInjectingSolver:
         problem: LinearProgram,
         backend: str = "highs-ds",
         time_limit: float | None = None,
+        obs=None,
     ) -> LPResult:
+        # obs is the observability handle the resilient solver forwards
+        # when instrumentation is on; pass it through to the delegate so
+        # backend-level metrics stay truthful under fault injection.
+        kwargs = {} if obs is None else {"obs": obs}
         call = SolveCall(
             index=len(self.calls) + 1,
             backend=backend,
@@ -263,11 +268,16 @@ class FaultInjectingSolver:
                     call,
                     problem,
                     lambda: self._delegate(
-                        problem, backend=backend, time_limit=time_limit
+                        problem,
+                        backend=backend,
+                        time_limit=time_limit,
+                        **kwargs,
                     ),
                 )
         self.log.append((call, "delegate"))
-        return self._delegate(problem, backend=backend, time_limit=time_limit)
+        return self._delegate(
+            problem, backend=backend, time_limit=time_limit, **kwargs
+        )
 
 
 class FlakyCacheProxy(NodeMechanismCache):
@@ -302,13 +312,13 @@ class FlakyCacheProxy(NodeMechanismCache):
     def entry(self, path: tuple[int, ...]) -> CacheEntry | None:
         if self._drop_all or path in self._drop_paths:
             self.dropped_lookups += 1
-            self.misses += 1
+            self._record_miss()
             return None
         entry = self._inner.entry(path)
         if entry is None:
-            self.misses += 1
+            self._record_miss()
         else:
-            self.hits += 1
+            self._record_hit()
         return entry
 
     def put(
@@ -335,6 +345,7 @@ class FlakyCacheProxy(NodeMechanismCache):
         self.hits = 0
         self.misses = 0
         self.builds = 0
+        self.merges = 0
         self.dropped_lookups = 0
 
     @property
