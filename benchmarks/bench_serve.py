@@ -1,0 +1,226 @@
+"""Serving-stack benchmark: persistent warm-start + bounded-cache serving.
+
+Exercises the PR-5 tentpole end to end and records the two acceptance
+numbers in ``BENCH_serve.json`` at the repository root:
+
+* **warm-start**: a first engine populates a
+  :class:`~repro.core.store.MechanismStore` (every node LP solved
+  once); a second engine with the identical configuration then
+  warm-starts from it and serves a full workload with its ``builds``
+  counter at **zero** — the store eliminated every online LP solve;
+* **bounded cache**: a :class:`~repro.serve.SanitizationServer` over a
+  node cache capped well below the full tree's footprint serves a
+  concurrent workload while ``resident_bytes`` never exceeds the
+  budget; evictions (and the lazy re-solves they later cost) are
+  recorded honestly as the memory/compute trade-off they are.
+
+Runnable both ways::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve.py
+
+``--requests N`` shrinks the workload for smoke runs (the result file
+is only written at the full default size, so smoke runs cannot clobber
+the committed benchmark).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.msm import MultiStepMechanism
+from repro.core.store import MechanismStore
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.grid.hierarchy import HierarchicalGrid
+from repro.grid.regular import RegularGrid
+from repro.priors.base import GridPrior
+from repro.serve import SanitizationServer, ServerConfig
+
+#: Where the committed result lands.
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
+
+#: Depth-3 GIHI at g = 3: 91 internal nodes, each a 9x9 matrix.
+GRANULARITY = 3
+HEIGHT = 3
+BUDGETS = (0.4, 0.5, 0.6)
+
+#: Total concurrent requests of the serving phase.
+N_REQUESTS = 2_000
+N_CLIENTS = 16
+
+SEED = 20190326
+
+
+def _prior(square: BoundingBox) -> GridPrior:
+    return GridPrior.uniform(RegularGrid(square, GRANULARITY**HEIGHT))
+
+
+def _msm(square: BoundingBox, cache=None) -> MultiStepMechanism:
+    index = HierarchicalGrid(square, GRANULARITY, HEIGHT)
+    return MultiStepMechanism(index, BUDGETS, _prior(square), cache=cache)
+
+
+def run_benchmark(n_requests: int = N_REQUESTS) -> dict:
+    square = BoundingBox.square(Point(0.0, 0.0), 20.0)
+    per_report = float(sum(BUDGETS))
+    requests_per_client = n_requests // N_CLIENTS
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = MechanismStore(Path(tmp) / "store")
+
+        # ---- phase 1: cold — solve every node LP once, persist -------
+        cold = _msm(square)
+        start = time.perf_counter()
+        cold_record = store.get_or_build(cold)
+        cold_seconds = time.perf_counter() - start
+        assert cold_record.outcome == "built"
+        n_nodes = len(cold.cache)
+
+        # ---- phase 2: warm — a new engine adopts everything ----------
+        warm = _msm(square)
+        start = time.perf_counter()
+        warm_record = store.get_or_build(warm)
+        warm_seconds = time.perf_counter() - start
+        assert warm_record.outcome == "hit"
+        warm.sanitize_batch(
+            [Point(3.0, 3.0), Point(17.0, 12.0), Point(9.5, 14.0)],
+            np.random.default_rng(SEED),
+        )
+        warm_builds = warm.cache.builds  # the acceptance number: 0
+
+        # ---- phase 3: bounded-cache concurrent serving ---------------
+        # The serving engine has the SAME configuration (fingerprint) as
+        # phases 1-2 but a cache capped at half the full tree, so
+        # store adoption itself runs under the byte budget.
+        from repro.core.cache import NodeMechanismCache
+
+        full_bytes = warm.cache.resident_bytes
+        cache_budget = max(1, full_bytes // 2)
+        serving_msm = _msm(
+            square, cache=NodeMechanismCache(max_bytes=cache_budget)
+        )
+        serve_record = store.get_or_build(serving_msm)
+        assert serve_record.outcome == "hit"
+        serve_cache = serving_msm.cache
+        assert serve_cache.resident_bytes <= cache_budget
+        adoption_builds = serve_cache.builds  # adoption solves nothing
+        config = ServerConfig(
+            lifetime_epsilon=per_report * (requests_per_client + 1),
+            per_report_epsilon=per_report,
+            coalesce_window=0.002,
+            max_batch=512,
+        )
+        server = SanitizationServer(serving_msm, config)
+        server._rng = np.random.default_rng(SEED)
+
+        budget_held = []
+
+        def client(client_id: int) -> None:
+            rng = np.random.default_rng(SEED + client_id)
+            user = f"user-{client_id}"
+            for _ in range(requests_per_client):
+                x = Point(
+                    float(rng.uniform(0.0, 20.0)),
+                    float(rng.uniform(0.0, 20.0)),
+                )
+                server.report(user, x, timeout=120)
+                budget_held.append(
+                    serve_cache.resident_bytes <= cache_budget
+                )
+
+        start = time.perf_counter()
+        with server:
+            threads = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(N_CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        serve_seconds = time.perf_counter() - start
+        stats = server.stats
+        served = stats.completed
+
+        return {
+            "benchmark": "serve-warm-start-and-bounded-cache",
+            "index": f"GIHI g={GRANULARITY} h={HEIGHT}",
+            "budgets": list(BUDGETS),
+            "n_nodes": n_nodes,
+            "seed": SEED,
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count() or 1,
+            # warm-start acceptance
+            "cold_build_seconds": round(cold_seconds, 4),
+            "cold_lp_solves": cold_record.adopted or n_nodes,
+            "warm_start_seconds": round(warm_seconds, 4),
+            "warm_adopted_nodes": warm_record.adopted,
+            "warm_builds_after_serving": warm_builds,
+            "warm_speedup": round(cold_seconds / warm_seconds, 1),
+            # bounded-cache acceptance
+            "full_tree_bytes": full_bytes,
+            "cache_budget_bytes": cache_budget,
+            "resident_bytes_final": serve_cache.resident_bytes,
+            "budget_held_at_every_sample": all(budget_held),
+            "evictions": serve_cache.evictions,
+            "lazy_rebuilds_under_bound": serve_cache.builds
+            - adoption_builds,
+            # serving throughput
+            "n_requests": served,
+            "n_clients": N_CLIENTS,
+            "serve_seconds": round(serve_seconds, 4),
+            "requests_per_second": round(served / serve_seconds, 1),
+            "batches": stats.batches,
+            "coalesced_requests": stats.coalesced,
+            "mean_batch_size": round(served / max(1, stats.batches), 1),
+            "note": (
+                "warm_builds_after_serving == 0 is the store acceptance "
+                "criterion: the second engine never touched the LP "
+                "solver.  lazy_rebuilds_under_bound is the compute cost "
+                "of the halved cache budget — evicted nodes re-solve on "
+                "demand, resident memory stays bounded."
+            ),
+        }
+
+
+def test_serve_warm_start_and_bounded_cache():
+    """Acceptance: zero builds after warm-start; bounded resident set."""
+    result = run_benchmark()
+    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    assert result["warm_builds_after_serving"] == 0, result
+    assert result["warm_adopted_nodes"] == result["n_nodes"], result
+    assert result["budget_held_at_every_sample"], result
+    assert result["resident_bytes_final"] <= result["cache_budget_bytes"]
+    assert result["evictions"] > 0, result
+    assert result["n_requests"] == (N_REQUESTS // N_CLIENTS) * N_CLIENTS
+    assert result["coalesced_requests"] > 0, result
+
+
+def main(argv: list[str] | None = None) -> None:
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--requests", type=int, default=N_REQUESTS,
+        help=f"serving workload size (default {N_REQUESTS}; the "
+             f"committed result is only written at the default size)",
+    )
+    args = parser.parse_args(argv)
+    result = run_benchmark(args.requests)
+    print(json.dumps(result, indent=2))
+    if args.requests == N_REQUESTS:
+        RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"\nwritten: {RESULT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -9,10 +9,18 @@ Subcommands::
     repro sanitize    ... --metrics [PATH]         + Prometheus metrics dump
     repro sanitize    ... --trace-out PATH         + span/metric JSON lines
     repro bundle      --epsilon 0.5 --g 4 --out p  write an offline bundle
+    repro serve       --epsilon 0.5 --requests 200 drive the serving
+                      front-end with concurrent synthetic clients
     repro experiment  fig3|fig5|table2|fig6|fig8|fig10|latency|
                       ablation-budget|ablation-spanner|ablation-index|
                       ablation-prior
                       --dataset gowalla --requests 600 [--csv out.csv]
+
+The serve subcommand is self-driving: it starts a
+:class:`~repro.serve.SanitizationServer`, spawns client threads that
+submit sanitisation requests concurrently, then prints the server's
+coalescing/admission statistics (and, with ``--metrics``, the full
+Prometheus dump — the CI smoke step scrapes exactly that).
 
 The experiment subcommand prints the same tables the benchmark suite
 produces, so paper figures can be regenerated without pytest.
@@ -188,6 +196,87 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import threading
+
+    from repro.exceptions import BudgetError, ServeError
+    from repro.serve import SanitizationServer, ServerConfig
+
+    obs = _make_observability(args)
+    if obs is None:
+        from repro.obs import Observability
+
+        obs = Observability.collecting(trace=False)
+    dataset = _load_dataset(args.dataset, args.fraction)
+    grid = RegularGrid(dataset.bounds, args.prior_granularity)
+    prior = empirical_prior(grid, dataset.points(), smoothing=0.1)
+    lifetime = (
+        args.lifetime_epsilon
+        if args.lifetime_epsilon is not None
+        else 10.0 * args.epsilon
+    )
+    config = ServerConfig(
+        lifetime_epsilon=lifetime,
+        per_report_epsilon=args.epsilon,
+        coalesce_window=args.coalesce_window,
+        max_batch=args.max_batch,
+    )
+    server = SanitizationServer.build(
+        prior,
+        config,
+        granularity=args.g,
+        rho=args.rho,
+        cache_max_bytes=args.cache_max_bytes,
+        store=args.store,
+        obs=obs,
+        seed=args.seed,
+    )
+    points = dataset.points()
+    refused = {"budget": 0, "serve": 0}
+    refusal_lock = threading.Lock()
+
+    def client(client_id: int) -> None:
+        rng = np.random.default_rng(args.seed + client_id)
+        user = f"user-{client_id}"
+        for _ in range(args.requests // args.clients):
+            x = points[int(rng.integers(len(points)))]
+            try:
+                server.report(user, x)
+            except BudgetError:
+                with refusal_lock:
+                    refused["budget"] += 1
+            except ServeError:
+                with refusal_lock:
+                    refused["serve"] += 1
+
+    with server:
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    stats = server.stats
+    print(f"clients    : {args.clients}")
+    print(f"requests   : {stats.requests} admitted, "
+          f"{stats.completed} completed")
+    print(f"refused    : {refused['budget']} budget, "
+          f"{refused['serve']} serve")
+    print(f"batches    : {stats.batches} "
+          f"({stats.coalesced} requests coalesced, "
+          f"largest {stats.max_batch_points})")
+    print(f"sessions   : {stats.sessions}")
+    cache = server.mechanism.cache
+    print(f"cache      : {len(cache)} entries, "
+          f"{cache.resident_bytes} bytes resident, "
+          f"{cache.evictions} evictions")
+    _write_observability(obs, args)
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset, args.fraction)
     config = experiments.ExperimentConfig(
@@ -260,6 +349,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_bundle.add_argument("--prior-granularity", type=int, default=16)
     p_bundle.add_argument("--out", required=True, help="output .npz path")
     p_bundle.set_defaults(func=_cmd_bundle)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="drive the concurrent serving front-end with synthetic clients",
+    )
+    _add_dataset_args(p_serve)
+    p_serve.add_argument("--epsilon", type=float, required=True,
+                         help="per-report privacy budget")
+    p_serve.add_argument("--lifetime-epsilon", type=float, default=None,
+                         help="per-user lifetime budget "
+                              "(default: 10x per-report)")
+    p_serve.add_argument("--g", type=int, default=4)
+    p_serve.add_argument("--rho", type=float, default=0.8)
+    p_serve.add_argument("--prior-granularity", type=int, default=16)
+    p_serve.add_argument("--requests", type=int, default=200,
+                         help="total requests across all clients")
+    p_serve.add_argument("--clients", type=int, default=8,
+                         help="concurrent client threads")
+    p_serve.add_argument("--coalesce-window", type=float, default=0.002,
+                         help="micro-batch gathering window in seconds")
+    p_serve.add_argument("--max-batch", type=int, default=512)
+    p_serve.add_argument("--cache-max-bytes", type=int, default=None,
+                         help="node-cache byte budget (LRU eviction)")
+    p_serve.add_argument("--store", default=None, metavar="DIR",
+                         help="persistent mechanism store directory "
+                              "(warm-start across runs)")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--metrics", nargs="?", const="-", default=None,
+                         metavar="PATH",
+                         help="write the full Prometheus metrics dump to "
+                              "PATH (stdout if no PATH is given)")
+    p_serve.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="dump spans + metrics as JSON lines to PATH")
+    p_serve.set_defaults(func=_cmd_serve)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))

@@ -11,6 +11,7 @@ from repro.core.budget import (
 )
 from repro.core.bundle import BundleInfo, load_bundle, sample_from_bundle, save_bundle
 from repro.core.cache import CacheEntry, NodeMechanismCache
+from repro.core.store import MechanismStore, StoreRecord, config_fingerprint
 from repro.core.engine import (
     ExecutionPolicy,
     OptimalRemapPostProcessor,
@@ -39,8 +40,11 @@ __all__ = [
     "DegradationReport",
     "DegradedNode",
     "ExecutionPolicy",
+    "MechanismStore",
     "MultiStepMechanism",
     "NodeMechanismCache",
+    "StoreRecord",
+    "config_fingerprint",
     "OptimalRemapPostProcessor",
     "PostProcessor",
     "SerialExecution",

@@ -15,14 +15,16 @@ belong to the producer, not the bundle.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
-from repro.exceptions import MechanismError
+from repro.exceptions import DegradedModeWarning, MechanismError
 from repro.geo.bbox import BoundingBox
-from repro.geo.metric import get_metric
+from repro.geo.metric import Metric, get_metric
 from repro.geo.point import Point
 from repro.grid.hierarchy import HierarchicalGrid
 from repro.priors.base import GridPrior
@@ -75,8 +77,13 @@ def save_bundle(msm: MultiStepMechanism, path: str | Path) -> BundleInfo:
         if not kids or node.level >= msm.height:
             continue
         entry = msm.cache.entry(node.path)
-        if entry is None:  # pragma: no cover - precompute covers all
-            continue
+        if entry is None:
+            # A byte-bounded cache may have evicted this node between
+            # precompute and this visit (or during it): re-solve on the
+            # spot so the persisted bundle is always the complete tree.
+            # The returned entry stays valid even if the cache evicts
+            # it again before the next iteration.
+            entry = msm._step_entry(node, node.level + 1, kids)
         key = "node_" + "_".join(map(str, node.path)) if node.path else "node_root"
         payload[key] = entry.matrix.k
         if entry.degraded:
@@ -110,7 +117,12 @@ def save_bundle(msm: MultiStepMechanism, path: str | Path) -> BundleInfo:
     )
 
 
-def load_bundle(path: str | Path, guard: bool = True) -> MultiStepMechanism:
+def load_bundle(
+    path: str | Path,
+    guard: bool = True,
+    expect_budgets: "Sequence[float] | None" = None,
+    expect_metric: "Metric | str | None" = None,
+) -> MultiStepMechanism:
     """Restore a bundled MSM; sampling needs no further LP work.
 
     With ``guard`` enabled (the default) every restored node matrix is
@@ -119,10 +131,24 @@ def load_bundle(path: str | Path, guard: bool = True) -> MultiStepMechanism:
     load time rather than silently serving a privacy-violating
     mechanism.
 
+    ``expect_budgets`` / ``expect_metric`` declare the configuration
+    the *requesting* mechanism was built for.  When given, the stored
+    per-level epsilon split and utility metric are verified against
+    them and a mismatch raises — matrices solved for a different
+    budget or metric are never silently served.  (The persistent
+    mechanism store passes these on every warm-start.)
+
+    Version-1 bundles predate the per-node degradation flags; they
+    still load, but every node is then *assumed* non-degraded and a
+    :class:`~repro.exceptions.DegradedModeWarning` flags the
+    assumption.
+
     Raises
     ------
     MechanismError
-        On a missing file or an unsupported format version.
+        On a missing file, an unsupported format version, or a
+        stored-configuration mismatch against ``expect_budgets`` /
+        ``expect_metric``.
     PrivacyViolationError
         When a restored matrix fails the privacy guard.
     """
@@ -144,6 +170,18 @@ def load_bundle(path: str | Path, guard: bool = True) -> MultiStepMechanism:
         prior_grid = RegularGrid(bounds, int(data["meta_prior_g"][0]))
         prior = GridPrior(prior_grid, data["meta_prior"], name="bundled")
         dq = get_metric(bytes(data["meta_dq"]).decode())
+        _verify_bundle_config(
+            path, budgets, dq, expect_budgets, expect_metric
+        )
+        if int(version) < 2:
+            warnings.warn(
+                DegradedModeWarning(
+                    f"bundle {path} uses format v{int(version)}, which "
+                    f"predates per-node degradation flags; every "
+                    f"restored node is assumed non-degraded"
+                ),
+                stacklevel=2,
+            )
         degraded_keys: set[str] = (
             {str(k) for k in data["meta_degraded"]}
             if "meta_degraded" in data.files
@@ -186,6 +224,44 @@ def load_bundle(path: str | Path, guard: bool = True) -> MultiStepMechanism:
                 epsilon=level_eps,
             )
     return msm
+
+
+def _verify_bundle_config(
+    path: Path,
+    budgets: tuple[float, ...],
+    dq: Metric,
+    expect_budgets: Sequence[float] | None,
+    expect_metric: Metric | str | None,
+) -> None:
+    """Reject a bundle whose stored configuration does not match the
+    requesting mechanism's — serving matrices solved for a different
+    epsilon split or utility metric would silently mis-spend the budget
+    (or mis-optimise utility) of every report."""
+    if expect_budgets is not None:
+        wanted = tuple(float(b) for b in expect_budgets)
+        match = len(wanted) == len(budgets) and all(
+            abs(a - b) <= 1e-9 * max(1.0, abs(a), abs(b))
+            for a, b in zip(wanted, budgets)
+        )
+        if not match:
+            raise MechanismError(
+                f"bundle {path} stores epsilon split "
+                f"{tuple(round(b, 6) for b in budgets)} but the "
+                f"requesting mechanism expects "
+                f"{tuple(round(b, 6) for b in wanted)}; refusing to "
+                f"serve matrices solved for a different budget"
+            )
+    if expect_metric is not None:
+        wanted_name = (
+            expect_metric if isinstance(expect_metric, str)
+            else expect_metric.name
+        )
+        if wanted_name != dq.name:
+            raise MechanismError(
+                f"bundle {path} stores mechanisms optimised for metric "
+                f"{dq.name!r} but the requesting mechanism expects "
+                f"{wanted_name!r}"
+            )
 
 
 def _node_at(index: HierarchicalGrid, path: tuple[int, ...]):

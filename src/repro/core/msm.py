@@ -198,6 +198,7 @@ class MultiStepMechanism(Mechanism):
         solver: ResilientSolver | None = None,
         degrade: bool = True,
         guard: bool = True,
+        cache: NodeMechanismCache | None = None,
         executor: ExecutionPolicy | None = None,
         postprocessor: PostProcessor | None = None,
         remap: bool = False,
@@ -226,6 +227,7 @@ class MultiStepMechanism(Mechanism):
             solver=solver,
             degrade=degrade,
             guard=guard,
+            cache=cache,
             executor=executor,
             postprocessor=postprocessor,
             remap=remap,
@@ -245,6 +247,7 @@ class MultiStepMechanism(Mechanism):
         solver: ResilientSolver | None = None,
         degrade: bool = True,
         guard: bool = True,
+        cache: NodeMechanismCache | None = None,
         executor: ExecutionPolicy | None = None,
         postprocessor: PostProcessor | None = None,
         remap: bool = False,
@@ -266,6 +269,7 @@ class MultiStepMechanism(Mechanism):
             solver=solver,
             degrade=degrade,
             guard=guard,
+            cache=cache,
             executor=executor,
             postprocessor=postprocessor,
             remap=remap,

@@ -23,9 +23,10 @@ import numpy as np
 from repro.exceptions import BudgetError
 from repro.geo.metric import EUCLIDEAN, Metric
 from repro.geo.point import Point
+from repro.mechanisms.base import Mechanism
 from repro.priors.base import GridPrior
-from repro.privacy.composition import BudgetAccountant
-from repro.core.engine import ExecutionPolicy, PostProcessor
+from repro.privacy.composition import BudgetAccountant, budget_slack
+from repro.core.engine import ExecutionPolicy, PostProcessor, WalkResult
 from repro.core.msm import MultiStepMechanism
 from repro.core.resilience import DegradationReport, ResilienceConfig, ResilientSolver
 from repro.obs import NOOP, Observability
@@ -85,17 +86,30 @@ class SanitizationSession:
         engine, cache, resilient solver, LP backends.  Inspect it via
         :attr:`observability`; export with :mod:`repro.obs.export`.
         Off by default: the disabled path costs nothing.
+    mechanism:
+        A pre-built per-report mechanism to use instead of building a
+        fresh MSM.  This is how the serving front-end shares one warm
+        engine (and one node cache) across thousands of sessions; only
+        the budget bookkeeping stays per-session.  The mechanism's
+        epsilon must not exceed the per-report spend — a session must
+        never charge less than the privacy its reports consume.
+    obs:
+        An externally-owned observability handle (the serving
+        front-end passes its own so every session's budget metrics land
+        in one registry).  Overrides ``metrics``.
 
     The per-report mechanism is built once and reused (its randomness
     comes from the caller-supplied generator), so a session's marginal
-    cost per report is just the MSM walk.
+    cost per report is just the MSM walk.  Sessions are not
+    thread-safe; concurrent callers must serialise externally (the
+    serving front-end does).
     """
 
     def __init__(
         self,
         lifetime_epsilon: float,
         per_report_epsilon: float,
-        prior: GridPrior,
+        prior: GridPrior | None = None,
         granularity: int = 4,
         rho: float = 0.8,
         dq: Metric = EUCLIDEAN,
@@ -108,6 +122,8 @@ class SanitizationSession:
         postprocessor: PostProcessor | None = None,
         remap: bool = False,
         metrics: bool = False,
+        mechanism: Mechanism | None = None,
+        obs: Observability | None = None,
     ):
         if per_report_epsilon <= 0:
             raise BudgetError(
@@ -120,18 +136,39 @@ class SanitizationSession:
             )
         self._accountant = BudgetAccountant(total=lifetime_epsilon)
         self._per_report = float(per_report_epsilon)
-        self._obs = Observability.collecting(trace=True) if metrics else NOOP
-        if metrics:
+        if obs is not None:
+            self._obs = obs
+        else:
+            self._obs = (
+                Observability.collecting(trace=True) if metrics else NOOP
+            )
+        if self._obs.enabled:
             self._obs.metrics.gauge("repro_budget_rho_target").set(rho)
             self._obs.metrics.gauge(
                 "repro_session_epsilon_remaining"
             ).set(self.remaining)
-        self._mechanism = MultiStepMechanism.build(
-            per_report_epsilon, granularity, prior, rho=rho, dq=dq,
-            backend=backend, resilience=resilience, solver=solver,
-            degrade=degrade, guard=guard, executor=executor,
-            postprocessor=postprocessor, remap=remap, obs=self._obs,
-        )
+        if mechanism is not None:
+            mech_eps = getattr(mechanism, "epsilon", None)
+            if mech_eps is not None and (
+                mech_eps > per_report_epsilon + budget_slack(mech_eps)
+            ):
+                raise BudgetError(
+                    f"shared mechanism spends epsilon={mech_eps:.4g} per "
+                    f"report, more than the session's per-report budget "
+                    f"{per_report_epsilon:.4g}"
+                )
+            self._mechanism = mechanism
+        else:
+            if prior is None:
+                raise BudgetError(
+                    "a prior is required when no pre-built mechanism is given"
+                )
+            self._mechanism = MultiStepMechanism.build(
+                per_report_epsilon, granularity, prior, rho=rho, dq=dq,
+                backend=backend, resilience=resilience, solver=solver,
+                degrade=degrade, guard=guard, executor=executor,
+                postprocessor=postprocessor, remap=remap, obs=self._obs,
+            )
         self._history: list[SessionReport] = []
         self._degradations: list[DegradationReport] = []
 
@@ -139,7 +176,7 @@ class SanitizationSession:
     # accessors
     # ------------------------------------------------------------------
     @property
-    def mechanism(self) -> MultiStepMechanism:
+    def mechanism(self) -> Mechanism:
         """The underlying per-report mechanism."""
         return self._mechanism
 
@@ -166,10 +203,16 @@ class SanitizationSession:
 
     @property
     def reports_remaining(self) -> int:
-        """How many further reports the lifetime budget affords."""
-        return int(
-            (self._accountant.remaining + 1e-12) // self._per_report
-        )
+        """How many further reports the lifetime budget affords.
+
+        Exact: delegates to
+        :meth:`~repro.privacy.composition.BudgetAccountant.affordable`,
+        which simulates the accountant's own arithmetic, so this equals
+        the number of :meth:`report` calls that will actually succeed.
+        (The float floor-division with its own nudge that lived here
+        could disagree with ``can_spend`` by one report.)
+        """
+        return self._accountant.affordable(self._per_report)
 
     @property
     def history(self) -> list[SessionReport]:
@@ -194,8 +237,13 @@ class SanitizationSession:
     # reporting
     # ------------------------------------------------------------------
     def precompute(self) -> int:
-        """Warm the mechanism cache (the offline step)."""
-        return self._mechanism.precompute()
+        """Warm the mechanism cache (the offline step).
+
+        A no-op (returning 0) for shared mechanisms without an offline
+        precomputation step.
+        """
+        precompute = getattr(self._mechanism, "precompute", None)
+        return 0 if precompute is None else precompute()
 
     def report(self, x: Point, rng: np.random.Generator) -> SessionReport:
         """Sanitise ``x``, spending one report's budget.
@@ -218,6 +266,31 @@ class SanitizationSession:
                 f"per-report {self._per_report:.4g})"
             )
         walk = self._mechanism.sample_with_report(x, rng)
+        return self.record_walk(x, walk)
+
+    def record_walk(self, x: Point, walk: WalkResult) -> SessionReport:
+        """Spend one report's budget for a walk sampled externally.
+
+        The serving front-end samples many sessions' locations through
+        one shared engine batch and records each outcome into its
+        session here; the bookkeeping (spend, history, degradation
+        provenance, metrics) is identical to :meth:`report`.
+
+        Raises
+        ------
+        BudgetError
+            When the lifetime budget cannot cover the report; nothing
+            is spent or recorded in that case.  Callers that sample
+            *before* recording must admission-check first (the server
+            reserves via :meth:`can_report` under its own lock).
+        """
+        if not self.can_report():
+            self._record_refusal()
+            raise BudgetError(
+                f"lifetime budget exhausted after {len(self._history)} "
+                f"reports (remaining {self.remaining:.4g} < "
+                f"per-report {self._per_report:.4g})"
+            )
         self._accountant.spend(
             self._per_report, label=f"report-{len(self._history)}"
         )

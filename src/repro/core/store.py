@@ -1,0 +1,284 @@
+"""Persistent mechanism store: warm-start engines across runs.
+
+The node cache makes repeat queries cheap *within* a process; this
+module makes them cheap *across* processes.  A
+:class:`MechanismStore` is a directory of offline bundles
+(:mod:`repro.core.bundle`), keyed by a **configuration fingerprint** —
+a SHA-256 over everything that determines the solved matrices:
+
+* index shape (bounds, per-level fanout, height),
+* the per-level epsilon split,
+* the utility and distinguishability metrics,
+* a hash of the modelling prior.
+
+An engine warm-starting from the store therefore can only ever adopt
+matrices solved for *exactly* its own configuration; any drift — a
+re-allocated budget, a different prior, a resized grid — lands on a
+different fingerprint and misses.  Defence in depth: even on a
+fingerprint hit the stored epsilon split and metric are re-verified
+against the requesting mechanism (``load_bundle(expect_budgets=…,
+expect_metric=…)``) and the stored prior is re-hashed, so a renamed or
+stale file is rejected rather than silently served.  Every restored
+matrix passes the privacy guard at load, exactly as bundles do.
+
+This is the paper's Section 3.1 deployment model applied server-side:
+precompute once, persist, and let every later engine skip the LP solves
+entirely (Bordenabe et al. show why re-solving is the cost to avoid;
+Chatzikokolakis et al. make precompute-plus-reuse the canonical
+throughput lever).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.exceptions import MechanismError
+from repro.obs import NOOP, Observability
+from repro.core.bundle import load_bundle, save_bundle
+from repro.core.msm import MultiStepMechanism
+
+
+def prior_hash(prior) -> str:
+    """SHA-256 of a grid prior (probabilities + grid geometry)."""
+    h = hashlib.sha256()
+    b = prior.grid.bounds
+    h.update(
+        repr((b.min_x, b.min_y, b.max_x, b.max_y,
+              prior.grid.granularity)).encode()
+    )
+    h.update(prior.probabilities.tobytes())
+    return h.hexdigest()
+
+
+def config_fingerprint(msm: MultiStepMechanism) -> str:
+    """The store key for an MSM: hash of everything the LPs depend on."""
+    index = msm.index
+    b = index.bounds
+    h = hashlib.sha256()
+    h.update(
+        repr((
+            "msm-config-v1",
+            (b.min_x, b.min_y, b.max_x, b.max_y),
+            getattr(index, "granularity", None),
+            msm.height,
+            msm.budgets,
+            msm.dq.name,
+            msm.engine.dx.name,
+        )).encode()
+    )
+    h.update(prior_hash(msm.prior).encode())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class StoreRecord:
+    """Outcome of one store interaction."""
+
+    fingerprint: str
+    path: Path
+    #: "hit" (warm-started from disk), "built" (solved then persisted),
+    #: or "saved" (explicit save)
+    outcome: str
+    #: node mechanisms adopted into the requesting mechanism's cache
+    adopted: int
+    size_bytes: int
+
+
+class MechanismStore:
+    """A directory of precomputed mechanism bundles keyed by fingerprint.
+
+    Thread-safe: concurrent :meth:`get_or_build` calls for the same
+    configuration serialise on a per-fingerprint lock, so the LP sweep
+    runs at most once per process, and writes go through an atomic
+    rename so a concurrent reader (or a crash mid-write) can never
+    observe a torn file.
+    """
+
+    _obs = NOOP
+
+    def __init__(self, root: str | Path):
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._fp_locks: dict[str, threading.Lock] = {}
+
+    @property
+    def root(self) -> Path:
+        """The store directory."""
+        return self._root
+
+    def bind_observability(self, obs: Observability) -> None:
+        """Attach an observability handle (store traffic metrics)."""
+        self._obs = obs
+
+    def _record(self, outcome: str, adopted: int = 0) -> None:
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            metrics.counter(
+                "repro_store_requests_total", outcome=outcome
+            ).inc()
+            if adopted:
+                metrics.counter("repro_store_adopted_total").inc(adopted)
+
+    def _fingerprint_lock(self, fingerprint: str) -> threading.Lock:
+        with self._lock:
+            lock = self._fp_locks.get(fingerprint)
+            if lock is None:
+                lock = self._fp_locks[fingerprint] = threading.Lock()
+            return lock
+
+    def path_for(self, msm: MultiStepMechanism) -> Path:
+        """Where this mechanism's bundle lives (or would live)."""
+        return self._root / f"msm-{config_fingerprint(msm)}.npz"
+
+    def __contains__(self, msm: MultiStepMechanism) -> bool:
+        return self.path_for(msm).exists()
+
+    # ------------------------------------------------------------------
+    # persistence
+    # ------------------------------------------------------------------
+    def save(self, msm: MultiStepMechanism) -> StoreRecord:
+        """Precompute (if needed) and persist ``msm``'s node mechanisms.
+
+        The bundle is written to a temporary file and atomically
+        renamed into place, so concurrent readers see either the old
+        complete file or the new complete file — never a torn one.
+        """
+        fingerprint = config_fingerprint(msm)
+        target = self._root / f"msm-{fingerprint}.npz"
+        fd, tmp = tempfile.mkstemp(
+            dir=self._root, prefix=".tmp-", suffix=".npz"
+        )
+        os.close(fd)
+        try:
+            save_bundle(msm, tmp)
+            os.replace(tmp, target)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+        self._record("saved")
+        return StoreRecord(
+            fingerprint=fingerprint,
+            path=target,
+            outcome="saved",
+            adopted=0,
+            size_bytes=target.stat().st_size,
+        )
+
+    def warm_start(self, msm: MultiStepMechanism) -> StoreRecord | None:
+        """Adopt stored node mechanisms into ``msm``'s cache, if present.
+
+        Returns None on a store miss.  On a hit, every stored matrix is
+        guard-validated, the stored epsilon split / metric / prior are
+        verified against the requesting mechanism, and the matrices
+        enter ``msm.cache`` with ``source="store"`` provenance
+        (degraded nodes keep their original fallback provenance).
+
+        Raises
+        ------
+        MechanismError
+            When a file exists under this fingerprint but stores a
+            configuration that does not match the requesting mechanism
+            (a stale or tampered entry) — it is never silently served.
+        """
+        fingerprint = config_fingerprint(msm)
+        path = self._root / f"msm-{fingerprint}.npz"
+        if not path.exists():
+            self._record("miss")
+            return None
+        restored = load_bundle(
+            path,
+            guard=True,
+            expect_budgets=msm.budgets,
+            expect_metric=msm.dq,
+        )
+        self._verify_geometry(path, msm, restored)
+        adopted = 0
+        for node_path, entry in restored.cache.snapshot().items():
+            if node_path in msm.cache:
+                continue
+            msm.cache.put(
+                node_path,
+                entry.matrix,
+                degraded=entry.degraded,
+                source=entry.source if entry.degraded else "store",
+                reason=entry.reason,
+                level=entry.level,
+                epsilon=entry.epsilon,
+            )
+            adopted += 1
+        self._record("hit", adopted)
+        return StoreRecord(
+            fingerprint=fingerprint,
+            path=path,
+            outcome="hit",
+            adopted=adopted,
+            size_bytes=path.stat().st_size,
+        )
+
+    def get_or_build(self, msm: MultiStepMechanism) -> StoreRecord:
+        """Warm-start ``msm`` from the store, solving and persisting on a
+        miss.
+
+        On a hit the requesting mechanism performs *zero* LP solves; on
+        a miss it precomputes every reachable node (through its own
+        resilient/guarded solve path) and the result is persisted for
+        the next process.  Single-flight per fingerprint within this
+        process.
+        """
+        fingerprint = config_fingerprint(msm)
+        with self._fingerprint_lock(fingerprint):
+            record = self.warm_start(msm)
+            if record is not None:
+                return record
+            msm.precompute()
+            saved = self.save(msm)
+            self._record("built")
+            return StoreRecord(
+                fingerprint=fingerprint,
+                path=saved.path,
+                outcome="built",
+                adopted=0,
+                size_bytes=saved.size_bytes,
+            )
+
+    def _verify_geometry(
+        self,
+        path: Path,
+        msm: MultiStepMechanism,
+        restored: MultiStepMechanism,
+    ) -> None:
+        """Stale-entry rejection beyond what load_bundle verifies: index
+        shape and prior must hash identically to the requesting
+        mechanism's."""
+        want, got = msm.index, restored.index
+        same_shape = (
+            getattr(want, "granularity", None)
+            == getattr(got, "granularity", None)
+            and msm.height == restored.height
+            and want.bounds == got.bounds
+        )
+        if not same_shape:
+            raise MechanismError(
+                f"store entry {path} was solved for a different index "
+                f"shape; refusing to warm-start from it"
+            )
+        import numpy as np
+
+        want_p, got_p = msm.prior.probabilities, restored.prior.probabilities
+        if want_p.shape != got_p.shape or not np.allclose(
+            want_p, got_p, rtol=1e-9, atol=1e-12
+        ):
+            raise MechanismError(
+                f"store entry {path} was solved under a different prior; "
+                f"refusing to warm-start from it"
+            )
+
+    def entries(self) -> list[Path]:
+        """All bundle files currently in the store."""
+        return sorted(self._root.glob("msm-*.npz"))

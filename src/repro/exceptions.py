@@ -129,6 +129,17 @@ class ObservabilityError(ReproError):
     """
 
 
+class ServeError(ReproError):
+    """The serving front-end refused or failed a request.
+
+    Raised on overload (the pending-request queue is full), on requests
+    outside the served domain, and on requests submitted to (or still
+    pending in) a stopped server.  Budget refusals raise
+    :class:`BudgetError` instead — they are an admission-control
+    decision, not a serving failure.
+    """
+
+
 class DegradedModeWarning(Warning):
     """MSM substituted a closed-form fallback for an unsolvable OPT level.
 

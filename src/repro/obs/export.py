@@ -41,11 +41,27 @@ from repro.obs.trace import Span
 # ----------------------------------------------------------------------
 # Prometheus text format
 # ----------------------------------------------------------------------
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus exposition format.
+
+    Backslash, double quote, and line feed are the three characters the
+    format reserves inside quoted label values; anything else passes
+    through verbatim.  Without this, a value containing ``"`` or a
+    newline produced an exposition that Prometheus (and our own
+    :func:`parse_prometheus`) mis-parsed silently.
+    """
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
 def _format_labels(labels: Labels, extra: tuple[tuple[str, str], ...] = ()) -> str:
     pairs = tuple(labels) + tuple(extra)
     if not pairs:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in pairs)
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in pairs
+    )
     return "{" + inner + "}"
 
 
@@ -87,25 +103,106 @@ def to_prometheus(snapshot: MetricsSnapshot) -> str:
 
 
 def _parse_label_block(block: str) -> Labels:
+    """Parse ``k="v",k2="v2"`` honouring quoting and escapes.
+
+    A character scanner, not a ``split(",")``: commas, ``=``, ``}`` and
+    quotes are all legal *inside* a quoted label value (escaped or
+    not), so the only delimiters that count are the ones outside
+    quotes.  Inverse of :func:`_format_labels` /
+    :func:`_escape_label_value`.
+    """
     block = block.strip()
     if not block:
         return ()
     pairs = []
-    for part in block.split(","):
-        key, _, raw = part.partition("=")
-        value = raw.strip()
-        if not (value.startswith('"') and value.endswith('"')):
-            raise ObservabilityError(f"malformed label value in {part!r}")
-        pairs.append((key.strip(), value[1:-1]))
+    i, n = 0, len(block)
+    while i < n:
+        eq = block.find("=", i)
+        if eq < 0:
+            raise ObservabilityError(
+                f"malformed label pair in {block[i:]!r}"
+            )
+        key = block[i:eq].strip()
+        if eq + 1 >= n or block[eq + 1] != '"':
+            raise ObservabilityError(
+                f"label value must be quoted in {block[i:]!r}"
+            )
+        chars: list[str] = []
+        j = eq + 2
+        closed = False
+        while j < n:
+            c = block[j]
+            if c == "\\":
+                if j + 1 >= n:
+                    raise ObservabilityError(
+                        f"dangling escape in label value: {block!r}"
+                    )
+                escaped = block[j + 1]
+                if escaped == "n":
+                    chars.append("\n")
+                elif escaped in ('"', "\\"):
+                    chars.append(escaped)
+                else:
+                    raise ObservabilityError(
+                        f"unknown escape \\{escaped} in label value: "
+                        f"{block!r}"
+                    )
+                j += 2
+            elif c == '"':
+                closed = True
+                break
+            else:
+                chars.append(c)
+                j += 1
+        if not closed:
+            raise ObservabilityError(
+                f"unterminated label value in {block!r}"
+            )
+        pairs.append((key, "".join(chars)))
+        i = j + 1
+        if i < n:
+            if block[i] != ",":
+                raise ObservabilityError(
+                    f"expected ',' between label pairs in {block!r}"
+                )
+            i += 1
     return tuple(sorted(pairs))
 
 
+def _label_block_end(line: str, start: int) -> int:
+    """Index of the ``}`` closing a label block, quote- and escape-aware."""
+    in_quotes = False
+    i = start
+    while i < len(line):
+        c = line[i]
+        if in_quotes:
+            if c == "\\":
+                i += 2
+                continue
+            if c == '"':
+                in_quotes = False
+        elif c == '"':
+            in_quotes = True
+        elif c == "}":
+            return i
+        i += 1
+    raise ObservabilityError(f"unterminated label block in {line!r}")
+
+
 def _parse_sample(line: str) -> tuple[str, Labels, str]:
-    """Split one sample line into (metric name, labels, value text)."""
+    """Split one sample line into (metric name, labels, value text).
+
+    Metric names cannot contain ``{``, so the first brace opens the
+    label block; its *closing* brace is found by scanning (a label
+    value may contain ``}`` or ``"} "``, which the old
+    ``rpartition("} ")`` mis-split).
+    """
     if "{" in line:
-        name, _, rest = line.partition("{")
-        block, _, value = rest.rpartition("} ")
-        return name, _parse_label_block(block), value.strip()
+        brace = line.index("{")
+        name = line[:brace]
+        end = _label_block_end(line, brace + 1)
+        block = line[brace + 1:end]
+        return name, _parse_label_block(block), line[end + 1:].strip()
     name, _, value = line.rpartition(" ")
     return name.strip(), (), value.strip()
 

@@ -36,6 +36,32 @@ def sequential_composition(epsilons: Iterable[float]) -> float:
     return total
 
 
+#: Relative tolerance for budget comparisons.  Accumulated float error
+#: after ``k`` spends is bounded by ``k`` ulps of the running sum, so a
+#: slack *relative to the lifetime budget* absorbs it at any scale —
+#: unlike the absolute ``1e-12`` slack this replaces, which was far too
+#: small for large budgets and needlessly large for tiny ones.
+BUDGET_RTOL = 1e-9
+
+
+def budget_slack(total: float) -> float:
+    """The comparison slack for a budget of magnitude ``total``."""
+    return BUDGET_RTOL * max(1.0, abs(total))
+
+
+def fits_budget(epsilon: float, remaining: float, total: float) -> bool:
+    """Whether spending ``epsilon`` fits ``remaining`` of ``total``.
+
+    This is *the* admission predicate: every component that asks "does
+    one more report fit?" — :meth:`BudgetAccountant.can_spend`,
+    :meth:`BudgetAccountant.affordable` (and through it
+    ``SanitizationSession.reports_remaining``), the serving front-end's
+    admission control — must route through it, so no two call sites can
+    disagree about the same budget state.
+    """
+    return 0 < epsilon <= remaining + budget_slack(total)
+
+
 @dataclass
 class BudgetAccountant:
     """Tracks privacy-budget expenditure across reports.
@@ -54,20 +80,59 @@ class BudgetAccountant:
     def __post_init__(self) -> None:
         if self.total <= 0:
             raise BudgetError(f"total budget must be positive, got {self.total}")
+        # running total, maintained incrementally so that (a) spend /
+        # can_spend are O(1) regardless of history length and (b)
+        # affordable() can simulate future spends with *exactly* the
+        # arithmetic spend() will perform.
+        self._spent_total = 0.0
+        for _, eps in self.spent_items:
+            self._spent_total += float(eps)
 
     @property
     def spent(self) -> float:
         """Budget consumed so far."""
-        return sum(eps for _, eps in self.spent_items)
+        return self._spent_total
 
     @property
     def remaining(self) -> float:
         """Budget still available."""
-        return self.total - self.spent
+        return self.total - self._spent_total
 
     def can_spend(self, epsilon: float) -> bool:
-        """Whether a further expenditure of ``epsilon`` fits the budget."""
-        return 0 < epsilon <= self.remaining + 1e-12
+        """Whether a further expenditure of ``epsilon`` fits the budget.
+
+        Uses the shared relative-tolerance predicate
+        :func:`fits_budget`, so this answer always agrees with
+        :meth:`affordable` (and with anything else built on it, such as
+        ``SanitizationSession.reports_remaining``).
+        """
+        return fits_budget(epsilon, self.remaining, self.total)
+
+    def affordable(self, epsilon: float) -> int:
+        """How many further spends of ``epsilon`` will succeed.
+
+        Exact by construction: the count is obtained by simulating the
+        identical float arithmetic :meth:`spend` performs (accumulate,
+        compare through :func:`fits_budget`), so
+        ``affordable(eps) == n`` guarantees exactly ``n`` subsequent
+        ``spend(eps)`` calls succeed and the ``n+1``-th raises.  The
+        closed-form ``remaining // eps`` this replaces used its own
+        nudge and could disagree with ``can_spend`` by one report near
+        the boundary.
+
+        Raises
+        ------
+        BudgetError
+            If ``epsilon`` is non-positive.
+        """
+        if epsilon <= 0:
+            raise BudgetError(f"expenditure must be positive, got {epsilon}")
+        simulated = self._spent_total
+        count = 0
+        while fits_budget(epsilon, self.total - simulated, self.total):
+            count += 1
+            simulated += float(epsilon)
+        return count
 
     def spend(self, epsilon: float, label: str = "report") -> None:
         """Record an expenditure, refusing overdrafts.
@@ -85,3 +150,4 @@ class BudgetAccountant:
                 f"remaining {self.remaining:.4g} of {self.total:.4g}"
             )
         self.spent_items.append((label, float(epsilon)))
+        self._spent_total += float(epsilon)

@@ -1,0 +1,12 @@
+"""Concurrent serving front-end over one shared sanitisation engine.
+
+:class:`SanitizationServer` owns many per-user
+:class:`~repro.core.session.SanitizationSession`\\ s sharing a single
+warm :class:`~repro.core.msm.MultiStepMechanism`, coalesces concurrent
+requests into micro-batches through the walk engine, and applies
+admission control on lifetime budgets.
+"""
+
+from repro.serve.server import SanitizationServer, ServerConfig, ServerStats
+
+__all__ = ["SanitizationServer", "ServerConfig", "ServerStats"]

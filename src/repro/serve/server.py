@@ -1,0 +1,519 @@
+"""A concurrent serving front-end over one shared walk engine.
+
+The paper's client-side deployment model precomputes per-node
+mechanisms and ships them to devices; a *server-side* deployment keeps
+the precomputed engine in one process and lets many concurrent user
+sessions report through it.  :class:`SanitizationServer` is that
+front-end:
+
+* it owns many :class:`~repro.core.session.SanitizationSession`\\ s —
+  one per user, each with its own lifetime budget — all sharing **one**
+  warm :class:`~repro.core.msm.MultiStepMechanism` (and therefore one
+  memory-bounded node cache and one persistent-store warm start);
+
+* requests arriving concurrently are **coalesced into micro-batches**:
+  a dispatcher thread gathers everything that arrives within a small
+  window (bounded by a max batch size) and feeds it to
+  :meth:`WalkEngine.run <repro.core.engine.WalkEngine.run>` as one
+  batch, which is exactly where the batch engine's group-by-node bulk
+  cache warm-up and vectorised sampling pay off;
+
+* **admission control** happens at submit time, under the server lock,
+  against each session's lifetime budget *including its in-flight
+  reservations* — a user cannot overdraw by racing requests — and
+  against a bounded pending queue (overload sheds load instead of
+  growing without bound);
+
+* everything is instrumented through :mod:`repro.obs` (request /
+  rejection / batch / coalescing counters, batch-size and latency
+  histograms, live session and in-flight gauges) alongside the cache's
+  eviction metrics and the store's traffic metrics.
+
+Privacy: batching across users never weakens per-user GeoInd.  Each
+walk in a batch is an independent Algorithm-1 walk with its own
+randomness; grouping by node only *schedules* the draws together.  The
+per-user guarantee is the session's, enforced by its accountant exactly
+as in the serial path (the batch spend is recorded per session through
+:meth:`SanitizationSession.record_walk`).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.exceptions import BudgetError, ServeError
+from repro.geo.point import Point
+from repro.obs import LATENCY_EDGES, NOOP, SIZE_EDGES, Observability
+from repro.core.msm import MultiStepMechanism
+from repro.core.session import SanitizationSession, SessionReport
+from repro.core.store import MechanismStore
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Tuning knobs for a :class:`SanitizationServer`.
+
+    Attributes
+    ----------
+    lifetime_epsilon:
+        Lifetime GeoInd budget granted to each user session.
+    per_report_epsilon:
+        Budget one sanitised report consumes (must equal the shared
+        mechanism's epsilon; the session constructor enforces it).
+    coalesce_window:
+        How long (seconds) the dispatcher waits after the first pending
+        request to gather more into the same micro-batch.  Zero
+        degenerates to one-request batches.
+    max_batch:
+        Hard cap on micro-batch size; a full batch dispatches
+        immediately without waiting out the window.
+    max_pending:
+        Bound on queued-but-undispatched requests; submissions beyond
+        it are shed with :class:`~repro.exceptions.ServeError`
+        (reason ``overload``) rather than queueing unboundedly.
+    """
+
+    lifetime_epsilon: float
+    per_report_epsilon: float
+    coalesce_window: float = 0.002
+    max_batch: int = 512
+    max_pending: int = 10_000
+
+
+class _PendingRequest:
+    """One in-flight request: its inputs, its rendezvous, its outcome."""
+
+    __slots__ = ("user_id", "x", "submitted", "done", "report", "error")
+
+    def __init__(self, user_id: str, x: Point):
+        self.user_id = user_id
+        self.x = x
+        self.submitted = time.perf_counter()
+        self.done = threading.Event()
+        self.report: SessionReport | None = None
+        self.error: Exception | None = None
+
+    def fail(self, error: Exception) -> None:
+        self.error = error
+        self.done.set()
+
+    def complete(self, report: SessionReport) -> None:
+        self.report = report
+        self.done.set()
+
+
+@dataclass
+class ServerStats:
+    """A plain snapshot of the server's own counters (always available,
+    even with observability disabled)."""
+
+    requests: int = 0
+    completed: int = 0
+    rejected_budget: int = 0
+    rejected_overload: int = 0
+    rejected_domain: int = 0
+    batches: int = 0
+    coalesced: int = 0
+    failed: int = 0
+    sessions: int = 0
+    max_batch_points: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class SanitizationServer:
+    """Serve concurrent sanitisation requests over one shared mechanism.
+
+    Parameters
+    ----------
+    mechanism:
+        The shared per-report mechanism (its epsilon is the per-report
+        spend).  Build it with a memory-bounded cache and warm-start it
+        from a :class:`~repro.core.store.MechanismStore` for a
+        production-shaped setup; :meth:`build` wires all of that.
+    config:
+        The :class:`ServerConfig` envelope.
+    obs:
+        Optional observability handle; it is bound through the whole
+        stack (engine, cache, solver) and every session's budget
+        metrics land in the same registry.
+
+    Usage::
+
+        with SanitizationServer(msm, config) as server:
+            report = server.report("user-1", Point(3.2, 7.9))
+
+    ``report`` blocks until the micro-batch containing the request has
+    been walked; any number of threads may call it concurrently.
+    """
+
+    def __init__(
+        self,
+        mechanism: MultiStepMechanism,
+        config: ServerConfig,
+        obs: Observability | None = None,
+    ):
+        if config.per_report_epsilon <= 0:
+            raise BudgetError(
+                f"per-report budget must be positive, "
+                f"got {config.per_report_epsilon}"
+            )
+        if config.max_batch < 1:
+            raise ServeError(f"max_batch must be >= 1, got {config.max_batch}")
+        self._mechanism = mechanism
+        self._config = config
+        self._obs = obs if obs is not None else NOOP
+        if obs is not None:
+            mechanism.engine.bind_observability(obs)
+        self._sessions: dict[str, SanitizationSession] = {}
+        self._reserved: dict[str, int] = {}
+        self._lock = threading.RLock()
+        self._queue: queue.Queue[_PendingRequest | None] = queue.Queue()
+        self._pending = 0
+        self._rng = np.random.default_rng()
+        self._dispatcher: threading.Thread | None = None
+        self._running = False
+        self.stats = ServerStats()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        prior,
+        config: ServerConfig,
+        granularity: int = 4,
+        rho: float = 0.8,
+        cache_max_bytes: int | None = None,
+        store: "MechanismStore | str | Path | None" = None,
+        obs: Observability | None = None,
+        seed: int | None = None,
+        **msm_kwargs,
+    ) -> "SanitizationServer":
+        """Build the shared mechanism and a server around it.
+
+        Wires the production-shaped stack in one call: a
+        memory-bounded node cache (``cache_max_bytes``), a
+        warm-start/persist round trip against ``store`` (a
+        :class:`~repro.core.store.MechanismStore` or a directory path),
+        and observability through every layer.
+        """
+        from repro.core.cache import NodeMechanismCache
+
+        cache = NodeMechanismCache(max_bytes=cache_max_bytes)
+        msm = MultiStepMechanism.build(
+            config.per_report_epsilon,
+            granularity,
+            prior,
+            rho=rho,
+            cache=cache,
+            obs=obs,
+            **msm_kwargs,
+        )
+        if store is not None:
+            if not isinstance(store, MechanismStore):
+                store = MechanismStore(store)
+            if obs is not None:
+                store.bind_observability(obs)
+            store.get_or_build(msm)
+        server = cls(msm, config, obs=obs)
+        if seed is not None:
+            server._rng = np.random.default_rng(seed)
+        return server
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SanitizationServer":
+        """Start the dispatcher thread (idempotent)."""
+        with self._lock:
+            if self._running:
+                return self
+            self._running = True
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-serve-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+        return self
+
+    def stop(self) -> None:
+        """Drain the queue, stop the dispatcher, fail anything left."""
+        with self._lock:
+            if not self._running:
+                return
+            self._running = False
+        self._queue.put(None)
+        if self._dispatcher is not None:
+            self._dispatcher.join()
+            self._dispatcher = None
+        # anything still queued after the dispatcher exited fails closed
+        while True:
+            try:
+                request = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if request is not None:
+                self._finish_rejected(request)
+                request.fail(ServeError("server stopped"))
+
+    def __enter__(self) -> "SanitizationServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    @property
+    def mechanism(self) -> MultiStepMechanism:
+        """The shared per-report mechanism."""
+        return self._mechanism
+
+    @property
+    def config(self) -> ServerConfig:
+        return self._config
+
+    @property
+    def observability(self) -> Observability:
+        return self._obs
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+    def session(self, user_id: str) -> SanitizationSession:
+        """The user's session, created on first use."""
+        with self._lock:
+            session = self._sessions.get(user_id)
+            if session is None:
+                session = SanitizationSession(
+                    self._config.lifetime_epsilon,
+                    self._config.per_report_epsilon,
+                    mechanism=self._mechanism,
+                    obs=self._obs,
+                )
+                self._sessions[user_id] = session
+                self._reserved[user_id] = 0
+                self.stats.sessions = len(self._sessions)
+                if self._obs.enabled:
+                    self._obs.metrics.gauge("repro_serve_sessions").set(
+                        len(self._sessions)
+                    )
+            return session
+
+    def sessions(self) -> dict[str, SanitizationSession]:
+        """All live sessions by user id (a copy)."""
+        with self._lock:
+            return dict(self._sessions)
+
+    # ------------------------------------------------------------------
+    # the request path
+    # ------------------------------------------------------------------
+    def submit(self, user_id: str, x: Point) -> _PendingRequest:
+        """Admit a request into the next micro-batch (non-blocking).
+
+        Admission control runs here, under the server lock:
+
+        * the point must lie inside the served domain;
+        * the pending queue must have room (overload sheds);
+        * the user's lifetime budget must afford the request *on top
+          of* every report the user already has in flight — the
+          reservation count closes the race where k parallel requests
+          each pass a lone ``can_report`` check but only j < k fit.
+
+        Returns the pending-request handle; wait on ``.done`` or use
+        :meth:`report` for the blocking form.
+        """
+        if not self._mechanism.index.bounds.contains(x):
+            self._reject("domain")
+            raise ServeError(
+                f"location ({x.x:.4g}, {x.y:.4g}) is outside the served "
+                f"domain"
+            )
+        with self._lock:
+            if not self._running:
+                raise ServeError("server is not running; call start()")
+            session = self.session(user_id)
+            if self._pending >= self._config.max_pending:
+                self._reject("overload")
+                raise ServeError(
+                    f"pending queue full ({self._config.max_pending} "
+                    f"requests); shedding load"
+                )
+            reserved = self._reserved[user_id]
+            if session.reports_remaining - reserved < 1:
+                self._reject("budget")
+                raise BudgetError(
+                    f"user {user_id!r}: lifetime budget cannot cover "
+                    f"another report ({reserved} already in flight, "
+                    f"remaining {session.remaining:.4g})"
+                )
+            self._reserved[user_id] = reserved + 1
+            self._pending += 1
+            request = _PendingRequest(user_id, x)
+            self.stats.requests += 1
+            if self._obs.enabled:
+                self._obs.metrics.counter("repro_serve_requests_total").inc()
+                self._obs.metrics.gauge("repro_serve_inflight").set(
+                    self._pending
+                )
+        self._queue.put(request)
+        return request
+
+    def report(
+        self, user_id: str, x: Point, timeout: float | None = 30.0
+    ) -> SessionReport:
+        """Sanitise ``x`` for ``user_id`` through the next micro-batch.
+
+        Blocking form of :meth:`submit`; safe to call from any number
+        of threads concurrently.
+
+        Raises
+        ------
+        BudgetError
+            When admission control refuses the user's budget.
+        ServeError
+            On overload, out-of-domain requests, a stopped server, or
+            when ``timeout`` elapses first.
+        """
+        request = self.submit(user_id, x)
+        if not request.done.wait(timeout):
+            raise ServeError(
+                f"request for {user_id!r} timed out after {timeout:.3g}s"
+            )
+        if request.error is not None:
+            raise request.error
+        assert request.report is not None
+        return request.report
+
+    def _reject(self, reason: str) -> None:
+        with self._lock:
+            if reason == "budget":
+                self.stats.rejected_budget += 1
+            elif reason == "overload":
+                self.stats.rejected_overload += 1
+            else:
+                self.stats.rejected_domain += 1
+        if self._obs.enabled:
+            self._obs.metrics.counter(
+                "repro_serve_rejections_total", reason=reason
+            ).inc()
+
+    # ------------------------------------------------------------------
+    # the dispatcher
+    # ------------------------------------------------------------------
+    def _collect_batch(self) -> list[_PendingRequest] | None:
+        """Block for the first request, then coalesce the window.
+
+        Returns None when the stop sentinel arrives with nothing
+        gathered; a sentinel arriving mid-gather dispatches what is in
+        hand first (the sentinel is re-queued by ``stop`` only once, so
+        the loop then exits on the next round).
+        """
+        try:
+            first = self._queue.get(timeout=0.1)
+        except queue.Empty:
+            return []
+        if first is None:
+            return None
+        batch = [first]
+        deadline = time.perf_counter() + self._config.coalesce_window
+        while len(batch) < self._config.max_batch:
+            remaining = deadline - time.perf_counter()
+            if remaining <= 0:
+                break
+            try:
+                request = self._queue.get(timeout=remaining)
+            except queue.Empty:
+                break
+            if request is None:
+                self._queue.put(None)  # re-arm the sentinel for the loop
+                break
+            batch.append(request)
+        return batch
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            batch = self._collect_batch()
+            if batch is None:
+                return
+            if not batch:
+                if not self._running and self._queue.empty():
+                    return
+                continue
+            self._run_batch(batch)
+
+    def _run_batch(self, batch: list[_PendingRequest]) -> None:
+        points = [r.x for r in batch]
+        start = time.perf_counter()
+        try:
+            walks = self._mechanism.sanitize_batch(points, self._rng)
+        except Exception as exc:  # fail the whole batch, never hang it
+            with self._lock:
+                for request in batch:
+                    self._finish_rejected(request)
+                    request.fail(exc)
+                self.stats.failed += len(batch)
+            if self._obs.enabled:
+                self._obs.metrics.counter(
+                    "repro_serve_batch_failures_total"
+                ).inc()
+            return
+        elapsed = time.perf_counter() - start
+        with self._lock:
+            for request, walk in zip(batch, walks):
+                session = self._sessions[request.user_id]
+                try:
+                    report = session.record_walk(request.x, walk)
+                except BudgetError as exc:
+                    # cannot happen while reservations are accounted
+                    # correctly, but never let a request hang on it
+                    request.fail(exc)
+                    self.stats.failed += 1
+                else:
+                    request.complete(report)
+                    self.stats.completed += 1
+                self._reserved[request.user_id] -= 1
+                self._pending -= 1
+            self.stats.batches += 1
+            self.stats.coalesced += len(batch) - 1
+            self.stats.max_batch_points = max(
+                self.stats.max_batch_points, len(batch)
+            )
+            if self._obs.enabled:
+                metrics = self._obs.metrics
+                metrics.counter("repro_serve_batches_total").inc()
+                metrics.counter("repro_serve_coalesced_total").inc(
+                    len(batch) - 1
+                )
+                metrics.histogram(
+                    "repro_serve_batch_points", edges=SIZE_EDGES
+                ).observe(len(batch))
+                metrics.histogram(
+                    "repro_serve_batch_seconds", edges=LATENCY_EDGES
+                ).observe(elapsed)
+                now = time.perf_counter()
+                latency = metrics.histogram(
+                    "repro_serve_latency_seconds", edges=LATENCY_EDGES
+                )
+                for request in batch:
+                    latency.observe(now - request.submitted)
+                metrics.gauge("repro_serve_inflight").set(self._pending)
+
+    def _finish_rejected(self, request: _PendingRequest) -> None:
+        """Release the bookkeeping of a request that will never walk.
+        Caller holds the lock (or the dispatcher has exited)."""
+        with self._lock:
+            if request.user_id in self._reserved:
+                self._reserved[request.user_id] -= 1
+            self._pending -= 1

@@ -321,6 +321,11 @@ class FlakyCacheProxy(NodeMechanismCache):
             self._record_hit()
         return entry
 
+    def _peek(self, path: tuple[int, ...]) -> CacheEntry | None:
+        if self._drop_all or path in self._drop_paths:
+            return None
+        return self._inner._peek(path)
+
     def put(
         self,
         path: tuple[int, ...],
@@ -351,3 +356,7 @@ class FlakyCacheProxy(NodeMechanismCache):
     @property
     def size_bytes(self) -> int:
         return self._inner.size_bytes
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._inner.resident_bytes

@@ -328,3 +328,88 @@ class TestFixedHeight:
             allocate_budget_fixed_height(0.5, 4, 20.0, height=0)
         with pytest.raises(BudgetError):
             allocate_budget_fixed_height(0.0, 4, 20.0, height=2)
+
+
+class TestAccountantAdmissionConsistency:
+    """The unified relative-tolerance admission rule
+    (:func:`repro.privacy.composition.fits_budget`) must make the
+    accountant's *prediction* of affordable reports equal the number of
+    spends that actually succeed — the two code paths used to apply
+    different nudges and could disagree by one report near exact
+    exhaustion (e.g. total=1.0, per-report=0.1: ten spends succeed but
+    the old floor-division predicted nine)."""
+
+    @given(
+        total=st.floats(min_value=1e-6, max_value=1e4),
+        divisor=st.integers(min_value=1, max_value=200),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_affordable_equals_successful_spends(self, total, divisor):
+        from repro.privacy.composition import BudgetAccountant
+
+        per_report = total / divisor
+        accountant = BudgetAccountant(total=total)
+        predicted = accountant.affordable(per_report)
+        succeeded = 0
+        while accountant.can_spend(per_report):
+            accountant.spend(per_report)
+            succeeded += 1
+            assert succeeded <= predicted + divisor  # runaway guard
+        assert succeeded == predicted
+        # and afterwards the accountant predicts exactly zero more
+        assert accountant.affordable(per_report) == 0
+
+    @given(
+        total=st.floats(min_value=1e-3, max_value=100.0),
+        per_report=st.floats(min_value=1e-4, max_value=10.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_affordable_with_unrelated_amounts(self, total, per_report):
+        """Same property when per-report does not divide the total."""
+        from repro.privacy.composition import BudgetAccountant
+
+        assume(per_report <= total)
+        accountant = BudgetAccountant(total=total)
+        predicted = accountant.affordable(per_report)
+        succeeded = 0
+        while accountant.can_spend(per_report):
+            accountant.spend(per_report)
+            succeeded += 1
+        assert succeeded == predicted
+
+    @given(divisor=st.integers(min_value=1, max_value=50))
+    @settings(max_examples=50, deadline=None)
+    def test_session_reports_remaining_is_exact(self, divisor):
+        """Session-level end-to-end: ``reports_remaining`` equals the
+        number of ``report()`` calls that actually succeed, through a
+        stub mechanism (no LP work, pure accounting)."""
+        from repro.geo.point import Point
+        from repro.core.engine import WalkResult
+        from repro.core.resilience import DegradationReport
+        from repro.core.session import SanitizationSession
+        from repro.exceptions import BudgetError
+
+        class _EchoMechanism:
+            epsilon = 1.0 / divisor
+            name = "echo"
+
+            def sample_with_report(self, x, rng):
+                return WalkResult(
+                    point=x, trace=(), degradation=DegradationReport(())
+                )
+
+        session = SanitizationSession(
+            lifetime_epsilon=1.0,
+            per_report_epsilon=1.0 / divisor,
+            mechanism=_EchoMechanism(),
+        )
+        predicted = session.reports_remaining
+        rng = np.random.default_rng(0)
+        succeeded = 0
+        while session.can_report():
+            session.report(Point(1.0, 1.0), rng)
+            succeeded += 1
+        assert succeeded == predicted
+        assert session.reports_remaining == 0
+        with pytest.raises(BudgetError):
+            session.report(Point(1.0, 1.0), rng)

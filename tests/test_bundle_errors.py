@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.exceptions import MechanismError
+from repro.exceptions import DegradedModeWarning, MechanismError
 from repro.core.bundle import load_bundle, save_bundle
 from repro.core.msm import MultiStepMechanism
 
@@ -52,6 +52,20 @@ class TestBundleFailureModes:
         with pytest.raises(Exception):
             load_bundle(bundle_path)
 
+    def test_v1_bundle_loads_with_assumption_warning(self, bundle_path):
+        """Version-1 bundles predate degradation flags: they load, but
+        the all-nodes-non-degraded assumption must be flagged."""
+        with np.load(bundle_path) as data:
+            payload = {
+                k: data[k] for k in data.files if k != "meta_degraded"
+            }
+        payload["meta_scalars"] = payload["meta_scalars"].copy()
+        payload["meta_scalars"][0] = 1
+        np.savez_compressed(bundle_path, **payload)
+        with pytest.warns(DegradedModeWarning, match="assumed non-degraded"):
+            msm = load_bundle(bundle_path)
+        assert len(msm.cache) > 0
+        assert not msm.cache.degraded_entries()
     def test_partial_bundle_still_samples_with_lazy_solves(
         self, bundle_path, rng
     ):
@@ -70,3 +84,37 @@ class TestBundleFailureModes:
         z = msm.sample(Point(10, 10), rng)
         assert msm.index.bounds.contains(z)
         assert len(msm.cache) >= 2  # a level-1 node was solved lazily
+
+
+class TestBundleConfigVerification:
+    """A bundle solved for a different configuration is never served."""
+
+    def test_matching_expectations_load(self, bundle_path, fine_prior):
+        msm = MultiStepMechanism.build(0.9, 3, fine_prior, rho=0.8)
+        restored = load_bundle(
+            bundle_path, expect_budgets=msm.budgets, expect_metric=msm.dq
+        )
+        assert restored.budgets == msm.budgets
+
+    def test_budget_split_mismatch_rejected(self, bundle_path, fine_prior):
+        other = MultiStepMechanism.build(1.7, 3, fine_prior, rho=0.8)
+        with pytest.raises(MechanismError, match="epsilon split"):
+            load_bundle(bundle_path, expect_budgets=other.budgets)
+
+    def test_budget_length_mismatch_rejected(self, bundle_path):
+        with pytest.raises(MechanismError, match="epsilon split"):
+            load_bundle(bundle_path, expect_budgets=(0.9,))
+
+    def test_metric_mismatch_rejected(self, bundle_path):
+        with pytest.raises(MechanismError, match="metric"):
+            load_bundle(bundle_path, expect_metric="manhattan")
+
+    def test_tolerant_to_float_noise_in_budgets(
+        self, bundle_path, fine_prior
+    ):
+        """A split differing only by float round-trip noise still loads."""
+        msm = MultiStepMechanism.build(0.9, 3, fine_prior, rho=0.8)
+        noisy = tuple(b * (1 + 1e-12) for b in msm.budgets)
+        restored = load_bundle(bundle_path, expect_budgets=noisy)
+        assert restored.budgets == msm.budgets
+

@@ -390,6 +390,13 @@ def golden_state() -> tuple[MetricsSnapshot, list]:
     ).inc(2)
     reg.gauge("repro_budget_level_epsilon", level=1).set(0.4)
     reg.gauge("repro_session_epsilon_remaining").set(1.5)
+    # pathological label values: the exposition format must escape
+    # backslashes, quotes and newlines, and the parser must undo it
+    reg.counter(
+        "repro_pathological_labels_total",
+        path='C:\\data\\run "alpha"',
+        note='first,\nsecond=}',
+    ).inc(1)
     hist = reg.histogram("repro_sanitize_seconds", edges=LATENCY_EDGES)
     for v in (0.0005, 0.02, 0.02, 0.75, 45.0):
         hist.observe(v)

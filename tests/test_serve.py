@@ -1,0 +1,488 @@
+"""Concurrency suite for the serving stack: bounded cache, persistent
+store, and the coalescing front-end.
+
+Three layers, three contracts:
+
+* :class:`NodeMechanismCache` under contention — parallel get-or-build
+  races build each node exactly once (single-flight), eviction under
+  concurrent access never serves a torn or invalid entry, and the
+  resident footprint respects the byte budget at all times;
+* :class:`MechanismStore` — a second engine with the same configuration
+  warm-starts with **zero** LP solves, configuration drift lands on a
+  different fingerprint, and a stale file under the right name is
+  rejected rather than served;
+* :class:`SanitizationServer` — concurrent users get exactly the
+  reports their lifetime budgets afford (reservations close the racing
+  overdraft), requests coalesce into micro-batches, overload sheds, and
+  a chi-square check (under the ``statistical`` marker) confirms the
+  batched server path is distribution-identical to direct
+  ``sanitize_batch``.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.core.cache import NodeMechanismCache
+from repro.core.msm import MultiStepMechanism
+from repro.core.store import MechanismStore, config_fingerprint
+from repro.exceptions import BudgetError, MechanismError, ServeError
+from repro.geo.point import Point
+from repro.grid.hierarchy import HierarchicalGrid
+from repro.grid.regular import RegularGrid
+from repro.mechanisms.matrix import MechanismMatrix
+from repro.priors.base import GridPrior
+from repro.serve import SanitizationServer, ServerConfig
+
+SEED = 20190326
+
+
+def _toy_matrix(n: int = 4, seed: int = 0) -> MechanismMatrix:
+    rng = np.random.default_rng(seed)
+    k = rng.random((n, n)) + 0.1
+    k /= k.sum(axis=1, keepdims=True)
+    pts = [Point(float(i), 0.0) for i in range(n)]
+    return MechanismMatrix(pts, pts, k)
+
+
+# ----------------------------------------------------------------------
+# cache: bounded memory + thread safety
+# ----------------------------------------------------------------------
+class TestCacheEviction:
+    def test_lru_eviction_respects_budget(self):
+        m = _toy_matrix()
+        cache = NodeMechanismCache(max_bytes=2 * m.k.nbytes)
+        cache.put((0,), m)
+        cache.put((1,), m)
+        cache.put((2,), m)  # evicts (0,), the least recently used
+        assert (0,) not in cache
+        assert (1,) in cache and (2,) in cache
+        assert cache.evictions == 1
+        assert cache.evicted_bytes == m.k.nbytes
+        assert cache.resident_bytes <= cache.max_bytes
+
+    def test_hit_refreshes_recency(self):
+        m = _toy_matrix()
+        cache = NodeMechanismCache(max_bytes=2 * m.k.nbytes)
+        cache.put((0,), m)
+        cache.put((1,), m)
+        cache.entry((0,))  # (0,) is now most recent; (1,) becomes LRU
+        cache.put((2,), m)
+        assert (0,) in cache and (1,) not in cache
+
+    def test_oversized_entry_still_serves(self):
+        """A single matrix above the budget is kept (cache of one)."""
+        m = _toy_matrix(8)
+        cache = NodeMechanismCache(max_bytes=m.k.nbytes // 2)
+        cache.put((0,), m)
+        assert (0,) in cache
+        cache.put((1,), m)  # evicts (0,) but keeps the newcomer
+        assert (1,) in cache and (0,) not in cache
+        assert len(cache) == 1
+
+    def test_shrinking_budget_evicts_immediately(self):
+        m = _toy_matrix()
+        cache = NodeMechanismCache()
+        for i in range(6):
+            cache.put((i,), m)
+        cache.max_bytes = 2 * m.k.nbytes
+        assert len(cache) == 2
+        assert cache.resident_bytes <= cache.max_bytes
+        with pytest.raises(ValueError):
+            cache.max_bytes = 0
+
+    def test_unbounded_cache_never_evicts(self):
+        m = _toy_matrix()
+        cache = NodeMechanismCache()
+        for i in range(50):
+            cache.put((i,), m)
+        assert len(cache) == 50
+        assert cache.evictions == 0
+
+
+class TestCacheConcurrency:
+    def test_parallel_get_or_build_single_flight(self):
+        """Many threads racing on the same paths: each node is built
+        exactly once and everyone adopts the winner's entry."""
+        cache = NodeMechanismCache()
+        paths = [(i,) for i in range(6)]
+        build_calls: dict[tuple[int, ...], int] = {p: 0 for p in paths}
+        call_lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def build(path):
+            with call_lock:
+                build_calls[path] += 1
+            return _toy_matrix(seed=path[0]), {"level": 1}
+
+        def worker():
+            barrier.wait()  # maximise the race window
+            return cache.get_or_build_many(paths, build)
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            results = [pool.submit(worker).result for _ in range(8)]
+            results = [r() for r in results]
+
+        assert all(set(r) == set(paths) for r in results)
+        assert all(calls == 1 for calls in build_calls.values())
+        assert cache.builds == len(paths)
+        # every thread got the same (immutable) entry per path
+        for path in paths:
+            entries = {id(r[path]) for r in results}
+            assert len(entries) == 1
+
+    def test_eviction_under_concurrent_access_never_torn(self):
+        """Readers racing writers on a tightly bounded cache observe
+        either nothing or a complete entry — never a torn one — and the
+        byte budget holds at every observation point."""
+        m = _toy_matrix()
+        cache = NodeMechanismCache(max_bytes=3 * m.k.nbytes)
+        n_paths, n_ops = 12, 300
+        errors: list[str] = []
+
+        def writer(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(n_ops):
+                path = (int(rng.integers(n_paths)),)
+                cache.put(path, _toy_matrix(seed=path[0]), level=1)
+                if cache.resident_bytes > cache.max_bytes:
+                    errors.append("budget exceeded")
+
+        def reader(seed):
+            rng = np.random.default_rng(seed)
+            for _ in range(n_ops):
+                path = (int(rng.integers(n_paths)),)
+                entry = cache.entry(path)
+                if entry is None:
+                    continue
+                k = entry.matrix.k
+                if not np.allclose(k.sum(axis=1), 1.0):
+                    errors.append(f"torn entry at {path}")
+                if entry.size_bytes != k.nbytes:
+                    errors.append(f"bad size accounting at {path}")
+
+        threads = [
+            threading.Thread(target=writer, args=(s,)) for s in range(3)
+        ] + [
+            threading.Thread(target=reader, args=(s,)) for s in range(3, 7)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        assert cache.resident_bytes <= cache.max_bytes
+        assert cache.evictions > 0  # the budget actually bit
+
+    def test_counters_consistent_after_race(self):
+        """hits + misses == lookups even under contention."""
+        cache = NodeMechanismCache()
+        paths = [(i,) for i in range(4)]
+
+        def build(path):
+            return _toy_matrix(seed=path[0]), {}
+
+        def worker():
+            for _ in range(50):
+                cache.get_or_build_many(paths, build)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert cache.hits + cache.misses == 4 * 50 * len(paths)
+        assert cache.builds == len(paths)
+
+
+# ----------------------------------------------------------------------
+# persistent store
+# ----------------------------------------------------------------------
+@pytest.fixture
+def store_prior(square20) -> GridPrior:
+    return GridPrior.uniform(RegularGrid(square20, 4))
+
+
+def _store_msm(square20, prior, budgets=(0.5, 0.6)) -> MultiStepMechanism:
+    index = HierarchicalGrid(square20, 2, 2)
+    return MultiStepMechanism(index, budgets, prior)
+
+
+class TestMechanismStore:
+    def test_build_then_warm_start_zero_solves(
+        self, tmp_path, square20, store_prior, rng
+    ):
+        store = MechanismStore(tmp_path / "store")
+        first = _store_msm(square20, store_prior)
+        record = store.get_or_build(first)
+        assert record.outcome == "built"
+        assert first.cache.builds > 0
+        assert store.path_for(first).exists()
+
+        second = _store_msm(square20, store_prior)
+        record = store.get_or_build(second)
+        assert record.outcome == "hit"
+        assert record.adopted == len(second.cache)
+        assert second.cache.builds == 0
+        # the warm engine serves without a single further LP solve
+        second.sanitize_batch(
+            [Point(3.0, 3.0), Point(17.0, 12.0)], rng
+        )
+        assert second.cache.builds == 0
+        sources = {
+            e.source for e in second.cache.snapshot().values()
+        }
+        assert sources == {"store"}
+
+    def test_bounded_cache_engine_persists_complete_bundle(
+        self, tmp_path, square20, store_prior
+    ):
+        """Regression: an engine whose LRU cache cannot hold the full
+        tree must still persist every node.  Eviction of the root
+        between precompute and the save traversal used to truncate the
+        bundle to zero nodes (the skipped node's subtree was never
+        visited), silently defeating warm-start."""
+        store = MechanismStore(tmp_path / "store")
+        index = HierarchicalGrid(square20, 2, 2)
+        tight = MultiStepMechanism(
+            index,
+            (0.5, 0.6),
+            store_prior,
+            cache=NodeMechanismCache(max_bytes=300),
+        )
+        record = store.get_or_build(tight)
+        assert record.outcome == "built"
+        assert tight.cache.evictions > 0  # the bound actually bit
+
+        fresh = _store_msm(square20, store_prior)
+        record = store.get_or_build(fresh)
+        assert record.outcome == "hit"
+        assert record.adopted == 5  # root + 4 level-1 nodes: complete
+        assert fresh.cache.builds == 0
+
+    def test_fingerprint_sensitive_to_config(self, square20, store_prior):
+        a = _store_msm(square20, store_prior, budgets=(0.5, 0.6))
+        b = _store_msm(square20, store_prior, budgets=(0.5, 0.7))
+        assert config_fingerprint(a) != config_fingerprint(b)
+        other_prior = GridPrior.uniform(RegularGrid(square20, 8))
+        c = _store_msm(square20, other_prior)
+        assert config_fingerprint(a) != config_fingerprint(c)
+        assert config_fingerprint(a) == config_fingerprint(
+            _store_msm(square20, store_prior)
+        )
+
+    def test_stale_entry_rejected_not_served(
+        self, tmp_path, square20, store_prior
+    ):
+        """A file under the right fingerprint but wrong content (renamed
+        or tampered) raises instead of silently serving."""
+        store = MechanismStore(tmp_path / "store")
+        a = _store_msm(square20, store_prior, budgets=(0.5, 0.6))
+        store.get_or_build(a)
+        b = _store_msm(square20, store_prior, budgets=(0.5, 0.7))
+        # simulate an operator renaming a's bundle onto b's key
+        store.path_for(a).rename(store.path_for(b))
+        with pytest.raises(MechanismError, match="epsilon split"):
+            store.warm_start(b)
+
+    def test_concurrent_get_or_build_builds_once(
+        self, tmp_path, square20, store_prior
+    ):
+        store = MechanismStore(tmp_path / "store")
+        mechanisms = [
+            _store_msm(square20, store_prior) for _ in range(4)
+        ]
+        with ThreadPoolExecutor(max_workers=4) as pool:
+            records = list(pool.map(store.get_or_build, mechanisms))
+        outcomes = sorted(r.outcome for r in records)
+        assert outcomes == ["built", "hit", "hit", "hit"]
+        assert len(store.entries()) == 1
+        assert sum(m.cache.builds for m in mechanisms) == len(
+            mechanisms[0].cache
+        )
+
+    def test_miss_returns_none(self, tmp_path, square20, store_prior):
+        store = MechanismStore(tmp_path / "store")
+        msm = _store_msm(square20, store_prior)
+        assert store.warm_start(msm) is None
+        assert msm not in store
+
+
+# ----------------------------------------------------------------------
+# serving front-end
+# ----------------------------------------------------------------------
+@pytest.fixture
+def serve_prior(square20) -> GridPrior:
+    return GridPrior.uniform(RegularGrid(square20, 4))
+
+
+def _server(
+    serve_prior,
+    lifetime=4.0,
+    per_report=1.0,
+    window=0.01,
+    max_batch=256,
+    max_pending=10_000,
+    seed=SEED,
+) -> SanitizationServer:
+    config = ServerConfig(
+        lifetime_epsilon=lifetime,
+        per_report_epsilon=per_report,
+        coalesce_window=window,
+        max_batch=max_batch,
+        max_pending=max_pending,
+    )
+    return SanitizationServer.build(
+        serve_prior, config, granularity=2, seed=seed
+    )
+
+
+class TestServerAdmission:
+    def test_concurrent_users_get_exact_budget(self, serve_prior):
+        """8 users x 6 racing requests against a 4-report lifetime:
+        exactly 4 succeed per user, the rest fail as BudgetError."""
+        completed: dict[str, int] = {}
+        refused: dict[str, int] = {}
+        lock = threading.Lock()
+
+        with _server(serve_prior) as server:
+            def client(uid):
+                rng = np.random.default_rng(abs(hash(uid)) % 2**32)
+                for _ in range(6):
+                    x = Point(
+                        float(rng.uniform(0, 20)), float(rng.uniform(0, 20))
+                    )
+                    try:
+                        server.report(uid, x)
+                        with lock:
+                            completed[uid] = completed.get(uid, 0) + 1
+                    except BudgetError:
+                        with lock:
+                            refused[uid] = refused.get(uid, 0) + 1
+
+            threads = [
+                threading.Thread(target=client, args=(f"u{i}",))
+                for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+        assert all(completed[f"u{i}"] == 4 for i in range(8))
+        assert all(refused[f"u{i}"] == 2 for i in range(8))
+        for session in server.sessions().values():
+            assert session.reports_remaining == 0
+            assert len(session.history) == 4
+
+    def test_requests_coalesce_into_one_batch(self, serve_prior):
+        """Submissions landing inside the window walk as one batch."""
+        server = _server(serve_prior, lifetime=100.0, window=0.25)
+        with server:
+            pending = [
+                server.submit("u", Point(5.0 + i * 0.1, 5.0))
+                for i in range(10)
+            ]
+            for request in pending:
+                assert request.done.wait(30)
+                assert request.error is None
+        assert server.stats.batches == 1
+        assert server.stats.coalesced == 9
+        assert server.stats.max_batch_points == 10
+
+    def test_overload_sheds(self, serve_prior):
+        server = _server(serve_prior, max_pending=0)
+        with server:
+            with pytest.raises(ServeError, match="shedding"):
+                server.submit("u", Point(5.0, 5.0))
+        assert server.stats.rejected_overload == 1
+
+    def test_out_of_domain_rejected(self, serve_prior):
+        with _server(serve_prior) as server:
+            with pytest.raises(ServeError, match="outside the served"):
+                server.report("u", Point(25.0, 5.0))
+        assert server.stats.rejected_domain == 1
+
+    def test_stopped_server_refuses(self, serve_prior):
+        server = _server(serve_prior)
+        with pytest.raises(ServeError, match="not running"):
+            server.report("u", Point(5.0, 5.0))
+        server.start()
+        server.report("u", Point(5.0, 5.0))
+        server.stop()
+        with pytest.raises(ServeError, match="not running"):
+            server.report("u", Point(5.0, 5.0))
+
+    def test_server_reports_record_into_sessions(self, serve_prior):
+        with _server(serve_prior) as server:
+            r1 = server.report("u", Point(5.0, 5.0))
+            r2 = server.report("u", Point(6.0, 6.0))
+        assert (r1.sequence, r2.sequence) == (0, 1)
+        session = server.sessions()["u"]
+        assert session.spent == pytest.approx(2.0)
+        assert [r.reported for r in session.history] == [
+            r1.reported, r2.reported,
+        ]
+
+    def test_shared_mechanism_epsilon_must_fit(self, serve_prior):
+        """A session must refuse a shared mechanism spending more than
+        its per-report budget."""
+        from repro.core.session import SanitizationSession
+
+        server = _server(serve_prior, per_report=1.0, lifetime=10.0)
+        with pytest.raises(BudgetError, match="more than the session"):
+            SanitizationSession(
+                lifetime_epsilon=10.0,
+                per_report_epsilon=0.5,
+                mechanism=server.mechanism,
+            )
+
+
+@pytest.mark.statistical
+class TestServerDistributionEquivalence:
+    def test_server_matches_direct_batch_chi_square(self, serve_prior):
+        """The coalesced server path and direct ``sanitize_batch`` are
+        the same mechanism: two-sample chi-square over reported leaf
+        cells must not reject at alpha = 1%."""
+        from scipy import stats
+
+        n = 1500
+        x = Point(3.0, 3.0)
+        server = _server(
+            serve_prior,
+            lifetime=float(n + 1),
+            per_report=1.0,
+            window=0.05,
+            seed=SEED,
+        )
+        with server:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                reports = list(
+                    pool.map(
+                        lambda _: server.report("u", x, timeout=120),
+                        range(n),
+                    )
+                )
+        msm = server.mechanism
+        leaf_grid = msm.index.level_grid(msm.height)
+        served = np.zeros(leaf_grid.n_cells)
+        for r in reports:
+            served[leaf_grid.locate(r.reported).index] += 1
+
+        direct_walks = msm.sanitize_batch(
+            [x] * n, np.random.default_rng(SEED + 1)
+        )
+        direct = np.zeros(leaf_grid.n_cells)
+        for w in direct_walks:
+            direct[leaf_grid.locate(w.point).index] += 1
+
+        keep = (served + direct) > 0
+        table = np.vstack([served[keep], direct[keep]])
+        _, p_value, _, _ = stats.chi2_contingency(table)
+        assert p_value > 0.01, (
+            f"server vs direct distributions diverge (p={p_value:.4f})"
+        )
