@@ -12,7 +12,11 @@ numbers in ``BENCH_serve.json`` at the repository root:
   node cache capped well below the full tree's footprint serves a
   concurrent workload while ``resident_bytes`` never exceeds the
   budget; evictions (and the lazy re-solves they later cost) are
-  recorded honestly as the memory/compute trade-off they are.
+  recorded honestly as the memory/compute trade-off they are;
+* **ledger overhead**: the identical workload re-runs with the durable
+  (fsync'd) budget journal attached, recording the throughput price of
+  crash-safe accounting and verifying the replayed journal matches
+  every session's spend exactly.
 
 Runnable both ways::
 
@@ -151,6 +155,53 @@ def run_benchmark(n_requests: int = N_REQUESTS) -> dict:
         stats = server.stats
         served = stats.completed
 
+        # ---- phase 4: the same workload with the durable ledger ------
+        # Same configuration, fsync'd journalling on: the delta against
+        # phase 3 is the honest price of crash-safe budget accounting.
+        from repro.core.ledger import BudgetLedger, replay_journal
+
+        journal = Path(tmp) / "journal"
+        ledger_msm = _msm(
+            square, cache=NodeMechanismCache(max_bytes=cache_budget)
+        )
+        assert store.get_or_build(ledger_msm).outcome == "hit"
+        ledger_server = SanitizationServer(
+            ledger_msm, config, ledger=BudgetLedger(journal)
+        )
+        ledger_server._rng = np.random.default_rng(SEED)
+
+        def ledger_client(client_id: int) -> None:
+            rng = np.random.default_rng(SEED + client_id)
+            user = f"user-{client_id}"
+            for _ in range(requests_per_client):
+                x = Point(
+                    float(rng.uniform(0.0, 20.0)),
+                    float(rng.uniform(0.0, 20.0)),
+                )
+                ledger_server.report(user, x, timeout=120)
+
+        start = time.perf_counter()
+        with ledger_server:
+            threads = [
+                threading.Thread(target=ledger_client, args=(i,))
+                for i in range(N_CLIENTS)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        ledger_seconds = time.perf_counter() - start
+        ledger_served = ledger_server.stats.completed
+        ledger_server.ledger.close()
+        replay = replay_journal(journal)
+        ledger_spend_matches = all(
+            abs(
+                replay.spent_for(f"user-{i}")
+                - ledger_server.session(f"user-{i}").spent
+            ) < 1e-9
+            for i in range(N_CLIENTS)
+        ) and not replay.open_reservations
+
         return {
             "benchmark": "serve-warm-start-and-bounded-cache",
             "index": f"GIHI g={GRANULARITY} h={HEIGHT}",
@@ -182,6 +233,17 @@ def run_benchmark(n_requests: int = N_REQUESTS) -> dict:
             "batches": stats.batches,
             "coalesced_requests": stats.coalesced,
             "mean_batch_size": round(served / max(1, stats.batches), 1),
+            # durable-ledger overhead
+            "ledger_n_requests": ledger_served,
+            "ledger_serve_seconds": round(ledger_seconds, 4),
+            "ledger_requests_per_second": round(
+                ledger_served / ledger_seconds, 1
+            ),
+            "ledger_overhead_pct": round(
+                100.0 * (ledger_seconds - serve_seconds) / serve_seconds, 1
+            ),
+            "ledger_journal_bytes": journal.stat().st_size,
+            "ledger_spend_matches_sessions": ledger_spend_matches,
             "note": (
                 "warm_builds_after_serving == 0 is the store acceptance "
                 "criterion: the second engine never touched the LP "
@@ -203,6 +265,8 @@ def test_serve_warm_start_and_bounded_cache():
     assert result["evictions"] > 0, result
     assert result["n_requests"] == (N_REQUESTS // N_CLIENTS) * N_CLIENTS
     assert result["coalesced_requests"] > 0, result
+    assert result["ledger_spend_matches_sessions"], result
+    assert result["ledger_n_requests"] == result["n_requests"], result
 
 
 def main(argv: list[str] | None = None) -> None:

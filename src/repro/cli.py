@@ -228,9 +228,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         rho=args.rho,
         cache_max_bytes=args.cache_max_bytes,
         store=args.store,
+        ledger=args.ledger,
         obs=obs,
         seed=args.seed,
     )
+    if args.ledger is not None:
+        replay = server.ledger.replay
+        print(f"ledger     : {args.ledger} "
+              f"({len(replay.spent)} users, "
+              f"{sum(replay.spent.values()):.4f} eps replayed, "
+              f"{replay.corrupt_lines} corrupt lines skipped)")
     points = dataset.points()
     refused = {"budget": 0, "serve": 0}
     refusal_lock = threading.Lock()
@@ -375,6 +382,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--store", default=None, metavar="DIR",
                          help="persistent mechanism store directory "
                               "(warm-start across runs)")
+    p_serve.add_argument("--ledger", default=None, metavar="PATH",
+                         help="durable budget journal; replayed on start so "
+                              "spent budgets survive crashes and restarts")
     p_serve.add_argument("--seed", type=int, default=0)
     p_serve.add_argument("--metrics", nargs="?", const="-", default=None,
                          metavar="PATH",

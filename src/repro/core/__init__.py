@@ -11,6 +11,12 @@ from repro.core.budget import (
 )
 from repro.core.bundle import BundleInfo, load_bundle, sample_from_bundle, save_bundle
 from repro.core.cache import CacheEntry, NodeMechanismCache
+from repro.core.ledger import (
+    BudgetLedger,
+    LedgerReplay,
+    OpenReservation,
+    replay_journal,
+)
 from repro.core.store import MechanismStore, StoreRecord, config_fingerprint
 from repro.core.engine import (
     ExecutionPolicy,
@@ -23,6 +29,8 @@ from repro.core.engine import (
     WalkReport,
 )
 from repro.core.resilience import (
+    BreakerConfig,
+    CircuitBreakerSolver,
     DegradationReport,
     DegradedNode,
     ResilienceConfig,
@@ -34,13 +42,19 @@ from repro.core.session import SanitizationSession, SessionReport
 from repro.core.msm import MultiStepMechanism, StepTrace, WalkResult
 
 __all__ = [
+    "BreakerConfig",
+    "BudgetLedger",
     "BudgetPlan",
     "BundleInfo",
     "CacheEntry",
+    "CircuitBreakerSolver",
     "DegradationReport",
     "DegradedNode",
     "ExecutionPolicy",
+    "LedgerReplay",
     "MechanismStore",
+    "OpenReservation",
+    "replay_journal",
     "MultiStepMechanism",
     "NodeMechanismCache",
     "StoreRecord",

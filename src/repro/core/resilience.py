@@ -30,6 +30,7 @@ unconditionally.  On failure we may lose utility; we never lose privacy.
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable
@@ -370,6 +371,202 @@ def _failed_attempt(
         time_limit=limit,
         seconds=time.perf_counter() - start,
     )
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Policy knobs for :class:`CircuitBreakerSolver`.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive chain-exhausted solves that trip the breaker open.
+    reset_timeout:
+        Seconds the breaker stays open before half-opening to let one
+        probe solve through.
+    """
+
+    failure_threshold: int = 3
+    reset_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise SolverError("failure_threshold must be >= 1")
+        if self.reset_timeout <= 0:
+            raise SolverError("reset_timeout must be positive")
+
+
+class CircuitBreakerSolver:
+    """A circuit breaker around a :class:`ResilientSolver`.
+
+    The resilient chain already retries and falls back per solve; under
+    a *persistent* substrate outage (a broken scipy install, a poisoned
+    environment) every node of a walk still burns the full chain before
+    the engine degrades it.  The breaker bounds that cost: after
+    ``failure_threshold`` consecutive exhausted chains it **opens** and
+    refuses further solves instantly with
+    :class:`~repro.exceptions.CircuitOpenError` — a
+    :class:`~repro.exceptions.SolverError` subclass, so the engine's
+    existing degradation path serves the closed-form exponential
+    mechanism at the same per-level epsilon, immediately and fail-closed.
+    After ``reset_timeout`` seconds the breaker **half-opens**: exactly
+    one probe solve is let through; success closes the circuit, failure
+    re-opens it for another timeout.
+
+    Implements the same ``solve`` protocol as
+    :class:`ResilientSolver`, so it slots in anywhere one does
+    (``MultiStepMechanism.build(solver=...)``, the serving front-end's
+    builder).  Thread-safe; the probe slot is claimed under a lock so
+    concurrent half-open callers cannot stampede the substrate.
+    """
+
+    CLOSED, OPEN, HALF_OPEN = "closed", "open", "half-open"
+
+    def __init__(
+        self,
+        inner: ResilientSolver | None = None,
+        config: BreakerConfig | None = None,
+        clock: Callable[[], float] | None = None,
+    ):
+        self._inner = inner if inner is not None else ResilientSolver()
+        self._breaker_config = (
+            config if config is not None else BreakerConfig()
+        )
+        self._clock = clock if clock is not None else time.monotonic
+        self._lock = threading.Lock()
+        self._state = self.CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probe_in_flight = False
+        self._obs = NOOP
+        self.trips = 0
+        self.short_circuits = 0
+
+    def bind_observability(self, obs: Observability) -> None:
+        """Attach an observability handle (also bound to the inner
+        solver)."""
+        self._obs = obs
+        self._inner.bind_observability(obs)
+        self._record_state()
+
+    @property
+    def inner(self) -> ResilientSolver:
+        """The wrapped resilient solver."""
+        return self._inner
+
+    @property
+    def config(self) -> ResilienceConfig:
+        """The inner solver's fallback policy (protocol parity)."""
+        return self._inner.config
+
+    @property
+    def breaker_config(self) -> BreakerConfig:
+        """The breaker policy in force."""
+        return self._breaker_config
+
+    @property
+    def state(self) -> str:
+        """Current breaker state (``closed`` / ``open`` / ``half-open``)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    @property
+    def history(self) -> list[SolveRecord]:
+        """The inner solver's attempt records (protocol parity)."""
+        return self._inner.history
+
+    @property
+    def last_record(self) -> SolveRecord | None:
+        """The inner solver's most recent record (protocol parity)."""
+        return self._inner.last_record
+
+    def solve(
+        self, problem: LinearProgram, time_limit: float | None = None
+    ) -> LPResult:
+        """Solve through the breaker.
+
+        Raises
+        ------
+        CircuitOpenError
+            When the breaker is open (or half-open with the probe slot
+            already taken) — the solve was not attempted.
+        SolverRetryExhaustedError
+            When the inner chain was attempted and failed; also counts
+            toward tripping the breaker.
+        """
+        from repro.exceptions import CircuitOpenError
+
+        probe = False
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == self.OPEN or (
+                self._state == self.HALF_OPEN and self._probe_in_flight
+            ):
+                self.short_circuits += 1
+                if self._obs.enabled:
+                    self._obs.metrics.counter(
+                        "repro_breaker_short_circuits_total"
+                    ).inc()
+                raise CircuitOpenError(
+                    f"solver circuit breaker is {self._state} after "
+                    f"{self._consecutive_failures} consecutive chain "
+                    f"failures; degrading without attempting the solve"
+                )
+            if self._state == self.HALF_OPEN:
+                probe = self._probe_in_flight = True
+        try:
+            result = self._inner.solve(problem, time_limit=time_limit)
+        except SolverError:
+            with self._lock:
+                if probe:
+                    self._probe_in_flight = False
+                self._consecutive_failures += 1
+                threshold = self._breaker_config.failure_threshold
+                if (
+                    self._state == self.HALF_OPEN
+                    or self._consecutive_failures >= threshold
+                ):
+                    self._trip()
+            raise
+        with self._lock:
+            if probe:
+                self._probe_in_flight = False
+            self._consecutive_failures = 0
+            if self._state != self.CLOSED:
+                self._state = self.CLOSED
+                self._opened_at = None
+                self._record_state()
+        return result
+
+    def _maybe_half_open(self) -> None:
+        """Open → half-open once the reset timeout elapsed; caller
+        holds the lock."""
+        if self._state == self.OPEN and self._opened_at is not None:
+            elapsed = self._clock() - self._opened_at
+            if elapsed >= self._breaker_config.reset_timeout:
+                self._state = self.HALF_OPEN
+                self._probe_in_flight = False
+                self._record_state()
+
+    def _trip(self) -> None:
+        """Move to open; caller holds the lock."""
+        self._state = self.OPEN
+        self._opened_at = self._clock()
+        self.trips += 1
+        if self._obs.enabled:
+            self._obs.metrics.counter("repro_breaker_trips_total").inc()
+        self._record_state()
+
+    def _record_state(self) -> None:
+        if self._obs.enabled:
+            level = {self.CLOSED: 0, self.HALF_OPEN: 1, self.OPEN: 2}
+            self._obs.metrics.gauge("repro_breaker_state").set(
+                level[self._state]
+            )
 
 
 # ----------------------------------------------------------------------

@@ -307,6 +307,47 @@ class SanitizationSession:
         self._record_reports(1)
         return record
 
+    def restore_spent(
+        self, epsilon: float, label: str = "ledger-replay"
+    ) -> None:
+        """Pre-charge the accountant with spend replayed from a durable
+        ledger.
+
+        Unconditional (fail-closed): replayed spend may exceed the
+        configured lifetime — e.g. the lifetime was lowered between
+        restarts — in which case ``remaining`` goes to (or below) zero
+        and every further report is refused, rather than resetting the
+        user's history.  No report record is created; the reports were
+        delivered (or charged) in a previous process.
+        """
+        self._accountant.restore(epsilon, label=label)
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            metrics.counter("repro_session_epsilon_restored_total").inc(
+                epsilon
+            )
+            metrics.gauge("repro_session_epsilon_remaining").set(
+                self.remaining
+            )
+
+    def charge_failure(self, label: str = "failed-report") -> None:
+        """Spend one report's budget for a walk that failed mid-flight.
+
+        Fail-closed: once a batch has entered the sampling stage the
+        engine may already have drawn from the user's mechanism, so a
+        failure *after* dispatch charges the budget even though no
+        report is delivered — failures cost utility (and here budget),
+        never privacy.  Unconditional like :meth:`restore_spent`;
+        admission control reserved the headroom before dispatch.
+        """
+        self._accountant.restore(self._per_report, label=label)
+        if self._obs.enabled:
+            metrics = self._obs.metrics
+            metrics.counter("repro_session_failed_charges_total").inc()
+            metrics.gauge("repro_session_epsilon_remaining").set(
+                self.remaining
+            )
+
     def _record_reports(self, n: int) -> None:
         """Session-level budget metrics after ``n`` admitted reports."""
         if not self._obs.enabled:

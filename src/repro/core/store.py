@@ -21,6 +21,19 @@ expect_metric=…)``) and the stored prior is re-hashed, so a renamed or
 stale file is rejected rather than silently served.  Every restored
 matrix passes the privacy guard at load, exactly as bundles do.
 
+Crash model: ``save`` fsyncs the temp file *and* the directory around
+the atomic rename, so a power cut can never publish a zero-length or
+torn bundle under the final name; each bundle carries a SHA-256
+content checksum in a ``.sha256`` sidecar.  A bundle that fails its
+checksum — or fails to load at all (truncated zip, flipped bytes, a
+matrix failing the privacy guard) — is **quarantined** to a
+``.quarantine/`` subdirectory (with a ``repro_store_quarantined_total``
+metric) and treated as a store miss, so ``get_or_build`` rebuilds it
+instead of raising into the serving path.  Stale-*configuration*
+entries (a readable bundle solved for different budgets/metric/prior)
+still raise: they indicate operator error, not corruption, and must
+never be silently rebuilt over.
+
 This is the paper's Section 3.1 deployment model applied server-side:
 precompute once, persist, and let every later engine skip the LP solves
 entirely (Bordenabe et al. show why re-solving is the cost to avoid;
@@ -40,7 +53,24 @@ from pathlib import Path
 from repro.exceptions import MechanismError
 from repro.obs import NOOP, Observability
 from repro.core.bundle import load_bundle, save_bundle
+from repro.core.ledger import fsync_directory
 from repro.core.msm import MultiStepMechanism
+
+
+def _file_sha256(path: str | Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def _fsync_file(path: str | Path) -> None:
+    fd = os.open(str(path), os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 def prior_hash(prior) -> str:
@@ -145,9 +175,13 @@ class MechanismStore:
     def save(self, msm: MultiStepMechanism) -> StoreRecord:
         """Precompute (if needed) and persist ``msm``'s node mechanisms.
 
-        The bundle is written to a temporary file and atomically
-        renamed into place, so concurrent readers see either the old
-        complete file or the new complete file — never a torn one.
+        The bundle is written to a temporary file, fsync'd, and
+        atomically renamed into place (followed by a directory fsync),
+        so concurrent readers see either the old complete file or the
+        new complete file — never a torn one — and a crash right after
+        the rename cannot publish a name whose *content* never reached
+        disk.  A SHA-256 content checksum is published alongside in a
+        ``.sha256`` sidecar, which :meth:`warm_start` verifies.
         """
         fingerprint = config_fingerprint(msm)
         target = self._root / f"msm-{fingerprint}.npz"
@@ -157,7 +191,11 @@ class MechanismStore:
         os.close(fd)
         try:
             save_bundle(msm, tmp)
+            _fsync_file(tmp)
+            digest = _file_sha256(tmp)
             os.replace(tmp, target)
+            fsync_directory(self._root)
+            self._write_checksum(target, digest)
         finally:
             if os.path.exists(tmp):
                 os.unlink(tmp)
@@ -170,33 +208,124 @@ class MechanismStore:
             size_bytes=target.stat().st_size,
         )
 
+    def _write_checksum(self, target: Path, digest: str) -> None:
+        """Publish the content checksum sidecar, atomically."""
+        sidecar = self.checksum_path(target)
+        fd, tmp = tempfile.mkstemp(
+            dir=self._root, prefix=".tmp-", suffix=".sha256"
+        )
+        try:
+            os.write(fd, (digest + "\n").encode())
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        try:
+            os.replace(tmp, sidecar)
+            fsync_directory(self._root)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    @staticmethod
+    def checksum_path(bundle_path: Path) -> Path:
+        """Where a bundle's content-checksum sidecar lives."""
+        return bundle_path.with_name(bundle_path.name + ".sha256")
+
+    def _quarantine(self, path: Path, reason: str) -> None:
+        """Move a corrupt bundle (and its sidecar) out of the way.
+
+        The bundle is renamed into ``.quarantine/`` under a
+        non-colliding name so the evidence survives for post-mortem
+        while the fingerprint slot frees up for a rebuild.  Failures
+        here are swallowed: quarantine is best-effort cleanup on an
+        already-broken file and must never take down the serving path.
+        """
+        quarantine = self._root / ".quarantine"
+        try:
+            quarantine.mkdir(exist_ok=True)
+        except OSError:
+            return
+        for victim in (path, self.checksum_path(path)):
+            if not victim.exists():
+                continue
+            dest = quarantine / victim.name
+            suffix = 0
+            while dest.exists():
+                suffix += 1
+                dest = quarantine / f"{victim.name}.{suffix}"
+            try:
+                os.replace(victim, dest)
+            except OSError:
+                continue
+        if self._obs.enabled:
+            self._obs.metrics.counter("repro_store_quarantined_total").inc()
+        with self._obs.tracer.span(
+            "store.quarantine", path=str(path), reason=reason
+        ):
+            pass
+
     def warm_start(self, msm: MultiStepMechanism) -> StoreRecord | None:
         """Adopt stored node mechanisms into ``msm``'s cache, if present.
 
-        Returns None on a store miss.  On a hit, every stored matrix is
-        guard-validated, the stored epsilon split / metric / prior are
-        verified against the requesting mechanism, and the matrices
-        enter ``msm.cache`` with ``source="store"`` provenance
-        (degraded nodes keep their original fallback provenance).
+        Returns None on a store miss.  On a hit, the bundle's content
+        checksum is verified first (when its sidecar exists), every
+        stored matrix is guard-validated, the stored epsilon split /
+        metric / prior are verified against the requesting mechanism,
+        and the matrices enter ``msm.cache`` with ``source="store"``
+        provenance (degraded nodes keep their original fallback
+        provenance).
+
+        A bundle that is *corrupt* — checksum mismatch, truncated or
+        unreadable file, or a restored matrix failing the privacy
+        guard — is quarantined to ``.quarantine/`` and reported as a
+        miss, so the caller rebuilds instead of crashing the serving
+        path.
 
         Raises
         ------
         MechanismError
-            When a file exists under this fingerprint but stores a
-            configuration that does not match the requesting mechanism
-            (a stale or tampered entry) — it is never silently served.
+            When a *readable* file exists under this fingerprint but
+            stores a configuration that does not match the requesting
+            mechanism (a stale or tampered entry) — it is never
+            silently served, and never silently rebuilt over.
         """
         fingerprint = config_fingerprint(msm)
         path = self._root / f"msm-{fingerprint}.npz"
         if not path.exists():
             self._record("miss")
             return None
-        restored = load_bundle(
-            path,
-            guard=True,
-            expect_budgets=msm.budgets,
-            expect_metric=msm.dq,
-        )
+        sidecar = self.checksum_path(path)
+        if sidecar.exists():
+            try:
+                expected = sidecar.read_text().strip()
+                actual = _file_sha256(path)
+            except OSError as exc:
+                self._quarantine(path, f"unreadable: {exc}")
+                self._record("miss")
+                return None
+            if expected != actual:
+                self._quarantine(
+                    path,
+                    f"content checksum mismatch "
+                    f"(expected {expected[:12]}…, got {actual[:12]}…)",
+                )
+                self._record("miss")
+                return None
+        try:
+            restored = load_bundle(
+                path,
+                guard=True,
+                expect_budgets=msm.budgets,
+                expect_metric=msm.dq,
+            )
+        except MechanismError:
+            # a readable bundle for a *different* configuration: stale,
+            # not corrupt — refuse loudly rather than rebuild over it
+            raise
+        except Exception as exc:  # noqa: BLE001 - any corruption shape
+            self._quarantine(path, f"{type(exc).__name__}: {exc}")
+            self._record("miss")
+            return None
         self._verify_geometry(path, msm, restored)
         adopted = 0
         for node_path, entry in restored.cache.snapshot().items():

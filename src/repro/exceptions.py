@@ -133,10 +133,52 @@ class ServeError(ReproError):
     """The serving front-end refused or failed a request.
 
     Raised on overload (the pending-request queue is full), on requests
-    outside the served domain, and on requests submitted to (or still
-    pending in) a stopped server.  Budget refusals raise
+    outside the served domain, on requests submitted to (or still
+    pending in) a stopped server, and on requests whose deadline
+    elapsed before dispatch.  Budget refusals raise
     :class:`BudgetError` instead — they are an admission-control
     decision, not a serving failure.
+
+    Attributes
+    ----------
+    reason:
+        A short machine-readable category (``"overload"``,
+        ``"domain"``, ``"stopped"``, ``"timeout"``, ``"abandoned"``,
+        ``"failed"``) or None for uncategorised failures.  The serving
+        front-end's bounded retry loop treats ``"overload"`` as
+        transient and everything else as final.
+    """
+
+    def __init__(self, message: str, reason: str | None = None):
+        super().__init__(message)
+        self.reason = reason
+
+
+class LedgerError(ReproError):
+    """The durable budget ledger was misused or cannot be written.
+
+    Raised on malformed reserve/commit/release sequences (committing an
+    unknown entry id, releasing an already-committed reservation) and
+    on unwritable journal files.  *Never* raised for corruption found
+    while replaying a journal — torn tails and flipped bytes are an
+    expected crash outcome; replay degrades fail-closed (skips the
+    unreadable entries, counts every readable reservation as spent) and
+    reports them through :class:`~repro.core.ledger.LedgerReplay`
+    instead of refusing to open.
+    """
+
+
+class CircuitOpenError(SolverError):
+    """The solver circuit breaker is open: the solve was refused without
+    being attempted.
+
+    A :class:`~repro.core.resilience.CircuitBreakerSolver` raises this
+    after repeated chain-exhausted failures, so the walk engine's
+    degradation path serves the closed-form exponential fallback
+    immediately instead of burning a full retry chain per node while
+    the LP substrate is down.  Subclasses :class:`SolverError`, so
+    every existing fail-closed handler treats it as one more solver
+    failure — utility may degrade, privacy never does.
     """
 
 

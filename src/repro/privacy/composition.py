@@ -151,3 +151,27 @@ class BudgetAccountant:
             )
         self.spent_items.append((label, float(epsilon)))
         self._spent_total += float(epsilon)
+
+    def restore(self, epsilon: float, label: str = "restored") -> None:
+        """Record an expenditure *unconditionally* (no admission check).
+
+        This is the fail-closed entry point for crash recovery: a
+        replayed budget journal may legitimately carry more spend than
+        the configured lifetime (e.g. the lifetime was lowered between
+        restarts, or a torn journal forces reservations to be counted
+        as spent).  Refusing the restore would silently *reset* the
+        user's spend — the exact violation the ledger exists to
+        prevent — so the accountant swallows it and lets ``remaining``
+        go to (or below) zero, after which :meth:`can_spend` refuses
+        every further report.
+
+        Raises
+        ------
+        BudgetError
+            If ``epsilon`` is non-positive (a malformed journal entry,
+            not a budget decision).
+        """
+        if epsilon <= 0:
+            raise BudgetError(f"expenditure must be positive, got {epsilon}")
+        self.spent_items.append((label, float(epsilon)))
+        self._spent_total += float(epsilon)

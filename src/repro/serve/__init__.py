@@ -4,9 +4,18 @@
 :class:`~repro.core.session.SanitizationSession`\\ s sharing a single
 warm :class:`~repro.core.msm.MultiStepMechanism`, coalesces concurrent
 requests into micro-batches through the walk engine, and applies
-admission control on lifetime budgets.
+admission control on lifetime budgets.  With a
+:class:`~repro.core.ledger.BudgetLedger` attached, every admission is
+journalled durably before it may sample, so a crash or restart can
+never reset a user's spent budget.
 """
 
+from repro.core.ledger import BudgetLedger
 from repro.serve.server import SanitizationServer, ServerConfig, ServerStats
 
-__all__ = ["SanitizationServer", "ServerConfig", "ServerStats"]
+__all__ = [
+    "BudgetLedger",
+    "SanitizationServer",
+    "ServerConfig",
+    "ServerStats",
+]

@@ -24,10 +24,28 @@ front-end:
   against a bounded pending queue (overload sheds load instead of
   growing without bound);
 
+* **crash safety** is optional but first-class: give the server a
+  :class:`~repro.core.ledger.BudgetLedger` and every admission journals
+  a durable *reservation* before the walk may sample, every delivery
+  (or post-dispatch failure) journals a *commit*, and only requests
+  that provably never sampled (abandoned before dispatch, drained by
+  ``stop()``) journal a *release*.  A restarted server replays the
+  journal and pre-charges each user's session, so a crash can reset
+  nothing — the reserve → sample → commit protocol fails closed at
+  every interleaving;
+
+* **deadlines travel with the request**: :meth:`report` turns its
+  timeout into a per-request deadline, a caller that gives up marks the
+  request *abandoned*, and the dispatcher skips (and refunds) expired
+  or abandoned requests *before* sampling instead of spending budget on
+  a result nobody receives.  Transient overload is retried with bounded
+  exponential backoff inside the deadline;
+
 * everything is instrumented through :mod:`repro.obs` (request /
-  rejection / batch / coalescing counters, batch-size and latency
-  histograms, live session and in-flight gauges) alongside the cache's
-  eviction metrics and the store's traffic metrics.
+  rejection / batch / coalescing / abandonment counters, batch-size and
+  latency histograms, live session and in-flight gauges) alongside the
+  cache's eviction metrics, the store's traffic metrics, and the
+  ledger's journal metrics.
 
 Privacy: batching across users never weakens per-user GeoInd.  Each
 walk in a batch is an independent Algorithm-1 walk with its own
@@ -44,12 +62,17 @@ import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.exceptions import BudgetError, ServeError
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.resilience import BreakerConfig
+
+from repro.exceptions import BudgetError, LedgerError, ServeError
 from repro.geo.point import Point
 from repro.obs import LATENCY_EDGES, NOOP, SIZE_EDGES, Observability
+from repro.core.ledger import BudgetLedger
 from repro.core.msm import MultiStepMechanism
 from repro.core.session import SanitizationSession, SessionReport
 from repro.core.store import MechanismStore
@@ -77,6 +100,14 @@ class ServerConfig:
         Bound on queued-but-undispatched requests; submissions beyond
         it are shed with :class:`~repro.exceptions.ServeError`
         (reason ``overload``) rather than queueing unboundedly.
+    retry_attempts:
+        How many times :meth:`SanitizationServer.report` re-submits
+        after a *transient* refusal (reason ``overload``), with
+        exponential backoff, before giving up.  Zero disables retries;
+        :meth:`SanitizationServer.submit` itself never retries.
+    retry_backoff:
+        Base backoff (seconds) before the first retry; doubles per
+        attempt and is always clipped to the caller's deadline.
     """
 
     lifetime_epsilon: float
@@ -84,20 +115,46 @@ class ServerConfig:
     coalesce_window: float = 0.002
     max_batch: int = 512
     max_pending: int = 10_000
+    retry_attempts: int = 2
+    retry_backoff: float = 0.05
 
 
 class _PendingRequest:
-    """One in-flight request: its inputs, its rendezvous, its outcome."""
+    """One in-flight request: its inputs, its rendezvous, its outcome.
 
-    __slots__ = ("user_id", "x", "submitted", "done", "report", "error")
+    ``deadline`` (``time.monotonic`` seconds, or None) travels with the
+    request so the dispatcher can refuse to sample for a caller that
+    has already given up; ``entry_id`` links it to its durable ledger
+    reservation; ``abandoned`` is the caller-side cancellation flag set
+    by :meth:`SanitizationServer.report` on timeout (advisory: a
+    request already being sampled still commits its budget).
+    """
 
-    def __init__(self, user_id: str, x: Point):
+    __slots__ = (
+        "user_id", "x", "submitted", "done", "report", "error",
+        "deadline", "entry_id", "abandoned",
+    )
+
+    def __init__(
+        self, user_id: str, x: Point, deadline: float | None = None
+    ):
         self.user_id = user_id
         self.x = x
         self.submitted = time.perf_counter()
         self.done = threading.Event()
         self.report: SessionReport | None = None
         self.error: Exception | None = None
+        self.deadline = deadline
+        self.entry_id: str | None = None
+        self.abandoned = False
+
+    def abandon(self) -> None:
+        """Mark the request as given up by its caller (advisory)."""
+        self.abandoned = True
+
+    def expired(self, now: float) -> bool:
+        """Whether the caller's deadline elapsed at monotonic ``now``."""
+        return self.deadline is not None and now > self.deadline
 
     def fail(self, error: Exception) -> None:
         self.error = error
@@ -123,6 +180,10 @@ class ServerStats:
     failed: int = 0
     sessions: int = 0
     max_batch_points: int = 0
+    abandoned: int = 0
+    retries: int = 0
+    replayed_users: int = 0
+    replayed_epsilon: float = 0.0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
@@ -159,6 +220,7 @@ class SanitizationServer:
         mechanism: MultiStepMechanism,
         config: ServerConfig,
         obs: Observability | None = None,
+        ledger: "BudgetLedger | str | Path | None" = None,
     ):
         if config.per_report_epsilon <= 0:
             raise BudgetError(
@@ -180,7 +242,43 @@ class SanitizationServer:
         self._rng = np.random.default_rng()
         self._dispatcher: threading.Thread | None = None
         self._running = False
+        self._stop_seen = False
         self.stats = ServerStats()
+        if isinstance(ledger, (str, Path)):
+            ledger = BudgetLedger(ledger)
+        self._ledger = ledger
+        if self._ledger is not None:
+            if obs is not None:
+                self._ledger.bind_observability(obs)
+            self._restore_from_ledger()
+
+    def _restore_from_ledger(self) -> None:
+        """Pre-charge sessions with the journal's replayed spend.
+
+        Every replayed epsilon — committed, or merely reserved when the
+        previous process died — is restored into the user's accountant
+        before the first request is admitted, and the orphaned
+        reservations are settled with a commit so they replay (and
+        compact) as final spend from now on.  Fail-closed: replayed
+        spend above the lifetime leaves the session exhausted, never
+        reset.
+        """
+        assert self._ledger is not None
+        replayed = self._ledger.spent_by_user()
+        for user_id in sorted(replayed):
+            epsilon = replayed[user_id]
+            if epsilon <= 0:
+                continue
+            self.session(user_id).restore_spent(epsilon)
+            self.stats.replayed_users += 1
+            self.stats.replayed_epsilon += epsilon
+        for entry_id in sorted(self._ledger.open_reservations()):
+            self._ledger.commit(entry_id)
+
+    @property
+    def ledger(self) -> BudgetLedger | None:
+        """The durable budget ledger, when crash safety is enabled."""
+        return self._ledger
 
     # ------------------------------------------------------------------
     # construction
@@ -196,6 +294,8 @@ class SanitizationServer:
         store: "MechanismStore | str | Path | None" = None,
         obs: Observability | None = None,
         seed: int | None = None,
+        ledger: "BudgetLedger | str | Path | None" = None,
+        breaker: "BreakerConfig | None" = None,
         **msm_kwargs,
     ) -> "SanitizationServer":
         """Build the shared mechanism and a server around it.
@@ -204,11 +304,19 @@ class SanitizationServer:
         memory-bounded node cache (``cache_max_bytes``), a
         warm-start/persist round trip against ``store`` (a
         :class:`~repro.core.store.MechanismStore` or a directory path),
-        and observability through every layer.
+        a durable budget ``ledger`` (a
+        :class:`~repro.core.ledger.BudgetLedger` or a journal path —
+        replayed before the first request is admitted), an optional
+        solver circuit ``breaker``
+        (:class:`~repro.core.resilience.BreakerConfig`), and
+        observability through every layer.
         """
         from repro.core.cache import NodeMechanismCache
+        from repro.core.resilience import CircuitBreakerSolver
 
         cache = NodeMechanismCache(max_bytes=cache_max_bytes)
+        if breaker is not None and "solver" not in msm_kwargs:
+            msm_kwargs["solver"] = CircuitBreakerSolver(config=breaker)
         msm = MultiStepMechanism.build(
             config.per_report_epsilon,
             granularity,
@@ -224,7 +332,7 @@ class SanitizationServer:
             if obs is not None:
                 store.bind_observability(obs)
             store.get_or_build(msm)
-        server = cls(msm, config, obs=obs)
+        server = cls(msm, config, obs=obs, ledger=ledger)
         if seed is not None:
             server._rng = np.random.default_rng(seed)
         return server
@@ -233,7 +341,7 @@ class SanitizationServer:
     # lifecycle
     # ------------------------------------------------------------------
     def start(self) -> "SanitizationServer":
-        """Start the dispatcher thread (idempotent)."""
+        """Start the dispatcher thread (idempotent, restartable)."""
         with self._lock:
             if self._running:
                 return self
@@ -246,7 +354,17 @@ class SanitizationServer:
         return self
 
     def stop(self) -> None:
-        """Drain the queue, stop the dispatcher, fail anything left."""
+        """Drain the queue, stop the dispatcher, fail anything left.
+
+        Exactly one stop sentinel is ever enqueued (the dispatcher
+        never re-queues it), so a stop racing the coalescing loop can
+        neither leave a stray sentinel for a later :meth:`start` nor
+        double-drain.  Requests still queued when the dispatcher exits
+        provably never sampled: they fail closed with
+        :class:`~repro.exceptions.ServeError` *and* their budget
+        reservations are released (refunded), in memory and in the
+        ledger.
+        """
         with self._lock:
             if not self._running:
                 return
@@ -262,8 +380,11 @@ class SanitizationServer:
             except queue.Empty:
                 break
             if request is not None:
-                self._finish_rejected(request)
-                request.fail(ServeError("server stopped"))
+                with self._lock:
+                    self._release_request(request)
+                request.fail(
+                    ServeError("server stopped", reason="stopped")
+                )
 
     def __enter__(self) -> "SanitizationServer":
         return self.start()
@@ -319,7 +440,12 @@ class SanitizationServer:
     # ------------------------------------------------------------------
     # the request path
     # ------------------------------------------------------------------
-    def submit(self, user_id: str, x: Point) -> _PendingRequest:
+    def submit(
+        self,
+        user_id: str,
+        x: Point,
+        deadline: float | None = None,
+    ) -> _PendingRequest:
         """Admit a request into the next micro-batch (non-blocking).
 
         Admission control runs here, under the server lock:
@@ -331,6 +457,14 @@ class SanitizationServer:
           reservation count closes the race where k parallel requests
           each pass a lone ``can_report`` check but only j < k fit.
 
+        With a ledger, the reservation is journalled (and fsync'd)
+        before this returns, so a crash at any later point replays the
+        request's budget as spent — fail closed.
+
+        ``deadline`` is an absolute ``time.monotonic`` instant; a
+        request whose deadline has elapsed by dispatch time is skipped
+        *before* sampling and its reservation refunded.
+
         Returns the pending-request handle; wait on ``.done`` or use
         :meth:`report` for the blocking form.
         """
@@ -338,17 +472,21 @@ class SanitizationServer:
             self._reject("domain")
             raise ServeError(
                 f"location ({x.x:.4g}, {x.y:.4g}) is outside the served "
-                f"domain"
+                f"domain",
+                reason="domain",
             )
         with self._lock:
             if not self._running:
-                raise ServeError("server is not running; call start()")
+                raise ServeError(
+                    "server is not running; call start()", reason="stopped"
+                )
             session = self.session(user_id)
             if self._pending >= self._config.max_pending:
                 self._reject("overload")
                 raise ServeError(
                     f"pending queue full ({self._config.max_pending} "
-                    f"requests); shedding load"
+                    f"requests); shedding load",
+                    reason="overload",
                 )
             reserved = self._reserved[user_id]
             if session.reports_remaining - reserved < 1:
@@ -358,16 +496,27 @@ class SanitizationServer:
                     f"another report ({reserved} already in flight, "
                     f"remaining {session.remaining:.4g})"
                 )
+            request = _PendingRequest(user_id, x, deadline=deadline)
+            if self._ledger is not None:
+                # durable *before* the walk may sample; admission has
+                # already held the headroom, so the journal write is
+                # the only fallible step left
+                request.entry_id = self._ledger.reserve(
+                    user_id, self._config.per_report_epsilon
+                )
             self._reserved[user_id] = reserved + 1
             self._pending += 1
-            request = _PendingRequest(user_id, x)
             self.stats.requests += 1
             if self._obs.enabled:
                 self._obs.metrics.counter("repro_serve_requests_total").inc()
                 self._obs.metrics.gauge("repro_serve_inflight").set(
                     self._pending
                 )
-        self._queue.put(request)
+            # enqueue under the lock: a concurrent stop() drains the
+            # queue after flipping _running, so a request enqueued
+            # outside the lock could slip in after the drain and leave
+            # its caller hanging on done.wait forever
+            self._queue.put(request)
         return request
 
     def report(
@@ -376,20 +525,62 @@ class SanitizationServer:
         """Sanitise ``x`` for ``user_id`` through the next micro-batch.
 
         Blocking form of :meth:`submit`; safe to call from any number
-        of threads concurrently.
+        of threads concurrently.  ``timeout`` becomes the request's
+        end-to-end deadline: it bounds admission retries, queueing and
+        the walk together.  If it elapses, the request is marked
+        *abandoned* so the dispatcher refuses to sample (and refunds)
+        it if it has not entered a batch yet; a request already being
+        sampled still commits its budget (fail closed — the draw may
+        have happened).
+
+        Transient refusals (reason ``overload``) are retried up to
+        ``config.retry_attempts`` times with exponential backoff, never
+        past the deadline.
 
         Raises
         ------
         BudgetError
             When admission control refuses the user's budget.
         ServeError
-            On overload, out-of-domain requests, a stopped server, or
-            when ``timeout`` elapses first.
+            On overload (after retries), out-of-domain requests, a
+            stopped server, or when ``timeout`` elapses first.
         """
-        request = self.submit(user_id, x)
-        if not request.done.wait(timeout):
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        attempt = 0
+        while True:
+            try:
+                request = self.submit(user_id, x, deadline=deadline)
+                break
+            except ServeError as exc:
+                if (
+                    exc.reason != "overload"
+                    or attempt >= self._config.retry_attempts
+                ):
+                    raise
+                delay = self._config.retry_backoff * (2.0 ** attempt)
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= delay:
+                        raise
+                attempt += 1
+                with self._lock:
+                    self.stats.retries += 1
+                if self._obs.enabled:
+                    self._obs.metrics.counter(
+                        "repro_serve_retries_total"
+                    ).inc()
+                time.sleep(delay)
+        wait_for = (
+            None if deadline is None
+            else max(0.0, deadline - time.monotonic())
+        )
+        if not request.done.wait(wait_for):
+            request.abandon()
             raise ServeError(
-                f"request for {user_id!r} timed out after {timeout:.3g}s"
+                f"request for {user_id!r} timed out after {timeout:.3g}s",
+                reason="timeout",
             )
         if request.error is not None:
             raise request.error
@@ -416,15 +607,18 @@ class SanitizationServer:
         """Block for the first request, then coalesce the window.
 
         Returns None when the stop sentinel arrives with nothing
-        gathered; a sentinel arriving mid-gather dispatches what is in
-        hand first (the sentinel is re-queued by ``stop`` only once, so
-        the loop then exits on the next round).
+        gathered; a sentinel arriving mid-gather sets ``_stop_seen``
+        (it is consumed, never re-queued — so a stop racing the
+        coalescing loop cannot leave a stray sentinel to instantly kill
+        a restarted dispatcher) and the gathered batch dispatches
+        first.
         """
         try:
             first = self._queue.get(timeout=0.1)
         except queue.Empty:
             return []
         if first is None:
+            self._stop_seen = True
             return None
         batch = [first]
         deadline = time.perf_counter() + self._config.coalesce_window
@@ -437,33 +631,69 @@ class SanitizationServer:
             except queue.Empty:
                 break
             if request is None:
-                self._queue.put(None)  # re-arm the sentinel for the loop
+                self._stop_seen = True
                 break
             batch.append(request)
         return batch
 
     def _dispatch_loop(self) -> None:
+        self._stop_seen = False
         while True:
             batch = self._collect_batch()
             if batch is None:
                 return
-            if not batch:
-                if not self._running and self._queue.empty():
-                    return
-                continue
-            self._run_batch(batch)
+            if batch:
+                self._run_batch(batch)
+            if self._stop_seen:
+                return
+            if not batch and not self._running and self._queue.empty():
+                return
 
     def _run_batch(self, batch: list[_PendingRequest]) -> None:
-        points = [r.x for r in batch]
+        # Deadline/cancellation gate: a request whose caller gave up
+        # (abandoned) or whose deadline elapsed while queued is refused
+        # *before* sampling — its budget provably never left the
+        # reservation stage, so it is refunded in memory and released
+        # in the ledger instead of being spent on a result nobody
+        # receives.
+        now = time.monotonic()
+        live: list[_PendingRequest] = []
+        with self._lock:
+            for request in batch:
+                if request.abandoned or request.expired(now):
+                    self._release_request(request)
+                    self.stats.abandoned += 1
+                    if self._obs.enabled:
+                        self._obs.metrics.counter(
+                            "repro_serve_abandoned_total"
+                        ).inc()
+                    request.fail(
+                        ServeError(
+                            f"request for {request.user_id!r} abandoned "
+                            f"before dispatch (caller deadline elapsed)",
+                            reason="abandoned",
+                        )
+                    )
+                else:
+                    live.append(request)
+        if not live:
+            return
+        points = [r.x for r in live]
         start = time.perf_counter()
         try:
             walks = self._mechanism.sanitize_batch(points, self._rng)
         except Exception as exc:  # fail the whole batch, never hang it
             with self._lock:
-                for request in batch:
-                    self._finish_rejected(request)
+                for request in live:
+                    # fail closed: the engine may already have drawn
+                    # from the mechanism before failing, so the budget
+                    # is charged and the reservation committed — a
+                    # failure costs utility (and here budget), never
+                    # privacy
+                    self._sessions[request.user_id].charge_failure()
+                    self._settle_request(request)
                     request.fail(exc)
-                self.stats.failed += len(batch)
+                self.stats.failed += len(live)
             if self._obs.enabled:
                 self._obs.metrics.counter(
                     "repro_serve_batch_failures_total"
@@ -471,34 +701,35 @@ class SanitizationServer:
             return
         elapsed = time.perf_counter() - start
         with self._lock:
-            for request, walk in zip(batch, walks):
+            for request, walk in zip(live, walks):
                 session = self._sessions[request.user_id]
                 try:
                     report = session.record_walk(request.x, walk)
                 except BudgetError as exc:
                     # cannot happen while reservations are accounted
-                    # correctly, but never let a request hang on it
+                    # correctly, but never let a request hang on it —
+                    # and the sample *was* drawn, so charge and commit
+                    session.charge_failure()
                     request.fail(exc)
                     self.stats.failed += 1
                 else:
                     request.complete(report)
                     self.stats.completed += 1
-                self._reserved[request.user_id] -= 1
-                self._pending -= 1
+                self._settle_request(request)
             self.stats.batches += 1
-            self.stats.coalesced += len(batch) - 1
+            self.stats.coalesced += len(live) - 1
             self.stats.max_batch_points = max(
-                self.stats.max_batch_points, len(batch)
+                self.stats.max_batch_points, len(live)
             )
             if self._obs.enabled:
                 metrics = self._obs.metrics
                 metrics.counter("repro_serve_batches_total").inc()
                 metrics.counter("repro_serve_coalesced_total").inc(
-                    len(batch) - 1
+                    len(live) - 1
                 )
                 metrics.histogram(
                     "repro_serve_batch_points", edges=SIZE_EDGES
-                ).observe(len(batch))
+                ).observe(len(live))
                 metrics.histogram(
                     "repro_serve_batch_seconds", edges=LATENCY_EDGES
                 ).observe(elapsed)
@@ -506,14 +737,39 @@ class SanitizationServer:
                 latency = metrics.histogram(
                     "repro_serve_latency_seconds", edges=LATENCY_EDGES
                 )
-                for request in batch:
+                for request in live:
                     latency.observe(now - request.submitted)
                 metrics.gauge("repro_serve_inflight").set(self._pending)
 
-    def _finish_rejected(self, request: _PendingRequest) -> None:
-        """Release the bookkeeping of a request that will never walk.
-        Caller holds the lock (or the dispatcher has exited)."""
-        with self._lock:
-            if request.user_id in self._reserved:
-                self._reserved[request.user_id] -= 1
-            self._pending -= 1
+    def _release_request(self, request: _PendingRequest) -> None:
+        """Refund a request that provably never sampled.  Caller holds
+        the lock."""
+        if request.user_id in self._reserved:
+            self._reserved[request.user_id] -= 1
+        self._pending -= 1
+        if self._ledger is not None and request.entry_id is not None:
+            try:
+                self._ledger.release(request.entry_id)
+            except LedgerError:
+                # never kill the dispatcher over journal bookkeeping;
+                # an unreleased reservation replays as spent, which is
+                # the fail-closed direction
+                if self._obs.enabled:
+                    self._obs.metrics.counter(
+                        "repro_serve_ledger_errors_total"
+                    ).inc()
+
+    def _settle_request(self, request: _PendingRequest) -> None:
+        """Commit a request whose budget is finally spent (delivered,
+        or failed after sampling may have begun).  Caller holds the
+        lock."""
+        self._reserved[request.user_id] -= 1
+        self._pending -= 1
+        if self._ledger is not None and request.entry_id is not None:
+            try:
+                self._ledger.commit(request.entry_id)
+            except LedgerError:
+                if self._obs.enabled:
+                    self._obs.metrics.counter(
+                        "repro_serve_ledger_errors_total"
+                    ).inc()

@@ -1,8 +1,18 @@
-"""Deterministic fault injection for resilience testing.
+"""Deterministic fault injection and chaos testing.
 
-See :mod:`repro.testing.faults`.
+See :mod:`repro.testing.faults` for the LP-substrate fault rules and
+:mod:`repro.testing.chaos` for scripted crashes and byte corruption.
 """
 
+from repro.testing.chaos import (
+    CrashError,
+    CrashFault,
+    CrashingLedger,
+    CrashPoint,
+    corrupt_journal_entry,
+    flip_byte,
+    truncate_tail,
+)
 from repro.testing.faults import (
     FaultInjectingSolver,
     FaultRule,
@@ -14,6 +24,10 @@ from repro.testing.faults import (
 )
 
 __all__ = [
+    "CrashError",
+    "CrashFault",
+    "CrashPoint",
+    "CrashingLedger",
     "FaultInjectingSolver",
     "FaultRule",
     "FlakyCacheProxy",
@@ -21,4 +35,7 @@ __all__ = [
     "RaiseFault",
     "SolveCall",
     "StatusFault",
+    "corrupt_journal_entry",
+    "flip_byte",
+    "truncate_tail",
 ]

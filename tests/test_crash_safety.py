@@ -1,0 +1,886 @@
+"""Crash-safety suite: the durable budget ledger under scripted deaths.
+
+The invariant under test, at every injected crash point and every form
+of file corruption: **the replayed per-user spend is at least what the
+user actually received, and never exceeds the configured lifetime
+budget.**  Failures may cost utility (a refused request, a rebuilt
+bundle); they must never refund epsilon.
+
+Layers:
+
+* journal semantics — replay, idempotent ids, torn tails, mid-file
+  corruption, compaction, sequence continuity;
+* crash points — :class:`~repro.testing.CrashingLedger` dies between
+  reserve and commit (and around every other op) while the journal
+  survives for a restarted server to replay;
+* deadlines and cancellation — an abandoned request refunds *before*
+  sampling, an expired one never samples;
+* the circuit breaker — trips after consecutive chain failures,
+  short-circuits while open, half-opens on a (fake) timer, closes on a
+  good probe;
+* store recovery — corrupt or truncated bundles are quarantined and
+  rebuilt, never served and never fatal;
+* process level (``chaos`` marker) — SIGKILL against a live serving
+  process, then replay + warm restart over the surviving journal.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.ledger import BudgetLedger, replay_journal
+from repro.core.resilience import (
+    BreakerConfig,
+    CircuitBreakerSolver,
+    ResilienceConfig,
+    ResilientSolver,
+)
+from repro.core.store import MechanismStore
+from repro.exceptions import (
+    BudgetError,
+    CircuitOpenError,
+    LedgerError,
+    ServeError,
+    SolverRetryExhaustedError,
+)
+from repro.geo.point import Point
+from repro.grid.regular import RegularGrid
+from repro.lp import LinearProgramBuilder
+from repro.priors.base import GridPrior
+from repro.serve import SanitizationServer, ServerConfig
+from repro.testing import (
+    CrashError,
+    CrashFault,
+    CrashingLedger,
+    CrashPoint,
+    FaultInjectingSolver,
+    RaiseFault,
+    corrupt_journal_entry,
+    flip_byte,
+    truncate_tail,
+)
+
+SEED = 20190326
+EPS = 1.0
+
+
+# ----------------------------------------------------------------------
+# helpers
+# ----------------------------------------------------------------------
+@pytest.fixture
+def serve_prior(square20) -> GridPrior:
+    return GridPrior.uniform(RegularGrid(square20, 4))
+
+
+def _server(
+    serve_prior,
+    ledger,
+    lifetime=4.0,
+    window=0.01,
+    retry_attempts=0,
+    retry_backoff=0.001,
+) -> SanitizationServer:
+    config = ServerConfig(
+        lifetime_epsilon=lifetime,
+        per_report_epsilon=EPS,
+        coalesce_window=window,
+        retry_attempts=retry_attempts,
+        retry_backoff=retry_backoff,
+    )
+    return SanitizationServer.build(
+        serve_prior, config, granularity=2, seed=SEED, ledger=ledger
+    )
+
+
+def _journal_invariant(path, delivered: dict[str, int], lifetime: float):
+    """The acceptance invariant: replayed spend bounds what each user
+    received, without exceeding the lifetime budget."""
+    replay = replay_journal(path)
+    for user, n in delivered.items():
+        assert replay.spent_for(user) >= n * EPS - 1e-9, (
+            f"{user}: replayed {replay.spent_for(user)} < delivered {n}"
+        )
+    for user, spent in replay.spent.items():
+        assert spent <= lifetime + 1e-9, (
+            f"{user}: replayed {spent} exceeds lifetime {lifetime}"
+        )
+    return replay
+
+
+# ----------------------------------------------------------------------
+# journal semantics
+# ----------------------------------------------------------------------
+class TestLedgerReplay:
+    def test_reserve_commit_release_roundtrip(self, tmp_path):
+        path = tmp_path / "journal"
+        with BudgetLedger(path) as ledger:
+            a = ledger.reserve("u1", 0.5)
+            b = ledger.reserve("u1", 0.5)
+            c = ledger.reserve("u2", 1.0)
+            ledger.commit(a)
+            ledger.release(b)  # provably never sampled
+            assert ledger.spent_for("u1") == pytest.approx(0.5)
+            assert ledger.spent_for("u2") == pytest.approx(1.0)
+
+        replay = replay_journal(path)
+        assert replay.spent_for("u1") == pytest.approx(0.5)
+        # c was never settled: an open reservation still counts as spend
+        assert replay.spent_for("u2") == pytest.approx(1.0)
+        assert set(replay.open_reservations) == {c}
+        assert replay.corrupt_lines == 0
+
+    def test_open_reservation_is_spend_after_crash(self, tmp_path):
+        """Reserve, then 'crash' (drop the handle without commit): the
+        epsilon is gone — fail closed."""
+        path = tmp_path / "journal"
+        ledger = BudgetLedger(path)
+        ledger.reserve("u", 2.0)
+        # no commit, no close: simulate the process dying here
+        del ledger
+        replay = replay_journal(path)
+        assert replay.spent_for("u") == pytest.approx(2.0)
+        assert len(replay.open_reservations) == 1
+
+    def test_duplicate_reserve_id_counts_once(self, tmp_path):
+        """A retried append after an ambiguous crash cannot
+        double-charge: replay dedups reservations by id."""
+        path = tmp_path / "journal"
+        with BudgetLedger(path) as ledger:
+            ledger.reserve("u", 1.0)
+        lines = path.read_bytes().splitlines(keepends=True)
+        path.write_bytes(b"".join(lines) + lines[-1])  # replayed append
+        replay = replay_journal(path)
+        assert replay.spent_for("u") == pytest.approx(1.0)
+
+    def test_release_after_commit_is_noop(self, tmp_path):
+        path = tmp_path / "journal"
+        with BudgetLedger(path) as ledger:
+            a = ledger.reserve("u", 1.0)
+            ledger.commit(a)
+            ledger.release(a)  # late refund attempt: the commit wins
+            ledger.commit(a)  # and double-settle is idempotent
+            assert ledger.spent_for("u") == pytest.approx(1.0)
+        assert replay_journal(path).spent_for("u") == pytest.approx(1.0)
+
+    def test_settle_unknown_id_raises(self, tmp_path):
+        with BudgetLedger(tmp_path / "journal") as ledger:
+            with pytest.raises(LedgerError, match="unknown"):
+                ledger.commit("ghost-1")
+            with pytest.raises(LedgerError, match="unknown"):
+                ledger.release("ghost-1")
+            with pytest.raises(LedgerError, match="positive"):
+                ledger.reserve("u", 0.0)
+
+    def test_torn_tail_skipped_never_fatal(self, tmp_path):
+        """The classic crash artefact: a partial final line.  Replay
+        skips it, counts it, and keeps every whole entry."""
+        path = tmp_path / "journal"
+        with BudgetLedger(path) as ledger:
+            a = ledger.reserve("u", 1.0)
+            ledger.commit(a)
+            ledger.reserve("u", 1.0)
+        truncate_tail(path, 7)  # tear the last reserve mid-line
+        replay = replay_journal(path)
+        assert replay.corrupt_lines == 1
+        # the torn reserve is lost, the committed one fully counted
+        assert replay.spent_for("u") == pytest.approx(1.0)
+        # and a fresh ledger opens over the damage without raising
+        with BudgetLedger(path) as reopened:
+            assert reopened.spent_for("u") == pytest.approx(1.0)
+
+    def test_corrupt_release_never_refunds(self, tmp_path):
+        """A flipped byte in a *release* line must not matter: releases
+        only ever subtract, so losing one errs toward counting spend."""
+        path = tmp_path / "journal"
+        with BudgetLedger(path) as ledger:
+            a = ledger.reserve("u", 1.0)
+            ledger.release(a)
+            assert ledger.spent_for("u") == 0.0
+        corrupt_journal_entry(path, 1)  # destroy the release line
+        replay = replay_journal(path)
+        assert replay.corrupt_lines == 1
+        # without its release the reservation replays as spend: the
+        # corruption *increased* the account, never refunded it
+        assert replay.spent_for("u") == pytest.approx(1.0)
+
+    def test_corruption_only_increases_spend(self, tmp_path):
+        """Flip a byte in every line, one at a time: no single-line
+        corruption may ever make any user's replayed spend exceed the
+        uncorrupted account... in the refund direction.  (Losing a
+        reserve loses its spend; losing its release regains it — both
+        safe; a *gain* above reserved epsilon would be a bug.)"""
+        path = tmp_path / "journal"
+        with BudgetLedger(path) as ledger:
+            a = ledger.reserve("u1", 1.0)
+            b = ledger.reserve("u2", 2.0)
+            ledger.commit(a)
+            ledger.release(b)
+        baseline = replay_journal(path)
+        n_lines = len(path.read_bytes().splitlines())
+        pristine = path.read_bytes()
+        for line_no in range(n_lines):
+            path.write_bytes(pristine)
+            corrupt_journal_entry(path, line_no)
+            replay = replay_journal(path)
+            assert replay.corrupt_lines == 1
+            # total reserved epsilon is the hard ceiling per user
+            assert replay.spent_for("u1") <= 1.0 + 1e-9
+            assert replay.spent_for("u2") <= 2.0 + 1e-9
+        assert baseline.spent_for("u1") == pytest.approx(1.0)
+
+    def test_compaction_preserves_accounts_and_open_entries(
+        self, tmp_path
+    ):
+        path = tmp_path / "journal"
+        with BudgetLedger(path) as ledger:
+            for _ in range(5):
+                ledger.commit(ledger.reserve("u1", 0.5))
+            open_id = ledger.reserve("u2", 1.5)
+            size_before = path.stat().st_size
+            entries = ledger.compact()
+            assert entries == 2  # one snapshot + one open reserve
+            assert path.stat().st_size < size_before
+            assert ledger.spent_for("u1") == pytest.approx(2.5)
+            # the re-emitted reservation is still settleable
+            ledger.commit(open_id)
+
+        replay = replay_journal(path)
+        assert replay.spent_for("u1") == pytest.approx(2.5)
+        assert replay.spent_for("u2") == pytest.approx(1.5)
+        assert replay.open_reservations == {}
+
+    def test_sequence_continues_after_compaction_and_reopen(
+        self, tmp_path
+    ):
+        """Fresh ids after compaction/reopen never collide with ids
+        still live in the journal (a collision would dedup a *real*
+        reservation away — an undercount)."""
+        path = tmp_path / "journal"
+        with BudgetLedger(path) as ledger:
+            ids = [ledger.reserve("u", 0.1) for _ in range(4)]
+            ledger.compact()
+            ids.append(ledger.reserve("u", 0.1))
+        with BudgetLedger(path) as reopened:
+            ids.append(reopened.reserve("u", 0.1))
+            assert len(set(ids)) == len(ids)
+            assert reopened.spent_for("u") == pytest.approx(0.6)
+
+
+# ----------------------------------------------------------------------
+# crash points: die between reserve and commit (and everywhere else)
+# ----------------------------------------------------------------------
+@pytest.mark.filterwarnings(
+    # a CrashError on the dispatcher thread *is* the simulated death;
+    # nothing in production may catch it, so pytest sees it unhandled
+    "ignore::pytest.PytestUnhandledThreadExceptionWarning"
+)
+class TestCrashPoints:
+    def test_crash_between_reserve_and_commit(self, tmp_path):
+        """The canonical window: the reservation is durable, the commit
+        never happens.  Replay counts the spend."""
+        path = tmp_path / "journal"
+        ledger = CrashingLedger(
+            BudgetLedger(path),
+            [CrashPoint("commit", nth=1, when="before")],
+        )
+        entry = ledger.reserve("u", EPS)
+        with pytest.raises(CrashError):
+            ledger.commit(entry)
+        # the "dead process" leaves an open reservation behind
+        replay = replay_journal(path)
+        assert replay.spent_for("u") == pytest.approx(EPS)
+        assert entry in replay.open_reservations
+
+    def test_crash_after_commit_counts_once(self, tmp_path):
+        path = tmp_path / "journal"
+        ledger = CrashingLedger(
+            BudgetLedger(path),
+            [CrashPoint("commit", nth=1, when="after")],
+        )
+        entry = ledger.reserve("u", EPS)
+        with pytest.raises(CrashError):
+            ledger.commit(entry)  # durable, but the caller never knew
+        assert replay_journal(path).spent_for("u") == pytest.approx(EPS)
+
+    def test_crash_after_reserve_in_server_fails_closed(
+        self, tmp_path, serve_prior
+    ):
+        """A server process dying right after journalling an admission:
+        the caller gets an error, no report is delivered, and a
+        restarted server replays the epsilon as spent."""
+        path = tmp_path / "journal"
+        crashing = CrashingLedger(
+            BudgetLedger(path),
+            [CrashPoint("reserve", nth=2, when="after")],
+        )
+        delivered = 0
+        server = _server(serve_prior, crashing)
+        with server:
+            server.report("u", Point(5.0, 5.0))
+            delivered += 1
+            with pytest.raises(CrashError):
+                server.submit("u", Point(6.0, 6.0))
+        crashing.close()
+
+        replay = _journal_invariant(path, {"u": delivered}, lifetime=4.0)
+        assert replay.spent_for("u") == pytest.approx(2 * EPS)
+
+        # the restarted server pre-charges the session and settles the
+        # orphaned reservation as final spend
+        restarted = _server(serve_prior, BudgetLedger(path))
+        assert restarted.stats.replayed_users == 1
+        assert restarted.stats.replayed_epsilon == pytest.approx(2 * EPS)
+        session = restarted.session("u")
+        assert session.spent == pytest.approx(2 * EPS)
+        assert restarted.ledger.open_reservations() == {}
+        with restarted:
+            restarted.report("u", Point(5.0, 5.0))  # 2 of 4 remain
+            restarted.report("u", Point(6.0, 6.0))
+            with pytest.raises(BudgetError):
+                restarted.report("u", Point(7.0, 7.0))
+        restarted.ledger.close()
+
+    def test_every_crash_point_upholds_invariant(
+        self, tmp_path, serve_prior
+    ):
+        """Sweep the crash schedule across the protocol: wherever the
+        process dies, replayed spend >= delivered reports."""
+        points = [
+            CrashPoint("reserve", nth=1, when="before"),
+            CrashPoint("reserve", nth=1, when="after"),
+            CrashPoint("reserve", nth=3, when="after"),
+            CrashPoint("commit", nth=1, when="before"),
+            CrashPoint("commit", nth=2, when="after"),
+        ]
+        for i, point in enumerate(points):
+            path = tmp_path / f"journal-{i}"
+            crashing = CrashingLedger(BudgetLedger(path), [point])
+            delivered = 0
+            server = _server(serve_prior, crashing, lifetime=10.0)
+            try:
+                with server:
+                    for _ in range(4):
+                        server.report("u", Point(5.0, 5.0), timeout=30)
+                        delivered += 1
+            except (CrashError, ServeError):
+                pass
+            finally:
+                crashing.close()
+            # commits run on the dispatcher thread; a crash there fails
+            # the batch *after* delivery decisions, so re-read delivered
+            # conservatively from what the test observed
+            _journal_invariant(path, {"u": delivered}, lifetime=10.0)
+
+    def test_mid_batch_solver_crash_charges_budget(
+        self, tmp_path, serve_prior
+    ):
+        """A crash tearing through the engine mid-batch: sampling may
+        already have begun, so every request in the batch is *charged*
+        and its reservation committed — failed requests cost utility,
+        never privacy.
+
+        The fault is injected through a *bare* solver, not the
+        resilience chain: :class:`ResilientSolver` is fail-closed
+        against any substrate exception and would absorb the crash
+        into a degraded (but delivered) walk.  Raw, the exception
+        escapes ``sanitize_batch`` and exercises the server's
+        batch-failure path."""
+        from repro.core.msm import MultiStepMechanism
+
+        class _BareCrashSolver:
+            """LPSolver-protocol shim with no resilience chain."""
+
+            def __init__(self):
+                self._inner = FaultInjectingSolver([CrashFault()])
+
+            def solve(self, problem, time_limit=None):
+                return self._inner(problem, time_limit=time_limit)
+
+        msm = MultiStepMechanism.build(
+            1.0, 2, serve_prior, solver=_BareCrashSolver(), degrade=True
+        )
+        path = tmp_path / "journal"
+        config = ServerConfig(
+            lifetime_epsilon=4.0,
+            per_report_epsilon=EPS,
+            coalesce_window=0.2,
+        )
+        server = SanitizationServer(
+            msm, config, ledger=BudgetLedger(path)
+        )
+        with server:
+            pending = [
+                server.submit("u", Point(5.0 + i, 5.0)) for i in range(2)
+            ]
+            for request in pending:
+                assert request.done.wait(30)
+                assert isinstance(request.error, CrashError)
+        assert server.stats.failed == 2
+        assert server.stats.completed == 0
+        # fail closed: the epsilon is gone on both sides of the ledger
+        assert server.session("u").spent == pytest.approx(2 * EPS)
+        server.ledger.close()
+        replay = replay_journal(path)
+        assert replay.spent_for("u") == pytest.approx(2 * EPS)
+        assert replay.open_reservations == {}
+
+    def test_restart_continuity_without_crash(self, tmp_path, serve_prior):
+        """Plain restart: spend carries over and admission continues
+        exactly where it left off."""
+        path = tmp_path / "journal"
+        server = _server(serve_prior, BudgetLedger(path))
+        with server:
+            server.report("u", Point(5.0, 5.0))
+            server.report("u", Point(6.0, 6.0))
+        server.ledger.close()
+
+        again = _server(serve_prior, BudgetLedger(path))
+        with again:
+            assert again.session("u").spent == pytest.approx(2 * EPS)
+            again.report("u", Point(5.0, 5.0))
+            again.report("u", Point(6.0, 6.0))
+            with pytest.raises(BudgetError):
+                again.report("u", Point(7.0, 7.0))
+        again.ledger.close()
+        _journal_invariant(path, {"u": 4}, lifetime=4.0)
+
+    def test_overdrawn_journal_fails_closed(self, tmp_path, serve_prior):
+        """A journal showing more spend than the lifetime (e.g. the
+        budget was lowered between runs) exhausts the session rather
+        than resetting it."""
+        path = tmp_path / "journal"
+        with BudgetLedger(path) as ledger:
+            for _ in range(6):
+                ledger.commit(ledger.reserve("u", EPS))
+        server = _server(serve_prior, BudgetLedger(path), lifetime=4.0)
+        with server:
+            assert server.session("u").remaining <= 0
+            with pytest.raises(BudgetError):
+                server.report("u", Point(5.0, 5.0))
+        server.ledger.close()
+
+
+# ----------------------------------------------------------------------
+# deadlines, abandonment, retry
+# ----------------------------------------------------------------------
+class TestDeadlines:
+    def test_timeout_abandons_and_refunds_before_sampling(
+        self, tmp_path, serve_prior
+    ):
+        """A caller timing out while its request is still coalescing:
+        the dispatcher refuses to sample it and releases the
+        reservation — the user keeps the epsilon."""
+        path = tmp_path / "journal"
+        server = _server(
+            serve_prior, BudgetLedger(path), window=0.6
+        )
+        with server:
+            with pytest.raises(ServeError, match="timed out") as err:
+                server.report("u", Point(5.0, 5.0), timeout=0.05)
+            assert err.value.reason == "timeout"
+            deadline = time.monotonic() + 5.0
+            while (
+                server.stats.abandoned == 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+        assert server.stats.abandoned == 1
+        assert server.stats.completed == 0
+        assert server.session("u").spent == 0.0
+        server.ledger.close()
+        # the release made it to the journal: nothing replays as spend
+        assert replay_journal(path).spent_for("u") == 0.0
+
+    def test_expired_deadline_never_samples(self, serve_prior):
+        server = _server(serve_prior, ledger=None, window=0.01)
+        with server:
+            request = server.submit(
+                "u", Point(5.0, 5.0), deadline=time.monotonic() - 1.0
+            )
+            assert request.done.wait(30)
+            assert isinstance(request.error, ServeError)
+            assert request.error.reason == "abandoned"
+        assert server.stats.abandoned == 1
+        assert server.session("u").spent == 0.0
+
+    def test_overload_retries_with_backoff_then_gives_up(
+        self, serve_prior
+    ):
+        config = ServerConfig(
+            lifetime_epsilon=4.0,
+            per_report_epsilon=EPS,
+            max_pending=0,  # permanently overloaded
+            retry_attempts=2,
+            retry_backoff=0.001,
+        )
+        server = SanitizationServer.build(
+            serve_prior, config, granularity=2, seed=SEED
+        )
+        with server:
+            with pytest.raises(ServeError, match="shedding") as err:
+                server.report("u", Point(5.0, 5.0))
+            assert err.value.reason == "overload"
+        assert server.stats.retries == 2
+        assert server.stats.rejected_overload == 3  # initial + 2 retries
+
+
+# ----------------------------------------------------------------------
+# circuit breaker
+# ----------------------------------------------------------------------
+class _FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+@pytest.fixture
+def tiny_lp():
+    b = LinearProgramBuilder(1)
+    b.set_objective({0: 1.0})
+    b.add_ge({0: 1.0}, 1.0)
+    return b.build()
+
+
+def _breaker(rules, threshold=2, reset=10.0):
+    clock = _FakeClock()
+    injector = FaultInjectingSolver(rules)
+    inner = ResilientSolver(
+        ResilienceConfig(
+            backends=("highs-ds",), max_attempts_per_backend=1
+        ),
+        solve_fn=injector,
+    )
+    breaker = CircuitBreakerSolver(
+        inner,
+        BreakerConfig(failure_threshold=threshold, reset_timeout=reset),
+        clock=clock,
+    )
+    return breaker, injector, clock
+
+
+@pytest.mark.faults
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_failures(self, tiny_lp):
+        breaker, injector, _ = _breaker([RaiseFault()])
+        for _ in range(2):
+            with pytest.raises(SolverRetryExhaustedError):
+                breaker.solve(tiny_lp)
+        assert breaker.state == breaker.OPEN
+        assert breaker.trips == 1
+        # open: refused instantly, the substrate is not touched
+        calls_before = injector.n_calls
+        with pytest.raises(CircuitOpenError):
+            breaker.solve(tiny_lp)
+        assert injector.n_calls == calls_before
+        assert breaker.short_circuits == 1
+
+    def test_success_resets_failure_streak(self, tiny_lp):
+        # a matching rule consumes the call before later rules see it,
+        # so the second rule's counter only ticks on delegated calls:
+        # this script fails overall calls 1 and 3, delegating call 2
+        breaker, _, _ = _breaker([RaiseFault(nth=1), RaiseFault(nth=2)])
+        with pytest.raises(SolverRetryExhaustedError):
+            breaker.solve(tiny_lp)
+        breaker.solve(tiny_lp)  # success wipes the streak
+        with pytest.raises(SolverRetryExhaustedError):
+            breaker.solve(tiny_lp)
+        assert breaker.state == breaker.CLOSED
+        assert breaker.trips == 0
+
+    def test_half_open_probe_failure_reopens(self, tiny_lp):
+        breaker, _, clock = _breaker([RaiseFault()], reset=10.0)
+        for _ in range(2):
+            with pytest.raises(SolverRetryExhaustedError):
+                breaker.solve(tiny_lp)
+        clock.t = 10.0
+        assert breaker.state == breaker.HALF_OPEN
+        with pytest.raises(SolverRetryExhaustedError):
+            breaker.solve(tiny_lp)  # the probe is attempted, fails
+        assert breaker.state == breaker.OPEN
+        assert breaker.trips == 2
+
+    def test_half_open_probe_success_closes(self, tiny_lp):
+        breaker, injector, clock = _breaker([RaiseFault(first_n=2)])
+        for _ in range(2):
+            with pytest.raises(SolverRetryExhaustedError):
+                breaker.solve(tiny_lp)
+        assert breaker.state == breaker.OPEN
+        clock.t = 10.0
+        result = breaker.solve(tiny_lp)  # probe delegates to real solve
+        assert result.x[0] == pytest.approx(1.0)
+        assert breaker.state == breaker.CLOSED
+        # and normal traffic flows again
+        breaker.solve(tiny_lp)
+        assert injector.n_calls == 4
+
+    def test_open_breaker_degrades_walk_not_crashes(self, uniform3):
+        """End to end: a tripped breaker inside an MSM build degrades
+        every node to the closed-form fallback — the walk still serves
+        at full epsilon, with provenance recorded."""
+        from repro.core.msm import MultiStepMechanism
+        from repro.exceptions import DegradedModeWarning
+
+        breaker, _, _ = _breaker([RaiseFault()], threshold=1)
+        msm = MultiStepMechanism.build(
+            0.9, 3, uniform3, solver=breaker, degrade=True
+        )
+        with pytest.warns(DegradedModeWarning):
+            walk = msm.sample_with_report(
+                Point(5.0, 5.0), np.random.default_rng(SEED)
+            )
+        assert uniform3.grid.bounds.contains(walk.point)
+        assert not walk.degradation.clean
+        assert breaker.trips >= 1
+        assert breaker.short_circuits >= 1  # later nodes short-circuit
+
+
+# ----------------------------------------------------------------------
+# store recovery
+# ----------------------------------------------------------------------
+class TestStoreRecovery:
+    def _msm(self, square20, prior):
+        from repro.grid.hierarchy import HierarchicalGrid
+        from repro.core.msm import MultiStepMechanism
+
+        index = HierarchicalGrid(square20, 2, 2)
+        return MultiStepMechanism(index, (0.5, 0.6), prior)
+
+    def test_save_publishes_checksum_sidecar(
+        self, tmp_path, square20, serve_prior
+    ):
+        store = MechanismStore(tmp_path / "store")
+        record = store.get_or_build(self._msm(square20, serve_prior))
+        sidecar = store.checksum_path(record.path)
+        assert sidecar.exists()
+        digest = sidecar.read_text().strip()
+        assert len(digest) == 64  # SHA-256 hex
+
+    def test_flipped_byte_quarantined_and_rebuilt(
+        self, tmp_path, square20, serve_prior
+    ):
+        store = MechanismStore(tmp_path / "store")
+        first = self._msm(square20, serve_prior)
+        record = store.get_or_build(first)
+        flip_byte(record.path, 100)
+
+        fresh = self._msm(square20, serve_prior)
+        rebuilt = store.get_or_build(fresh)
+        assert rebuilt.outcome == "built"
+        assert fresh.cache.builds > 0
+        quarantined = list((store.root / ".quarantine").iterdir())
+        assert len(quarantined) == 2  # bundle + sidecar
+        # the rebuilt bundle is valid: a third engine warm-starts clean
+        third = self._msm(square20, serve_prior)
+        assert store.get_or_build(third).outcome == "hit"
+        assert third.cache.builds == 0
+
+    def test_truncated_bundle_quarantined(
+        self, tmp_path, square20, serve_prior
+    ):
+        store = MechanismStore(tmp_path / "store")
+        record = store.get_or_build(self._msm(square20, serve_prior))
+        truncate_tail(record.path, record.path.stat().st_size // 2)
+
+        fresh = self._msm(square20, serve_prior)
+        assert store.warm_start(fresh) is None  # a miss, not a crash
+        assert not record.path.exists()
+        assert (store.root / ".quarantine").exists()
+
+    def test_unreadable_bundle_without_sidecar_quarantined(
+        self, tmp_path, square20, serve_prior
+    ):
+        """Legacy bundles (no sidecar) still recover: a load failure
+        quarantines instead of raising into the serving path."""
+        store = MechanismStore(tmp_path / "store")
+        record = store.get_or_build(self._msm(square20, serve_prior))
+        store.checksum_path(record.path).unlink()
+        record.path.write_bytes(b"not a zip archive at all")
+
+        fresh = self._msm(square20, serve_prior)
+        assert store.warm_start(fresh) is None
+        assert not record.path.exists()
+
+    def test_stale_config_still_raises_not_quarantined(
+        self, tmp_path, square20, serve_prior
+    ):
+        """A *readable* bundle under the wrong key is an operator
+        error: it must raise, and must not be silently destroyed."""
+        from repro.exceptions import MechanismError
+        from repro.grid.hierarchy import HierarchicalGrid
+        from repro.core.msm import MultiStepMechanism
+
+        store = MechanismStore(tmp_path / "store")
+        a = self._msm(square20, serve_prior)
+        store.get_or_build(a)
+        index = HierarchicalGrid(square20, 2, 2)
+        b = MultiStepMechanism(index, (0.5, 0.7), serve_prior)
+        path_a, path_b = store.path_for(a), store.path_for(b)
+        path_a.rename(path_b)
+        store.checksum_path(path_a).rename(store.checksum_path(path_b))
+        with pytest.raises(MechanismError, match="epsilon split"):
+            store.warm_start(b)
+        assert path_b.exists()  # evidence preserved
+
+
+# ----------------------------------------------------------------------
+# distribution equivalence with the ledger in the hot path
+# ----------------------------------------------------------------------
+@pytest.mark.statistical
+class TestLedgerDistributionEquivalence:
+    def test_server_with_ledger_matches_direct_chi_square(
+        self, tmp_path, serve_prior
+    ):
+        """The two-phase ledger protocol must not perturb the served
+        distribution: chi-square server-vs-direct, ledger enabled
+        (``sync=False`` — durability is not under test here)."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        from scipy import stats
+
+        n = 1500
+        x = Point(3.0, 3.0)
+        ledger = BudgetLedger(tmp_path / "journal", sync=False)
+        config = ServerConfig(
+            lifetime_epsilon=float(n + 1),
+            per_report_epsilon=EPS,
+            coalesce_window=0.05,
+        )
+        server = SanitizationServer.build(
+            serve_prior, config, granularity=2, seed=SEED, ledger=ledger
+        )
+        with server:
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                reports = list(
+                    pool.map(
+                        lambda _: server.report("u", x, timeout=120),
+                        range(n),
+                    )
+                )
+        assert server.ledger.spent_for("u") == pytest.approx(n * EPS)
+
+        msm = server.mechanism
+        leaf_grid = msm.index.level_grid(msm.height)
+        served = np.zeros(leaf_grid.n_cells)
+        for r in reports:
+            served[leaf_grid.locate(r.reported).index] += 1
+        direct_walks = msm.sanitize_batch(
+            [x] * n, np.random.default_rng(SEED + 1)
+        )
+        direct = np.zeros(leaf_grid.n_cells)
+        for w in direct_walks:
+            direct[leaf_grid.locate(w.point).index] += 1
+
+        keep = (served + direct) > 0
+        table = np.vstack([served[keep], direct[keep]])
+        _, p_value, _, _ = stats.chi2_contingency(table)
+        assert p_value > 0.01, (
+            f"ledger-enabled server diverges from direct (p={p_value:.4f})"
+        )
+
+
+# ----------------------------------------------------------------------
+# process-level chaos: SIGKILL against a live server
+# ----------------------------------------------------------------------
+_CHILD = textwrap.dedent("""
+    import sys
+    from repro.geo import BoundingBox, Point
+    from repro.grid import RegularGrid
+    from repro.priors import GridPrior
+    from repro.serve import SanitizationServer, ServerConfig
+
+    journal = sys.argv[1]
+    square = BoundingBox.square(Point(0.0, 0.0), 20.0)
+    prior = GridPrior.uniform(RegularGrid(square, 4))
+    config = ServerConfig(
+        lifetime_epsilon=1000.0,
+        per_report_epsilon=1.0,
+        coalesce_window=0.001,
+    )
+    server = SanitizationServer.build(
+        prior, config, granularity=2, seed=7, ledger=journal
+    )
+    print("replayed", server.stats.replayed_epsilon, flush=True)
+    with server:
+        for i in range(10_000):
+            server.report("u", Point(5.0, 5.0))
+            print("delivered", i + 1, flush=True)
+""")
+
+
+@pytest.mark.chaos
+class TestSigkill:
+    def test_sigkill_mid_serve_replays_spend(self, tmp_path):
+        """Kill -9 a serving process mid-stream; the journal left on
+        disk must replay at least every delivered report, and a warm
+        restart must continue from that account."""
+        journal = tmp_path / "journal"
+        script = tmp_path / "child.py"
+        script.write_text(_CHILD)
+        src = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "src",
+        )
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        proc = subprocess.Popen(
+            [sys.executable, str(script), str(journal)],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        delivered = 0
+        try:
+            assert proc.stdout is not None
+            for line in proc.stdout:
+                if line.startswith("delivered"):
+                    delivered = int(line.split()[1])
+                if delivered >= 3:
+                    break
+            os.kill(proc.pid, signal.SIGKILL)
+        finally:
+            proc.wait(timeout=30)
+            if proc.stdout is not None:
+                proc.stdout.close()
+        assert delivered >= 3
+
+        replay = _journal_invariant(
+            journal, {"u": delivered}, lifetime=1000.0
+        )
+        assert replay.spent_for("u") >= delivered * EPS
+
+        # warm restart over the same journal in-process: the account
+        # carries, orphaned reservations settle, serving continues
+        spent_before = replay.spent_for("u")
+        from repro.geo import BoundingBox
+
+        square_prior = GridPrior.uniform(
+            RegularGrid(BoundingBox.square(Point(0.0, 0.0), 20.0), 4)
+        )
+        config = ServerConfig(
+            lifetime_epsilon=1000.0,
+            per_report_epsilon=EPS,
+            coalesce_window=0.001,
+        )
+        server = SanitizationServer.build(
+            square_prior, config, granularity=2, seed=7, ledger=journal
+        )
+        with server:
+            assert server.stats.replayed_epsilon == pytest.approx(
+                spent_before
+            )
+            assert server.ledger.open_reservations() == {}
+            server.report("u", Point(5.0, 5.0))
+        server.ledger.close()
+        final = replay_journal(journal)
+        assert final.spent_for("u") == pytest.approx(spent_before + EPS)

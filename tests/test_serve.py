@@ -22,6 +22,7 @@ Three layers, three contracts:
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -311,6 +312,43 @@ class TestMechanismStore:
         assert store.warm_start(msm) is None
         assert msm not in store
 
+    def test_racing_saves_on_cold_fingerprint_leave_valid_bundle(
+        self, tmp_path, square20, store_prior
+    ):
+        """Two threads racing get_or_build on the *same* cold
+        fingerprint through the save path: whatever interleaving wins,
+        the published bundle (and its checksum sidecar) must be
+        complete and warm-startable — no torn file, no stale sidecar."""
+        store = MechanismStore(tmp_path / "store")
+        barrier = threading.Barrier(2)
+        outcomes: list[str] = []
+        lock = threading.Lock()
+
+        def racer():
+            msm = _store_msm(square20, store_prior)
+            barrier.wait()  # maximise overlap on the cold slot
+            record = store.get_or_build(msm)
+            with lock:
+                outcomes.append(record.outcome)
+
+        threads = [threading.Thread(target=racer) for _ in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sorted(outcomes) == ["built", "hit"]
+        assert len(store.entries()) == 1
+
+        # the surviving bundle verifies end to end: checksum matches
+        # and a fresh engine adopts every node without a solve
+        fresh = _store_msm(square20, store_prior)
+        record = store.get_or_build(fresh)
+        assert record.outcome == "hit"
+        assert fresh.cache.builds == 0
+        sidecar = store.checksum_path(record.path)
+        assert sidecar.exists()
+        assert not (store.root / ".quarantine").exists()
+
 
 # ----------------------------------------------------------------------
 # serving front-end
@@ -427,6 +465,84 @@ class TestServerAdmission:
         assert [r.reported for r in session.history] == [
             r1.reported, r2.reported,
         ]
+
+    def test_concurrent_stop_vs_submit_never_hangs(self, serve_prior):
+        """Threads hammering submit() while stop() lands in the middle:
+        every accepted request must resolve — completed, or failed
+        closed with a ServeError — and none may hang on ``done.wait``.
+
+        Guards the enqueue-under-lock invariant: a request slipping
+        into the queue after stop()'s drain would wait forever."""
+        server = _server(serve_prior, lifetime=1000.0, window=0.001)
+        accepted: list = []
+        lock = threading.Lock()
+        start_gate = threading.Event()
+
+        def submitter(seed):
+            rng = np.random.default_rng(seed)
+            start_gate.wait()
+            for i in range(100):
+                try:
+                    r = server.submit(
+                        f"u{seed}",
+                        Point(float(rng.uniform(0, 20)),
+                              float(rng.uniform(0, 20))),
+                    )
+                except ServeError:
+                    continue  # refused at admission: fine, fail closed
+                with lock:
+                    accepted.append(r)
+
+        server.start()
+        threads = [
+            threading.Thread(target=submitter, args=(s,))
+            for s in range(4)
+        ]
+        for t in threads:
+            t.start()
+        start_gate.set()
+        time.sleep(0.005)  # let submissions overlap the stop
+        server.stop()
+        for t in threads:
+            t.join()
+
+        assert accepted, "race never materialised"
+        for request in accepted:
+            assert request.done.wait(10), "request hung after stop()"
+            assert (request.report is not None) ^ (
+                request.error is not None
+            )
+            if request.error is not None:
+                assert isinstance(request.error, ServeError)
+
+    def test_stop_during_coalesce_window_fails_pending(self, serve_prior):
+        """stop() landing while requests sit in the coalescing window:
+        they fail closed (or complete if already gathered), promptly."""
+        server = _server(serve_prior, lifetime=100.0, window=5.0)
+        server.start()
+        pending = [
+            server.submit("u", Point(5.0 + i * 0.1, 5.0))
+            for i in range(5)
+        ]
+        server.stop()  # well inside the 5 s window
+        for request in pending:
+            assert request.done.wait(10)
+            if request.error is not None:
+                assert isinstance(request.error, ServeError)
+
+    def test_restart_after_stop_serves_again(self, serve_prior):
+        """A stop immediately after submit may leave the dispatcher
+        exiting via the batch path; the consumed sentinel must never
+        linger to kill the *next* dispatcher."""
+        server = _server(serve_prior, lifetime=100.0)
+        for _ in range(3):
+            server.start()
+            server.submit("u", Point(5.0, 5.0))
+            server.stop()
+        server.start()
+        report = server.report("u", Point(5.0, 5.0), timeout=30)
+        server.stop()
+        assert report is not None
 
     def test_shared_mechanism_epsilon_must_fit(self, serve_prior):
         """A session must refuse a shared mechanism spending more than
