@@ -9,9 +9,10 @@ implementations:
 * **batch** — ``sanitize_batch``: group by node, bulk cache warm-up,
   vectorised CDF-inversion sampling per group.
 
-Results go to ``BENCH_batch.json`` at the repository root (committed, so
-the README throughput table has an auditable source).  Runnable both
-ways:
+Results go to ``BENCH_batch.json`` at the repository root (committed,
+so the README throughput table has an auditable source), wrapped in the
+versioned artifact envelope of :mod:`repro.bench.artifact`.  Runnable
+both ways:
 
     PYTHONPATH=src python benchmarks/bench_batch_throughput.py
     PYTHONPATH=src python -m pytest benchmarks/bench_batch_throughput.py
@@ -26,62 +27,39 @@ from __future__ import annotations
 import json
 import platform
 import time
-from pathlib import Path
 
-import numpy as np
-
-from repro.core.msm import MultiStepMechanism
-from repro.geo.bbox import BoundingBox
-from repro.geo.point import Point
-from repro.grid.hierarchy import HierarchicalGrid
-from repro.grid.regular import RegularGrid
-from repro.priors.base import GridPrior
+from common import (
+    BUDGETS,
+    GRANULARITY,
+    HEIGHT,
+    REPO_ROOT,
+    ROOT_SEED,
+    build_gihi_msm,
+    rng,
+    uniform_workload,
+    write_bench_artifact,
+)
 
 #: Where the committed result lands.
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_batch.json"
+RESULT_PATH = REPO_ROOT / "BENCH_batch.json"
 
 #: Workload size of the acceptance criterion.
 N_POINTS = 10_000
 
-#: Depth-3 GIHI at g = 3: 91 internal nodes, 729 leaf cells.
-GRANULARITY = 3
-HEIGHT = 3
-BUDGETS = (0.4, 0.5, 0.6)
-
-SEED = 20190326
-
-
-def build_msm() -> MultiStepMechanism:
-    """The benchmark instance: depth-3 GIHI, uniform prior, warm cache."""
-    square = BoundingBox.square(Point(0.0, 0.0), 20.0)
-    prior = GridPrior.uniform(
-        RegularGrid(square, GRANULARITY**HEIGHT)
-    )
-    index = HierarchicalGrid(square, GRANULARITY, HEIGHT)
-    msm = MultiStepMechanism(index, BUDGETS, prior)
-    msm.precompute()
-    return msm
-
-
-def workload(n: int = N_POINTS) -> list[Point]:
-    """``n`` uniform requests over the domain, fixed seed."""
-    coords = np.random.default_rng(SEED).uniform(0.0, 20.0, size=(n, 2))
-    return [Point(float(x), float(y)) for x, y in coords]
-
 
 def run_benchmark(n: int = N_POINTS) -> dict:
     """Time both paths on identical warm-cache workloads."""
-    msm = build_msm()
-    points = workload(n)
+    msm = build_gihi_msm()
+    points = uniform_workload(n, "batch-workload")
 
-    rng = np.random.default_rng(SEED)
+    single_rng = rng("batch-single")
     start = time.perf_counter()
-    single = [msm.sample_with_report(x, rng) for x in points]
+    single = [msm.sample_with_report(x, single_rng) for x in points]
     single_seconds = time.perf_counter() - start
 
-    rng = np.random.default_rng(SEED)
+    batch_rng = rng("batch-batch")
     start = time.perf_counter()
-    batch = msm.sanitize_batch(points, rng)
+    batch = msm.sanitize_batch(points, batch_rng)
     batch_seconds = time.perf_counter() - start
 
     assert len(single) == len(batch) == n
@@ -90,7 +68,7 @@ def run_benchmark(n: int = N_POINTS) -> dict:
         "n_points": n,
         "index": f"GIHI g={GRANULARITY} h={HEIGHT}",
         "budgets": list(BUDGETS),
-        "seed": SEED,
+        "seed": ROOT_SEED,
         "python": platform.python_version(),
         "single_seconds": round(single_seconds, 4),
         "batch_seconds": round(batch_seconds, 4),
@@ -103,13 +81,13 @@ def run_benchmark(n: int = N_POINTS) -> dict:
 def test_batch_throughput_at_least_5x():
     """Acceptance: >= 5x over the single-point loop on 10k points."""
     result = run_benchmark()
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    write_bench_artifact("batch-sanitisation-throughput", result, RESULT_PATH)
     assert result["speedup"] >= 5.0, result
 
 
 def main() -> None:
     result = run_benchmark()
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    write_bench_artifact("batch-sanitisation-throughput", result, RESULT_PATH)
     print(json.dumps(result, indent=2))
 
 

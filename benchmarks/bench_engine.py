@@ -10,7 +10,8 @@ Runs the same >= 50k-point warm-cache workload through the unified
   RNG stream per shard, per-shard results and cache entries merged back.
 
 Results go to ``BENCH_engine.json`` at the repository root (committed,
-so the README table has an auditable source).  Runnable both ways:
+so the README table has an auditable source), wrapped in the versioned
+artifact envelope of :mod:`repro.bench.artifact`.  Runnable both ways:
 
     PYTHONPATH=src python benchmarks/bench_engine.py
     PYTHONPATH=src python -m pytest benchmarks/bench_engine.py
@@ -41,66 +42,44 @@ import platform
 import time
 from pathlib import Path
 
-import numpy as np
-
+from common import (
+    BUDGETS,
+    GRANULARITY,
+    HEIGHT,
+    REPO_ROOT,
+    ROOT_SEED,
+    build_gihi_msm,
+    rng,
+    uniform_workload,
+    write_bench_artifact,
+)
 from repro.core.engine import SerialExecution, ShardedExecution
-from repro.core.msm import MultiStepMechanism
-from repro.geo.bbox import BoundingBox
-from repro.geo.point import Point
-from repro.grid.hierarchy import HierarchicalGrid
-from repro.grid.regular import RegularGrid
-from repro.priors.base import GridPrior
 
 #: Where the committed result lands.
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_engine.json"
+RESULT_PATH = REPO_ROOT / "BENCH_engine.json"
 
 #: Workload size of the acceptance criterion (>= 50k points).
 N_POINTS = 50_000
 
-#: Depth-3 GIHI at g = 3: 91 internal nodes, 729 leaf cells.
-GRANULARITY = 3
-HEIGHT = 3
-BUDGETS = (0.4, 0.5, 0.6)
-
-SEED = 20190326
-
-
-def build_msm(obs=None) -> MultiStepMechanism:
-    """The benchmark instance: depth-3 GIHI, uniform prior, warm cache.
-
-    ``obs`` is only set by the instrumented smoke path, and before the
-    warm-up, so the cache-build / LP metrics of the precompute sweep
-    land in the registry too.
-    """
-    square = BoundingBox.square(Point(0.0, 0.0), 20.0)
-    prior = GridPrior.uniform(RegularGrid(square, GRANULARITY**HEIGHT))
-    index = HierarchicalGrid(square, GRANULARITY, HEIGHT)
-    msm = MultiStepMechanism(index, BUDGETS, prior, obs=obs)
-    msm.precompute()
-    return msm
-
-
-def workload(n: int = N_POINTS) -> list[Point]:
-    """``n`` uniform requests over the domain, fixed seed."""
-    coords = np.random.default_rng(SEED).uniform(0.0, 20.0, size=(n, 2))
-    return [Point(float(x), float(y)) for x, y in coords]
+#: The engine bench's workload stream name.
+WORKLOAD_STREAM = "engine-workload"
 
 
 def run_benchmark(n: int = N_POINTS) -> dict:
     """Time both execution policies on identical warm-cache workloads."""
-    msm = build_msm()
-    points = workload(n)
+    msm = build_gihi_msm()
+    points = uniform_workload(n, WORKLOAD_STREAM)
     cpu_count = os.cpu_count() or 1
     workers = min(cpu_count, GRANULARITY * GRANULARITY)
 
     msm.executor = SerialExecution()
     start = time.perf_counter()
-    serial = msm.sanitize_batch(points, np.random.default_rng(SEED))
+    serial = msm.sanitize_batch(points, rng("engine-serial"))
     serial_seconds = time.perf_counter() - start
 
     msm.executor = ShardedExecution(max_workers=workers, min_batch_size=0)
     start = time.perf_counter()
-    sharded = msm.sanitize_batch(points, np.random.default_rng(SEED))
+    sharded = msm.sanitize_batch(points, rng("engine-sharded"))
     sharded_seconds = time.perf_counter() - start
 
     assert len(serial) == len(sharded) == n
@@ -109,7 +88,7 @@ def run_benchmark(n: int = N_POINTS) -> dict:
         "n_points": n,
         "index": f"GIHI g={GRANULARITY} h={HEIGHT}",
         "budgets": list(BUDGETS),
-        "seed": SEED,
+        "seed": ROOT_SEED,
         "python": platform.python_version(),
         "cpu_count": cpu_count,
         "workers": workers,
@@ -136,7 +115,7 @@ def test_sharded_throughput():
     the correct behaviour, so only result integrity is asserted there.
     """
     result = run_benchmark()
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    write_bench_artifact("walk-engine-serial-vs-sharded", result, RESULT_PATH)
     if result["cpu_count"] >= 2:
         assert result["speedup"] >= 2.0, result
     else:
@@ -157,16 +136,16 @@ def run_instrumented(
     from repro.obs.export import to_jsonl, to_prometheus
 
     obs = Observability.collecting(trace=trace_path is not None)
-    msm = build_msm(obs=obs)
-    points = workload(n)
+    msm = build_gihi_msm(obs=obs)
+    points = uniform_workload(n, WORKLOAD_STREAM)
     cpu_count = os.cpu_count() or 1
     workers = min(cpu_count, GRANULARITY * GRANULARITY)
 
     msm.executor = SerialExecution()
-    serial = msm.sanitize_batch_report(points, np.random.default_rng(SEED))
+    serial = msm.sanitize_batch_report(points, rng("engine-serial"))
 
     msm.executor = ShardedExecution(max_workers=workers, min_batch_size=0)
-    sharded = msm.sanitize_batch_report(points, np.random.default_rng(SEED))
+    sharded = msm.sanitize_batch_report(points, rng("engine-sharded"))
 
     assert len(serial) == len(sharded) == n
     if metrics_path is not None:
@@ -220,7 +199,9 @@ def main(argv: list[str] | None = None) -> None:
 
     result = run_benchmark(args.points)
     if args.points == N_POINTS:
-        RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+        write_bench_artifact(
+            "walk-engine-serial-vs-sharded", result, RESULT_PATH
+        )
     print(json.dumps(result, indent=2))
 
 

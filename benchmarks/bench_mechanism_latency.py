@@ -11,9 +11,9 @@ pytest-benchmark statistics: PL sampling, warm MSM sampling, and the
 per-node OPT solve MSM performs on a cache miss.
 """
 
-import numpy as np
 import pytest
 
+from common import rng
 from repro.eval.experiments import run_latency
 from repro.geo.metric import EUCLIDEAN
 from repro.grid.regular import RegularGrid
@@ -27,6 +27,15 @@ from conftest import emit, run_once
 
 @pytest.mark.benchmark(group="latency")
 def test_latency_table(benchmark, gowalla, config):
+    """Orderings that survive hardware changes.
+
+    Since the vectorised batch engine landed, warm-cache MSM sampling
+    costs single-digit microseconds per query — the same order as PL —
+    so the paper's "PL fastest" ordering is no longer guaranteed at
+    this scale.  What must still hold: PL (no LP solves, ever) beats
+    cold-cache MSM, warming the cache never slows MSM down, and every
+    mechanism stays under the paper's one-second online budget.
+    """
     table = run_once(
         benchmark, run_latency, gowalla, granularity=4, config=config
     )
@@ -34,7 +43,7 @@ def test_latency_table(benchmark, gowalla, config):
     by_name = dict(
         zip(table.column("mechanism"), table.column("ms_per_query"))
     )
-    assert by_name["PL"] < by_name["MSM (warm cache)"]
+    assert by_name["PL"] < by_name["MSM (cold cache)"]
     assert by_name["MSM (warm cache)"] <= by_name["MSM (cold cache)"] * 1.5
     assert all(ms < 1000.0 for ms in by_name.values())
 
@@ -52,16 +61,16 @@ def warm_msm(gowalla):
 @pytest.mark.benchmark(group="latency-micro")
 def test_pl_sample_micro(benchmark, gowalla):
     pl = PlanarLaplaceMechanism(0.5, grid=RegularGrid(gowalla.bounds, 16))
-    rng = np.random.default_rng(0)
+    sample_rng = rng("latency-pl-micro")
     x = gowalla.point(0)
-    benchmark(pl.sample, x, rng)
+    benchmark(pl.sample, x, sample_rng)
 
 
 @pytest.mark.benchmark(group="latency-micro")
 def test_msm_warm_sample_micro(benchmark, gowalla, warm_msm):
-    rng = np.random.default_rng(0)
+    sample_rng = rng("latency-msm-micro")
     x = gowalla.point(0)
-    benchmark(warm_msm.sample, x, rng)
+    benchmark(warm_msm.sample, x, sample_rng)
 
 
 @pytest.mark.benchmark(group="latency-micro")

@@ -1,7 +1,8 @@
 """Serving-stack benchmark: persistent warm-start + bounded-cache serving.
 
 Exercises the PR-5 tentpole end to end and records the two acceptance
-numbers in ``BENCH_serve.json`` at the repository root:
+numbers in ``BENCH_serve.json`` at the repository root (wrapped in the
+versioned artifact envelope of :mod:`repro.bench.artifact`):
 
 * **warm-start**: a first engine populates a
   :class:`~repro.core.store.MechanismStore` (every node LP solved
@@ -38,43 +39,41 @@ import threading
 import time
 from pathlib import Path
 
-import numpy as np
-
-from repro.core.msm import MultiStepMechanism
+from common import (
+    BUDGETS,
+    DOMAIN_SIDE_KM,
+    GRANULARITY,
+    HEIGHT,
+    REPO_ROOT,
+    ROOT_SEED,
+    build_gihi_msm,
+    rng,
+    write_bench_artifact,
+)
 from repro.core.store import MechanismStore
-from repro.geo.bbox import BoundingBox
 from repro.geo.point import Point
-from repro.grid.hierarchy import HierarchicalGrid
-from repro.grid.regular import RegularGrid
-from repro.priors.base import GridPrior
 from repro.serve import SanitizationServer, ServerConfig
 
 #: Where the committed result lands.
-RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_serve.json"
-
-#: Depth-3 GIHI at g = 3: 91 internal nodes, each a 9x9 matrix.
-GRANULARITY = 3
-HEIGHT = 3
-BUDGETS = (0.4, 0.5, 0.6)
+RESULT_PATH = REPO_ROOT / "BENCH_serve.json"
 
 #: Total concurrent requests of the serving phase.
 N_REQUESTS = 2_000
 N_CLIENTS = 16
 
-SEED = 20190326
 
-
-def _prior(square: BoundingBox) -> GridPrior:
-    return GridPrior.uniform(RegularGrid(square, GRANULARITY**HEIGHT))
-
-
-def _msm(square: BoundingBox, cache=None) -> MultiStepMechanism:
-    index = HierarchicalGrid(square, GRANULARITY, HEIGHT)
-    return MultiStepMechanism(index, BUDGETS, _prior(square), cache=cache)
+def _client_points(client_id: int, n: int, stream: str) -> list[Point]:
+    client_rng = rng(f"{stream}-{client_id}")
+    return [
+        Point(
+            float(client_rng.uniform(0.0, DOMAIN_SIDE_KM)),
+            float(client_rng.uniform(0.0, DOMAIN_SIDE_KM)),
+        )
+        for _ in range(n)
+    ]
 
 
 def run_benchmark(n_requests: int = N_REQUESTS) -> dict:
-    square = BoundingBox.square(Point(0.0, 0.0), 20.0)
     per_report = float(sum(BUDGETS))
     requests_per_client = n_requests // N_CLIENTS
 
@@ -82,7 +81,7 @@ def run_benchmark(n_requests: int = N_REQUESTS) -> dict:
         store = MechanismStore(Path(tmp) / "store")
 
         # ---- phase 1: cold — solve every node LP once, persist -------
-        cold = _msm(square)
+        cold = build_gihi_msm(precompute=False)
         start = time.perf_counter()
         cold_record = store.get_or_build(cold)
         cold_seconds = time.perf_counter() - start
@@ -90,14 +89,14 @@ def run_benchmark(n_requests: int = N_REQUESTS) -> dict:
         n_nodes = len(cold.cache)
 
         # ---- phase 2: warm — a new engine adopts everything ----------
-        warm = _msm(square)
+        warm = build_gihi_msm(precompute=False)
         start = time.perf_counter()
         warm_record = store.get_or_build(warm)
         warm_seconds = time.perf_counter() - start
         assert warm_record.outcome == "hit"
         warm.sanitize_batch(
             [Point(3.0, 3.0), Point(17.0, 12.0), Point(9.5, 14.0)],
-            np.random.default_rng(SEED),
+            rng("serve-warm-smoke"),
         )
         warm_builds = warm.cache.builds  # the acceptance number: 0
 
@@ -109,8 +108,8 @@ def run_benchmark(n_requests: int = N_REQUESTS) -> dict:
 
         full_bytes = warm.cache.resident_bytes
         cache_budget = max(1, full_bytes // 2)
-        serving_msm = _msm(
-            square, cache=NodeMechanismCache(max_bytes=cache_budget)
+        serving_msm = build_gihi_msm(
+            precompute=False, cache=NodeMechanismCache(max_bytes=cache_budget)
         )
         serve_record = store.get_or_build(serving_msm)
         assert serve_record.outcome == "hit"
@@ -124,18 +123,15 @@ def run_benchmark(n_requests: int = N_REQUESTS) -> dict:
             max_batch=512,
         )
         server = SanitizationServer(serving_msm, config)
-        server._rng = np.random.default_rng(SEED)
+        server._rng = rng("serve-server")
 
         budget_held = []
 
         def client(client_id: int) -> None:
-            rng = np.random.default_rng(SEED + client_id)
             user = f"user-{client_id}"
-            for _ in range(requests_per_client):
-                x = Point(
-                    float(rng.uniform(0.0, 20.0)),
-                    float(rng.uniform(0.0, 20.0)),
-                )
+            for x in _client_points(
+                client_id, requests_per_client, "serve-client"
+            ):
                 server.report(user, x, timeout=120)
                 budget_held.append(
                     serve_cache.resident_bytes <= cache_budget
@@ -161,23 +157,20 @@ def run_benchmark(n_requests: int = N_REQUESTS) -> dict:
         from repro.core.ledger import BudgetLedger, replay_journal
 
         journal = Path(tmp) / "journal"
-        ledger_msm = _msm(
-            square, cache=NodeMechanismCache(max_bytes=cache_budget)
+        ledger_msm = build_gihi_msm(
+            precompute=False, cache=NodeMechanismCache(max_bytes=cache_budget)
         )
         assert store.get_or_build(ledger_msm).outcome == "hit"
         ledger_server = SanitizationServer(
             ledger_msm, config, ledger=BudgetLedger(journal)
         )
-        ledger_server._rng = np.random.default_rng(SEED)
+        ledger_server._rng = rng("serve-ledger-server")
 
         def ledger_client(client_id: int) -> None:
-            rng = np.random.default_rng(SEED + client_id)
             user = f"user-{client_id}"
-            for _ in range(requests_per_client):
-                x = Point(
-                    float(rng.uniform(0.0, 20.0)),
-                    float(rng.uniform(0.0, 20.0)),
-                )
+            for x in _client_points(
+                client_id, requests_per_client, "serve-client"
+            ):
                 ledger_server.report(user, x, timeout=120)
 
         start = time.perf_counter()
@@ -207,7 +200,7 @@ def run_benchmark(n_requests: int = N_REQUESTS) -> dict:
             "index": f"GIHI g={GRANULARITY} h={HEIGHT}",
             "budgets": list(BUDGETS),
             "n_nodes": n_nodes,
-            "seed": SEED,
+            "seed": ROOT_SEED,
             "python": platform.python_version(),
             "cpu_count": os.cpu_count() or 1,
             # warm-start acceptance
@@ -257,7 +250,9 @@ def run_benchmark(n_requests: int = N_REQUESTS) -> dict:
 def test_serve_warm_start_and_bounded_cache():
     """Acceptance: zero builds after warm-start; bounded resident set."""
     result = run_benchmark()
-    RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    write_bench_artifact(
+        "serve-warm-start-and-bounded-cache", result, RESULT_PATH
+    )
     assert result["warm_builds_after_serving"] == 0, result
     assert result["warm_adopted_nodes"] == result["n_nodes"], result
     assert result["budget_held_at_every_sample"], result
@@ -282,7 +277,9 @@ def main(argv: list[str] | None = None) -> None:
     result = run_benchmark(args.requests)
     print(json.dumps(result, indent=2))
     if args.requests == N_REQUESTS:
-        RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+        write_bench_artifact(
+            "serve-warm-start-and-bounded-cache", result, RESULT_PATH
+        )
         print(f"\nwritten: {RESULT_PATH}")
 
 

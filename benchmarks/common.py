@@ -1,0 +1,136 @@
+"""Shared setup for the benchmark scripts.
+
+Every ``bench_*`` script used to carry its own copy of the same GIHI
+builder, uniform-workload generator and hardcoded seed; they are
+deduplicated here.  Seed policy:
+
+* :data:`ROOT_SEED` (imported from :mod:`repro.bench.runner`, the
+  paper's submission date) is the **only** root of randomness in the
+  benchmark suite.
+* Every independent stream derives from it as
+  ``SeedSequence([ROOT_SEED, crc32(stream_name)])`` — the same
+  derivation the matrix harness uses per cell — so adding a new bench
+  (or a new stream inside one) never perturbs any other bench's draws.
+
+Result files at the repository root (``BENCH_*.json``) go through
+:func:`write_bench_artifact`, which wraps the script's payload in the
+versioned envelope of :mod:`repro.bench.artifact` (schema-validated,
+with git SHA / seed / host provenance).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.bench.artifact import save_artifact, wrap_legacy
+from repro.bench.runner import ROOT_SEED, cell_seed
+from repro.core.msm import MultiStepMechanism
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.grid.hierarchy import HierarchicalGrid
+from repro.grid.regular import RegularGrid
+from repro.priors.base import GridPrior
+
+__all__ = [
+    "BUDGETS",
+    "DOMAIN_SIDE_KM",
+    "GRANULARITY",
+    "HEIGHT",
+    "REPO_ROOT",
+    "ROOT_SEED",
+    "build_gihi_msm",
+    "derive_seed",
+    "domain_square",
+    "rng",
+    "seed_sequence",
+    "uniform_prior",
+    "uniform_workload",
+    "write_bench_artifact",
+]
+
+#: The repository root (where ``BENCH_*.json`` artifacts land).
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: Side of the synthetic benchmark domain.
+DOMAIN_SIDE_KM = 20.0
+
+#: Depth-3 GIHI at g = 3: 91 internal nodes, 729 leaf cells — the
+#: shared instance of the batch/engine/serve throughput benches.
+GRANULARITY = 3
+HEIGHT = 3
+BUDGETS = (0.4, 0.5, 0.6)
+
+
+def seed_sequence(stream: str) -> np.random.SeedSequence:
+    """The seed for a named stream, derived from :data:`ROOT_SEED`."""
+    return cell_seed(ROOT_SEED, stream)
+
+
+def derive_seed(stream: str) -> int:
+    """A plain-integer seed for APIs that cannot take a SeedSequence."""
+    return int(seed_sequence(stream).generate_state(1)[0])
+
+
+def rng(stream: str) -> np.random.Generator:
+    """A fresh generator for a named stream."""
+    return np.random.default_rng(seed_sequence(stream))
+
+
+def domain_square() -> BoundingBox:
+    """The 20 km synthetic benchmark domain."""
+    return BoundingBox.square(Point(0.0, 0.0), DOMAIN_SIDE_KM)
+
+
+def uniform_prior(
+    square: BoundingBox | None = None, granularity: int = GRANULARITY**HEIGHT
+) -> GridPrior:
+    """Uniform prior over the benchmark domain's leaf grid."""
+    square = square if square is not None else domain_square()
+    return GridPrior.uniform(RegularGrid(square, granularity))
+
+
+def build_gihi_msm(
+    granularity: int = GRANULARITY,
+    height: int = HEIGHT,
+    budgets: tuple[float, ...] = BUDGETS,
+    *,
+    obs: Any = None,
+    cache: Any = None,
+    precompute: bool = True,
+) -> MultiStepMechanism:
+    """The shared benchmark instance: GIHI + uniform prior.
+
+    ``precompute=False`` leaves the node cache cold for benches that
+    time the build themselves (e.g. via the mechanism store).
+    """
+    square = domain_square()
+    index = HierarchicalGrid(square, granularity, height)
+    msm = MultiStepMechanism(
+        index,
+        budgets,
+        uniform_prior(square, granularity**height),
+        obs=obs,
+        cache=cache,
+    )
+    if precompute:
+        msm.precompute()
+    return msm
+
+
+def uniform_workload(n: int, stream: str = "workload") -> list[Point]:
+    """``n`` uniform requests over the domain, from a named stream."""
+    square = domain_square()
+    coords = rng(stream).uniform(
+        (square.min_x, square.min_y), (square.max_x, square.max_y), size=(n, 2)
+    )
+    return [Point(float(x), float(y)) for x, y in coords]
+
+
+def write_bench_artifact(
+    slug: str, results: dict[str, Any], path: Path, seed: int = ROOT_SEED
+) -> Path:
+    """Wrap a script payload in the versioned envelope and persist it."""
+    return save_artifact(wrap_legacy(slug, results, seed), path)

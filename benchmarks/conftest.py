@@ -13,6 +13,7 @@ from pathlib import Path
 
 import pytest
 
+from common import derive_seed
 from repro.datasets import load_gowalla_austin, load_yelp_las_vegas
 from repro.eval import ExperimentConfig
 from repro.eval.results import ResultTable
@@ -22,7 +23,11 @@ RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Shared measurement protocol for the benches: more requests than the
 #: test suite, fewer than the paper's 3000 to keep wall-clock sane.
-BENCH_CONFIG = ExperimentConfig(n_requests=1000, seed=42)
+#: The seed is derived from the suite's one root seed
+#: (``common.ROOT_SEED``) like every other benchmark stream.
+BENCH_CONFIG = ExperimentConfig(
+    n_requests=1000, seed=derive_seed("paper-tables")
+)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,69 @@
+"""Benchmark-matrix harness with privacy/utility regression gates.
+
+``repro bench run`` executes a named {mechanism x index x dataset x
+epsilon} matrix and persists a versioned artifact; ``repro bench
+compare`` diffs a run against a committed baseline under per-metric
+tolerance bands and exits non-zero on regression; ``repro bench
+report`` renders paper-figure-style tables.  See ``DESIGN.md`` §12 for
+the schema and the gating policy.
+"""
+
+from repro.bench.artifact import (
+    REQUIRED_CELL_METRICS,
+    SCHEMA_VERSION,
+    ArtifactError,
+    load_artifact,
+    save_artifact,
+    validate_artifact,
+    validation_errors,
+    wrap_legacy,
+)
+from repro.bench.compare import (
+    DEFAULT_TOLERANCES,
+    Comparison,
+    MetricVerdict,
+    Tolerance,
+    compare_artifacts,
+    format_comparison,
+    parse_tolerance_overrides,
+)
+from repro.bench.matrix import (
+    MATRICES,
+    CellSpec,
+    DatasetSpec,
+    IndexSpec,
+    MatrixSpec,
+    get_matrix,
+)
+from repro.bench.report import format_report, report_tables
+from repro.bench.runner import ROOT_SEED, cell_seed, run_cell, run_matrix
+
+__all__ = [
+    "ArtifactError",
+    "CellSpec",
+    "Comparison",
+    "DEFAULT_TOLERANCES",
+    "DatasetSpec",
+    "IndexSpec",
+    "MATRICES",
+    "MatrixSpec",
+    "MetricVerdict",
+    "REQUIRED_CELL_METRICS",
+    "ROOT_SEED",
+    "SCHEMA_VERSION",
+    "Tolerance",
+    "cell_seed",
+    "compare_artifacts",
+    "format_comparison",
+    "format_report",
+    "get_matrix",
+    "load_artifact",
+    "parse_tolerance_overrides",
+    "report_tables",
+    "run_cell",
+    "run_matrix",
+    "save_artifact",
+    "validate_artifact",
+    "validation_errors",
+    "wrap_legacy",
+]

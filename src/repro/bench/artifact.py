@@ -1,0 +1,213 @@
+"""Versioned benchmark artifacts.
+
+Every benchmark run — a full matrix run or one of the legacy
+``bench_*`` scripts — persists a JSON artifact in one envelope:
+
+.. code-block:: json
+
+    {
+      "schema_version": 1,
+      "kind": "matrix" | "bench",
+      "git_sha": "...",          // provenance
+      "seed": 20190326,          // the run's root seed
+      "host": {"python": "...", "platform": "...", "cpu_count": 8},
+      ...                        // kind-specific payload
+    }
+
+``kind == "matrix"`` artifacts carry ``matrix`` (the matrix name),
+``config`` (workload sizes) and ``cells`` — one entry per
+{mechanism x index x dataset x epsilon} cell, each with the full metric
+panel.  ``kind == "bench"`` artifacts carry ``benchmark`` (the script
+slug) and ``results`` (the script's legacy payload, unchanged), which
+is how the pre-harness ``BENCH_*.json`` files stay auditable without
+losing their committed history.
+
+Validation is hand-rolled (no jsonschema dependency): the checker
+accumulates every problem instead of stopping at the first, so a
+``compare`` failure on a malformed artifact diagnoses itself.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import EvaluationError
+
+#: Bump when the envelope or the cell metric panel changes shape.
+SCHEMA_VERSION = 1
+
+#: Metric keys every matrix cell must report.  ``conditional_entropy``
+#: and ``worst_case_loss`` are deliberately mandatory — the Oya et al.
+#: point is that they are not optional extras.
+REQUIRED_CELL_METRICS = (
+    "throughput_pts_per_s",
+    "mean_loss_km",
+    "worst_case_loss_km",
+    "adversarial_error_km",
+    "identification_rate",
+    "conditional_entropy_bits",
+    "prior_entropy_bits",
+    "empirical_epsilon",
+    "epsilon_tight",
+)
+
+_REQUIRED_HOST_KEYS = ("python", "platform", "cpu_count")
+
+
+class ArtifactError(EvaluationError):
+    """A benchmark artifact failed schema validation."""
+
+
+def git_sha(repo_root: Path | None = None) -> str:
+    """The current commit SHA, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=repo_root,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def host_info() -> dict[str, Any]:
+    """The machine fingerprint recorded in every artifact."""
+    import os
+
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def envelope(kind: str, seed: int | None) -> dict[str, Any]:
+    """A fresh artifact envelope with provenance filled in."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "kind": kind,
+        "git_sha": git_sha(),
+        "created_unix": round(time.time(), 3),
+        "seed": seed,
+        "host": host_info(),
+    }
+
+
+def wrap_legacy(
+    benchmark: str, results: dict[str, Any], seed: int | None
+) -> dict[str, Any]:
+    """Wrap a legacy ``bench_*`` payload in the versioned envelope."""
+    artifact = envelope("bench", seed)
+    artifact["benchmark"] = benchmark
+    artifact["results"] = results
+    return artifact
+
+
+def validation_errors(artifact: Any) -> list[str]:
+    """Every schema problem in ``artifact`` (empty list == valid)."""
+    errors: list[str] = []
+    if not isinstance(artifact, dict):
+        return [f"artifact must be an object, got {type(artifact).__name__}"]
+    version = artifact.get("schema_version")
+    if version != SCHEMA_VERSION:
+        errors.append(
+            f"schema_version must be {SCHEMA_VERSION}, got {version!r}"
+        )
+    kind = artifact.get("kind")
+    if kind not in ("matrix", "bench"):
+        errors.append(f"kind must be 'matrix' or 'bench', got {kind!r}")
+    if not isinstance(artifact.get("git_sha"), str):
+        errors.append("git_sha must be a string")
+    seed = artifact.get("seed")
+    if seed is not None and not isinstance(seed, int):
+        errors.append(f"seed must be an integer or null, got {seed!r}")
+    host = artifact.get("host")
+    if not isinstance(host, dict):
+        errors.append("host must be an object")
+    else:
+        for key in _REQUIRED_HOST_KEYS:
+            if key not in host:
+                errors.append(f"host.{key} is missing")
+    if kind == "bench":
+        if not isinstance(artifact.get("benchmark"), str):
+            errors.append("bench artifacts need a string 'benchmark'")
+        if not isinstance(artifact.get("results"), dict):
+            errors.append("bench artifacts need an object 'results'")
+    elif kind == "matrix":
+        if not isinstance(artifact.get("matrix"), str):
+            errors.append("matrix artifacts need a string 'matrix' name")
+        cells = artifact.get("cells")
+        if not isinstance(cells, list) or not cells:
+            errors.append("matrix artifacts need a non-empty 'cells' list")
+        else:
+            for i, cell in enumerate(cells):
+                errors.extend(_cell_errors(cell, i))
+    return errors
+
+
+def _cell_errors(cell: Any, i: int) -> list[str]:
+    where = f"cells[{i}]"
+    if not isinstance(cell, dict):
+        return [f"{where} must be an object"]
+    errors = []
+    for key in ("cell_id", "mechanism", "index", "dataset"):
+        if not isinstance(cell.get(key), str):
+            errors.append(f"{where}.{key} must be a string")
+    if not isinstance(cell.get("epsilon"), (int, float)):
+        errors.append(f"{where}.epsilon must be a number")
+    metrics = cell.get("metrics")
+    if not isinstance(metrics, dict):
+        errors.append(f"{where}.metrics must be an object")
+        return errors
+    for key in REQUIRED_CELL_METRICS:
+        value = metrics.get(key)
+        if not isinstance(value, (int, float)):
+            errors.append(
+                f"{where}.metrics.{key} must be a number, got {value!r}"
+            )
+    return errors
+
+
+def validate_artifact(artifact: Any) -> dict[str, Any]:
+    """Return ``artifact`` if schema-valid, else raise with every problem."""
+    errors = validation_errors(artifact)
+    if errors:
+        raise ArtifactError(
+            "invalid benchmark artifact:\n  " + "\n  ".join(errors)
+        )
+    return artifact
+
+
+def save_artifact(artifact: dict[str, Any], path: str | Path) -> Path:
+    """Validate and write an artifact as pretty-printed JSON."""
+    validate_artifact(artifact)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(artifact, indent=2, sort_keys=False) + "\n")
+    return path
+
+
+def load_artifact(path: str | Path) -> dict[str, Any]:
+    """Read and validate an artifact from disk."""
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactError(f"no artifact at {path}")
+    try:
+        artifact = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise ArtifactError(f"{path} is not valid JSON: {exc}") from exc
+    try:
+        return validate_artifact(artifact)
+    except ArtifactError as exc:
+        raise ArtifactError(f"{path}: {exc}") from None

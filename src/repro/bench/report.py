@@ -1,0 +1,70 @@
+"""Paper-figure-style rendering of matrix run artifacts.
+
+One :class:`~repro.eval.results.ResultTable` per dataset, rows ordered
+as the matrix enumerates cells, columns mirroring the paper's
+presentation (utility and timing side by side) extended with the
+Oya-style privacy panel.  The rendering is deliberately deterministic —
+it is golden-file tested, and a stable text form makes CI diffs of two
+runs readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.eval.results import ResultTable
+
+#: Column order of the per-dataset tables.
+_COLUMNS = [
+    "mechanism",
+    "index",
+    "eps",
+    "loss_km",
+    "worst_km",
+    "adv_err_km",
+    "H(X|Z)_bits",
+    "emp_eps",
+    "kpts_per_s",
+]
+
+
+def report_tables(artifact: Mapping[str, Any]) -> list[ResultTable]:
+    """Render a matrix artifact as one table per dataset."""
+    datasets: dict[str, list[dict]] = {}
+    for cell in artifact["cells"]:
+        datasets.setdefault(cell["dataset"], []).append(cell)
+    tables = []
+    for dataset, cells in datasets.items():
+        table = ResultTable(
+            title=(
+                f"Benchmark matrix {artifact['matrix']!r} — "
+                f"dataset {dataset}"
+            ),
+            columns=list(_COLUMNS),
+            notes=(
+                f"git {str(artifact.get('git_sha', 'unknown'))[:12]}, "
+                f"seed {artifact.get('seed')}, "
+                f"{artifact.get('config', {}).get('n_points', '?')} "
+                "points/cell"
+            ),
+        )
+        for cell in cells:
+            m = cell["metrics"]
+            table.add_row(
+                cell["mechanism"],
+                cell["index"],
+                cell["epsilon"],
+                m["mean_loss_km"],
+                m["worst_case_loss_km"],
+                m["adversarial_error_km"],
+                m["conditional_entropy_bits"],
+                m["empirical_epsilon"],
+                m["throughput_pts_per_s"] / 1000.0,
+            )
+        tables.append(table)
+    return tables
+
+
+def format_report(artifact: Mapping[str, Any]) -> str:
+    """All tables of a run, as one stable text block."""
+    return "\n\n".join(t.format() for t in report_tables(artifact))

@@ -15,6 +15,11 @@ Subcommands::
                       ablation-budget|ablation-spanner|ablation-index|
                       ablation-prior
                       --dataset gowalla --requests 600 [--csv out.csv]
+    repro bench run      --matrix smoke [--out PATH]   run a benchmark
+                      matrix, persist a versioned artifact
+    repro bench compare  --baseline PATH [--run PATH]  gate a run
+                      against a baseline (exit 1 on regression)
+    repro bench report   [--run PATH | --matrix NAME]  paper-style tables
 
 The serve subcommand is self-driving: it starts a
 :class:`~repro.serve.SanitizationServer`, spawns client threads that
@@ -284,6 +289,57 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _default_run_path(matrix_name: str) -> str:
+    return f"benchmarks/runs/{matrix_name}.json"
+
+
+def _cmd_bench_run(args: argparse.Namespace) -> int:
+    from repro.bench import ROOT_SEED, get_matrix, run_matrix, save_artifact
+
+    spec = get_matrix(args.matrix)
+    seed = args.seed if args.seed is not None else ROOT_SEED
+    artifact = run_matrix(spec, root_seed=seed, progress=print)
+    out = args.out or _default_run_path(spec.name)
+    path = save_artifact(artifact, out)
+    print(f"cells    : {len(artifact['cells'])}")
+    print(f"artifact : {path}")
+    return 0
+
+
+def _cmd_bench_compare(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        compare_artifacts,
+        format_comparison,
+        load_artifact,
+        parse_tolerance_overrides,
+    )
+    from repro.bench.artifact import ArtifactError
+
+    try:
+        baseline = load_artifact(args.baseline)
+    except ArtifactError as exc:
+        if args.allow_missing_baseline:
+            print(f"missing-baseline: {exc}")
+            print("verdict: PASS (no baseline committed yet)")
+            return 0
+        raise SystemExit(f"missing-baseline: {exc}")
+    run_path = args.run or _default_run_path(str(baseline.get("matrix")))
+    run = load_artifact(run_path)
+    tolerances = parse_tolerance_overrides(args.tolerance)
+    comparison = compare_artifacts(run, baseline, tolerances)
+    print(format_comparison(comparison))
+    return 0 if comparison.ok else 1
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    from repro.bench import format_report, load_artifact
+
+    run_path = args.run or _default_run_path(args.matrix)
+    artifact = load_artifact(run_path)
+    print(format_report(artifact))
+    return 0
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset, args.fraction)
     config = experiments.ExperimentConfig(
@@ -393,6 +449,52 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--trace-out", default=None, metavar="PATH",
                          help="dump spans + metrics as JSON lines to PATH")
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_bench = sub.add_parser(
+        "bench",
+        help="benchmark-matrix harness: run / compare / report",
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+
+    p_brun = bench_sub.add_parser(
+        "run", help="run a named benchmark matrix and persist the artifact"
+    )
+    p_brun.add_argument("--matrix", default="smoke",
+                        help="matrix name (default: smoke)")
+    p_brun.add_argument("--out", default=None, metavar="PATH",
+                        help="artifact path "
+                             "(default benchmarks/runs/<matrix>.json)")
+    p_brun.add_argument("--seed", type=int, default=None)
+    p_brun.set_defaults(func=_cmd_bench_run)
+
+    p_bcmp = bench_sub.add_parser(
+        "compare",
+        help="gate a run against a baseline; exit 1 on regression",
+    )
+    p_bcmp.add_argument("--baseline", required=True, metavar="PATH",
+                        help="committed baseline artifact")
+    p_bcmp.add_argument("--run", default=None, metavar="PATH",
+                        help="run artifact (default: the baseline matrix's "
+                             "benchmarks/runs/<matrix>.json)")
+    p_bcmp.add_argument("--tolerance", action="append", default=None,
+                        metavar="METRIC=REL_TOL",
+                        help="override one metric's relative tolerance "
+                             "band (repeatable), e.g. "
+                             "throughput_pts_per_s=0.75")
+    p_bcmp.add_argument("--allow-missing-baseline", action="store_true",
+                        help="pass (exit 0) when the baseline file does "
+                             "not exist yet instead of failing")
+    p_bcmp.set_defaults(func=_cmd_bench_compare)
+
+    p_brep = bench_sub.add_parser(
+        "report", help="render a run artifact as paper-style tables"
+    )
+    p_brep.add_argument("--run", default=None, metavar="PATH",
+                        help="run artifact (default "
+                             "benchmarks/runs/<matrix>.json)")
+    p_brep.add_argument("--matrix", default="smoke",
+                        help="matrix name used for the default --run path")
+    p_brep.set_defaults(func=_cmd_bench_report)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))

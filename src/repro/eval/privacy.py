@@ -1,0 +1,248 @@
+"""Adversarial privacy metrics beyond expected inference error.
+
+"Is Geo-Indistinguishability What You Are Looking For?" (Oya et al.)
+shows that a mechanism can look private under a single summary number
+while leaking badly under another: the adversary's *expected* error can
+stay high while the posterior concentrates for most outputs, and a
+mechanism optimised for average-case quality loss can be terrible in
+the worst case.  This module therefore computes the complementary
+metrics the paper argues must be tracked together:
+
+* **conditional entropy** ``H(X | Z)`` — how uncertain the Bayesian
+  adversary remains *on average* after observing the report.  Bounded
+  by ``0 <= H(X|Z) <= H(X)`` (conditioning never increases entropy).
+* **worst-case expected loss** ``max_x E_z[dQ(x, z)]`` — the quality
+  loss suffered by the unluckiest user, always at least the
+  prior-averaged expected loss.
+* **empirical epsilon from sampled counts** — the estimator of
+  ``tests/test_statistical.py`` factored into library code, so the
+  benchmark harness and the statistical test suite measure privacy
+  drift with the *same* routine.
+
+All of these consume a :class:`~repro.mechanisms.matrix.MechanismMatrix`
+plus a prior, which every mechanism in the library can produce (MSM via
+``to_matrix``, grid mechanisms directly, PL via its quadrature
+discretisation) — making the metrics uniform across the benchmark
+matrix and the attack tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.attacks.bayesian import optimal_inference_attack
+from repro.exceptions import EvaluationError
+from repro.geo.metric import EUCLIDEAN, Metric
+from repro.geo.point import Point
+from repro.grid.regular import RegularGrid
+from repro.mechanisms.base import Mechanism
+from repro.mechanisms.matrix import MechanismMatrix
+from repro.mechanisms.remap import posterior_matrix
+from repro.privacy.geoind import empirical_epsilon as matrix_epsilon_tight
+
+#: Minimum per-cell sample count for a cell pair to enter the empirical
+#: epsilon estimate (matches ``tests/test_statistical.py``: below this
+#: the log-ratio's standard error dwarfs the signal).
+DEFAULT_MIN_COUNT = 100
+
+
+def _as_prior(prior: np.ndarray, n: int) -> np.ndarray:
+    prior = np.asarray(prior, dtype=float).ravel()
+    if prior.size != n:
+        raise EvaluationError(
+            f"prior has {prior.size} entries for {n} inputs"
+        )
+    if np.any(prior < 0):
+        raise EvaluationError("prior has negative mass")
+    total = prior.sum()
+    if not np.isfinite(total) or total <= 0:
+        raise EvaluationError("prior mass must be positive and finite")
+    return prior / total
+
+
+def prior_entropy(prior: np.ndarray) -> float:
+    """Shannon entropy ``H(X)`` of a prior, in bits."""
+    prior = _as_prior(prior, np.asarray(prior).size)
+    positive = prior[prior > 0]
+    return float(-(positive * np.log2(positive)).sum())
+
+
+def conditional_entropy(matrix: MechanismMatrix, prior: np.ndarray) -> float:
+    """Adversary's posterior entropy ``H(X | Z)`` in bits.
+
+    ``H(X|Z) = sum_z Pr[z] H(sigma(.|z))`` with the Bayesian posterior
+    ``sigma(x|z) ~ prior(x) K(x, z)``.  Outputs the mechanism never
+    emits under this prior carry zero marginal mass and contribute
+    nothing, whatever posterior convention they get.
+    """
+    prior = _as_prior(prior, matrix.shape[0])
+    marginal = prior @ matrix.k  # (z,)
+    sigma = posterior_matrix(matrix, prior)  # (z, x)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        surprisal = np.where(sigma > 0, -sigma * np.log2(sigma), 0.0)
+    per_z = surprisal.sum(axis=1)  # (z,)
+    return float(marginal @ per_z)
+
+
+def per_input_expected_loss(
+    matrix: MechanismMatrix, metric: Metric = EUCLIDEAN
+) -> np.ndarray:
+    """``E_z[dQ(x, z)]`` for every input ``x`` — the loss profile."""
+    d = metric.pairwise(matrix.inputs, matrix.outputs)
+    return (matrix.k * d).sum(axis=1)
+
+
+def worst_case_expected_loss(
+    matrix: MechanismMatrix, metric: Metric = EUCLIDEAN
+) -> float:
+    """``max_x E_z[dQ(x, z)]`` — the unluckiest user's quality loss.
+
+    Always ``>=`` the prior-averaged :meth:`MechanismMatrix.expected_loss`
+    because a maximum dominates every convex combination.
+    """
+    return float(per_input_expected_loss(matrix, metric).max())
+
+
+def empirical_epsilon_from_counts(
+    counts: np.ndarray,
+    centers: Sequence[Point],
+    min_count: int = DEFAULT_MIN_COUNT,
+    dx: Metric = EUCLIDEAN,
+) -> float:
+    """Empirical GeoInd level from sampled output histograms.
+
+    ``counts[i, c]`` is how often input ``i`` produced output cell
+    ``c``; ``centers[i]`` is input ``i``'s location.  For every ordered
+    input pair the estimator takes the largest log frequency ratio over
+    cells observed at least ``min_count`` times on *both* sides and
+    divides by the pair's ``dx`` distance — exactly the computation of
+    ``tests/test_statistical.py``, shared so the benchmark harness and
+    the statistical suite cannot drift apart.  Returns ``0.0`` when no
+    pair has a well-sampled shared cell.
+    """
+    counts = np.asarray(counts, dtype=float)
+    if counts.ndim != 2 or counts.shape[0] != len(centers):
+        raise EvaluationError(
+            f"counts shape {counts.shape} does not match "
+            f"{len(centers)} input centers"
+        )
+    eps_hat = 0.0
+    for i in range(len(centers)):
+        for j in range(len(centers)):
+            if i == j:
+                continue
+            both = (counts[i] >= min_count) & (counts[j] >= min_count)
+            if not both.any():
+                continue
+            ratio = float(np.log(counts[i][both] / counts[j][both]).max())
+            d = dx(centers[i], centers[j])
+            if d > 0:
+                eps_hat = max(eps_hat, ratio / d)
+    return eps_hat
+
+
+def sample_leaf_counts(
+    mechanism: Mechanism,
+    inputs: Sequence[Point],
+    grid: RegularGrid,
+    n_per_input: int,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Output histograms over ``grid`` cells, one row per input.
+
+    Drives the mechanism's *actual sampling path* (``sample_many``), so
+    the estimate covers the sampler, not just the matrix it claims to
+    implement.
+    """
+    if n_per_input <= 0:
+        raise EvaluationError("n_per_input must be positive")
+    counts = np.zeros((len(inputs), grid.n_cells), dtype=float)
+    for i, x in enumerate(inputs):
+        for z in mechanism.sample_many([x] * n_per_input, rng):
+            counts[i, grid.locate(z).index] += 1
+    return counts
+
+
+def empirical_epsilon_sampled(
+    mechanism: Mechanism,
+    inputs: Sequence[Point],
+    grid: RegularGrid,
+    n_per_input: int,
+    rng: np.random.Generator,
+    min_count: int = DEFAULT_MIN_COUNT,
+    dx: Metric = EUCLIDEAN,
+) -> float:
+    """Empirical epsilon of a live mechanism, measured by sampling."""
+    counts = sample_leaf_counts(mechanism, inputs, grid, n_per_input, rng)
+    return empirical_epsilon_from_counts(
+        counts, list(inputs), min_count=min_count, dx=dx
+    )
+
+
+@dataclass(frozen=True)
+class PrivacyMetrics:
+    """The Oya-style metric panel for one mechanism configuration.
+
+    Attributes
+    ----------
+    adversarial_error:
+        Optimal Bayesian adversary's remaining expected error (km).
+    identification_rate:
+        Probability the MAP guess hits the true cell.
+    prior_error:
+        Blind-guess baseline error (no observation).
+    conditional_entropy_bits:
+        ``H(X | Z)`` under the evaluation prior.
+    prior_entropy_bits:
+        ``H(X)`` — the ceiling of the conditional entropy.
+    expected_loss:
+        Prior-averaged quality loss ``E[dQ(x, z)]`` (km).
+    worst_case_loss:
+        ``max_x E_z[dQ(x, z)]`` (km); always ``>= expected_loss``.
+    epsilon_tight:
+        The exact GeoInd level of the matrix under ``dx`` (may be
+        ``inf`` for mechanisms with disjoint supports).
+    """
+
+    adversarial_error: float
+    identification_rate: float
+    prior_error: float
+    conditional_entropy_bits: float
+    prior_entropy_bits: float
+    expected_loss: float
+    worst_case_loss: float
+    epsilon_tight: float
+
+
+def privacy_metrics(
+    matrix: MechanismMatrix,
+    prior: np.ndarray,
+    metric: Metric = EUCLIDEAN,
+    epsilon_tight: bool = True,
+) -> PrivacyMetrics:
+    """Compute the full adversarial metric panel for one matrix.
+
+    ``epsilon_tight=False`` skips the exact GeoInd sweep (quadratic in
+    the location count) and reports ``nan`` — useful when only the
+    entropy/loss panel is needed on large matrices.
+    """
+    prior = _as_prior(prior, matrix.shape[0])
+    attack = optimal_inference_attack(matrix, prior, metric)
+    tight = (
+        float(matrix_epsilon_tight(matrix)[0])
+        if epsilon_tight
+        else float("nan")
+    )
+    return PrivacyMetrics(
+        adversarial_error=attack.expected_error,
+        identification_rate=attack.identification_rate,
+        prior_error=attack.prior_error,
+        conditional_entropy_bits=conditional_entropy(matrix, prior),
+        prior_entropy_bits=prior_entropy(prior),
+        expected_loss=matrix.expected_loss(prior, metric),
+        worst_case_loss=worst_case_expected_loss(matrix, metric),
+        epsilon_tight=tight,
+    )

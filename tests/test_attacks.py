@@ -94,3 +94,57 @@ class TestAttack:
             m, coarse_prior.probabilities, SQUARED_EUCLIDEAN
         )
         assert r1.expected_error != pytest.approx(r2.expected_error)
+
+
+class TestPanelConsistency:
+    """The Oya-style panel and the raw attack report must agree.
+
+    ``repro.eval.privacy.privacy_metrics`` is what the benchmark
+    harness records per matrix cell; these tests pin it to the attack
+    primitives it wraps, on the same matrices the attack tests use.
+    """
+
+    def test_panel_wraps_the_attack_report(self, coarse_prior):
+        from repro.eval.privacy import privacy_metrics
+
+        m = exponential_matrix(coarse_prior.grid, 0.5)
+        report = optimal_inference_attack(
+            m, coarse_prior.probabilities, EUCLIDEAN
+        )
+        panel = privacy_metrics(m, coarse_prior.probabilities, EUCLIDEAN)
+        assert panel.adversarial_error == pytest.approx(
+            report.expected_error
+        )
+        assert panel.identification_rate == pytest.approx(
+            report.identification_rate
+        )
+        assert panel.prior_error == pytest.approx(report.prior_error)
+
+    def test_more_budget_shrinks_conditional_entropy(self, coarse_prior):
+        """More budget leaks more: H(X|Z) must fall as eps grows."""
+        from repro.eval.privacy import privacy_metrics
+
+        entropies = [
+            privacy_metrics(
+                exponential_matrix(coarse_prior.grid, eps),
+                coarse_prior.probabilities,
+                EUCLIDEAN,
+                epsilon_tight=False,
+            ).conditional_entropy_bits
+            for eps in (0.1, 0.5, 2.0)
+        ]
+        assert entropies[0] >= entropies[1] >= entropies[2]
+
+    def test_worst_case_dominates_average_on_attack_matrices(
+        self, coarse_prior
+    ):
+        from repro.eval.privacy import privacy_metrics
+
+        m = exponential_matrix(coarse_prior.grid, 0.5)
+        panel = privacy_metrics(
+            m, coarse_prior.probabilities, EUCLIDEAN, epsilon_tight=False
+        )
+        assert panel.worst_case_loss >= panel.expected_loss - 1e-12
+        assert panel.conditional_entropy_bits <= (
+            panel.prior_entropy_bits + 1e-12
+        )

@@ -29,8 +29,8 @@ import pytest
 from scipy import stats
 
 from repro.core.msm import MultiStepMechanism
+from repro.eval.privacy import empirical_epsilon_from_counts
 from repro.geo.bbox import BoundingBox
-from repro.geo.metric import EUCLIDEAN
 from repro.geo.point import Point
 from repro.grid.hierarchy import HierarchicalGrid
 from repro.grid.regular import RegularGrid
@@ -175,7 +175,13 @@ class TestEmpiricalEpsilon:
     TOLERANCE = 0.15
 
     def test_single_level_empirical_epsilon(self, square20):
-        """Height-1 MSM: one guarded OPT step, Euclidean guarantee."""
+        """Height-1 MSM: one guarded OPT step, Euclidean guarantee.
+
+        The estimation itself lives in
+        :func:`repro.eval.privacy.empirical_epsilon_from_counts` — the
+        same routine the benchmark harness reports per matrix cell — so
+        this test and the harness cannot drift apart.
+        """
         epsilon = 0.5
         prior = GridPrior.uniform(RegularGrid(square20, 3))
         index = HierarchicalGrid(square20, 3, 1)
@@ -188,19 +194,9 @@ class TestEmpiricalEpsilon:
         for i, x in enumerate(centers):
             walks = msm.sanitize_batch([x] * n_per_input, rng)
             counts[i] = leaf_counts(msm, [w.point for w in walks])
-        eps_hat = 0.0
-        for i in range(len(centers)):
-            for j in range(len(centers)):
-                if i == j:
-                    continue
-                both = (counts[i] >= self.MIN_COUNT) & (
-                    counts[j] >= self.MIN_COUNT
-                )
-                if not both.any():
-                    continue
-                ratio = np.log(counts[i][both] / counts[j][both]).max()
-                d = EUCLIDEAN(centers[i], centers[j])
-                eps_hat = max(eps_hat, ratio / d)
+        eps_hat = empirical_epsilon_from_counts(
+            counts, centers, min_count=self.MIN_COUNT
+        )
         assert eps_hat > 0.0  # the estimate actually saw binding pairs
         assert eps_hat <= epsilon * (1.0 + self.TOLERANCE), (
             f"empirical epsilon {eps_hat:.4f} exceeds configured "

@@ -3,9 +3,15 @@
 Runs ``scripts/check_privacy_guards.py`` against the real source tree
 (so an unguarded ``MechanismMatrix(...)`` construction fails the test
 suite, not just CI scripts nobody runs) and pins the checker's own
-matching rules on a synthetic tree.
+matching rules on a synthetic tree.  Also keeps the test *tooling*
+honest: every pytest marker used anywhere in ``tests/`` or
+``benchmarks/`` must be declared in ``pyproject.toml`` (an undeclared
+marker silently stops matching ``-m`` deselection), and every committed
+``BENCH_*.json`` at the repository root must parse against the
+versioned benchmark-artifact schema.
 """
 
+import re
 import subprocess
 import sys
 from pathlib import Path
@@ -16,6 +22,95 @@ pytestmark = pytest.mark.faults
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 SCRIPT = REPO_ROOT / "scripts" / "check_privacy_guards.py"
+
+#: Markers provided by pytest itself or by installed plugins; everything
+#: else used in the suites must be declared in ``pyproject.toml``.
+BUILTIN_OR_PLUGIN_MARKERS = {
+    "parametrize",
+    "skip",
+    "skipif",
+    "xfail",
+    "usefixtures",
+    "filterwarnings",
+    "benchmark",  # pytest-benchmark
+}
+
+_MARK_USE = re.compile(r"pytest\.mark\.([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def _declared_markers() -> set[str]:
+    """Marker names declared under ``[tool.pytest.ini_options]``."""
+    text = (REPO_ROOT / "pyproject.toml").read_text(encoding="utf-8")
+    block = re.search(r"markers\s*=\s*\[(.*?)\]", text, re.DOTALL)
+    assert block, "pyproject.toml has no pytest markers declaration"
+    return {
+        entry.split(":")[0].strip()
+        for entry in re.findall(r'"([^"]+)"', block.group(1))
+    }
+
+
+def _used_markers() -> dict[str, set[str]]:
+    """``marker name -> files using it`` over tests/ and benchmarks/."""
+    used: dict[str, set[str]] = {}
+    for directory in ("tests", "benchmarks"):
+        for path in sorted((REPO_ROOT / directory).glob("*.py")):
+            for name in _MARK_USE.findall(path.read_text(encoding="utf-8")):
+                used.setdefault(name, set()).add(
+                    str(path.relative_to(REPO_ROOT))
+                )
+    return used
+
+
+class TestMarkersDeclared:
+    def test_every_used_marker_is_declared(self):
+        declared = _declared_markers()
+        undeclared = {
+            name: sorted(files)
+            for name, files in _used_markers().items()
+            if name not in declared and name not in BUILTIN_OR_PLUGIN_MARKERS
+        }
+        assert not undeclared, (
+            "markers used but not declared in pyproject.toml: "
+            f"{undeclared}"
+        )
+
+    def test_scanner_sees_the_known_markers(self):
+        """Guard the scanner itself against silently matching nothing."""
+        used = _used_markers()
+        for expected in ("faults", "statistical", "chaos"):
+            assert expected in used, f"scanner lost track of {expected!r}"
+
+
+class TestCommittedBenchArtifacts:
+    def test_every_bench_json_matches_the_schema(self):
+        from repro.bench.artifact import validation_errors
+
+        paths = sorted(REPO_ROOT.glob("BENCH_*.json"))
+        assert paths, "no BENCH_*.json artifacts at the repository root"
+        problems = {}
+        for path in paths:
+            import json
+
+            try:
+                artifact = json.loads(path.read_text(encoding="utf-8"))
+            except json.JSONDecodeError as exc:
+                problems[path.name] = [f"not valid JSON: {exc}"]
+                continue
+            errors = validation_errors(artifact)
+            if errors:
+                problems[path.name] = errors
+        assert not problems, f"invalid committed artifacts: {problems}"
+
+    def test_baselines_match_the_schema(self):
+        from repro.bench.artifact import load_artifact
+
+        baselines = sorted(
+            (REPO_ROOT / "benchmarks" / "baselines").glob("*.json")
+        )
+        assert baselines, "no committed baselines under benchmarks/baselines"
+        for path in baselines:
+            artifact = load_artifact(path)  # raises on schema violations
+            assert artifact["kind"] == "matrix"
 
 
 def _load_checker():
