@@ -19,6 +19,7 @@ from repro.bench.artifact import (
     wrap_legacy,
 )
 from repro.bench.compare import (
+    BENCH_TOLERANCES,
     DEFAULT_TOLERANCES,
     Comparison,
     MetricVerdict,
@@ -40,6 +41,7 @@ from repro.bench.runner import ROOT_SEED, cell_seed, run_cell, run_matrix
 
 __all__ = [
     "ArtifactError",
+    "BENCH_TOLERANCES",
     "CellSpec",
     "Comparison",
     "DEFAULT_TOLERANCES",

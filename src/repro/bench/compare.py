@@ -90,12 +90,29 @@ DEFAULT_TOLERANCES: dict[str, Tolerance] = {
     "epsilon_tight": Tolerance("higher_is_worse", 0.10),
 }
 
+#: Gated metrics for ``kind == "bench"`` artifacts (the committed
+#: ``BENCH_*.json`` files).  All throughputs or throughput ratios, so
+#: they share the machine-dependent 45% floor band.
+BENCH_TOLERANCES: dict[str, Tolerance] = {
+    "serial_points_per_second": Tolerance("lower_is_worse", 0.45),
+    "kernel_points_per_second": Tolerance("lower_is_worse", 0.45),
+    "sharded_points_per_second": Tolerance("lower_is_worse", 0.45),
+    "kernel_speedup": Tolerance("lower_is_worse", 0.45),
+    "speedup": Tolerance("lower_is_worse", 0.45),
+}
+
+#: The sharded-throughput band: only meaningful when process sharding
+#: can actually win, i.e. on multi-core hosts.  When either artifact
+#: declares ``expected_gate == "none"`` (single-core serial fallback)
+#: these metrics are skipped rather than compared across regimes.
+_SHARDED_METRICS = frozenset({"sharded_points_per_second", "speedup"})
+
 
 def parse_tolerance_overrides(
     overrides: list[str] | None,
 ) -> dict[str, Tolerance]:
     """Merge ``metric=rel_tol`` CLI strings over the defaults."""
-    tolerances = dict(DEFAULT_TOLERANCES)
+    tolerances = {**DEFAULT_TOLERANCES, **BENCH_TOLERANCES}
     for item in overrides or []:
         name, _, value = item.partition("=")
         name = name.strip()
@@ -172,15 +189,94 @@ def _cells_by_id(artifact: Mapping[str, Any]) -> dict[str, dict]:
     return {cell["cell_id"]: cell for cell in artifact["cells"]}
 
 
+def _declared_gate(artifact: Mapping[str, Any]) -> str:
+    """A bench artifact's sharded-throughput regime.
+
+    Prefers the recorded ``expected_gate`` field; artifacts that
+    predate it fall back to the recorded ``cpu_count``.
+    """
+    results = artifact.get("results", {})
+    gate = results.get("expected_gate")
+    if gate is not None:
+        return str(gate)
+    cpu = results.get(
+        "cpu_count", artifact.get("host", {}).get("cpu_count", 1)
+    )
+    return "none" if int(cpu) < 2 else "multicore"
+
+
+def _compare_bench(
+    run: Mapping[str, Any],
+    baseline: Mapping[str, Any],
+    tolerances: Mapping[str, Tolerance] | None,
+) -> Comparison:
+    """Gate one legacy ``BENCH_*.json`` payload against its baseline."""
+    if run.get("benchmark") != baseline.get("benchmark"):
+        raise EvaluationError(
+            f"benchmark mismatch: run is {run.get('benchmark')!r}, "
+            f"baseline is {baseline.get('benchmark')!r}"
+        )
+    name = str(run.get("benchmark"))
+    gated = {
+        metric: (tolerances or {}).get(metric, tol)
+        for metric, tol in BENCH_TOLERANCES.items()
+    }
+    skip_sharded = (
+        _declared_gate(run) == "none" or _declared_gate(baseline) == "none"
+    )
+    run_results = run.get("results", {})
+    base_results = baseline.get("results", {})
+    verdicts: list[MetricVerdict] = []
+    for metric, tol in gated.items():
+        if skip_sharded and metric in _SHARDED_METRICS:
+            continue
+        base_value = base_results.get(metric)
+        if base_value is None:
+            continue  # baseline predates the metric: nothing to gate
+        run_value = run_results.get(metric)
+        if run_value is None:
+            verdicts.append(
+                MetricVerdict(
+                    name, metric, FAIL, None, float(base_value),
+                    tol.direction, tol.rel_tol,
+                )
+            )
+            continue
+        verdict = (
+            FAIL
+            if tol.regressed(float(run_value), float(base_value))
+            else PASS
+        )
+        verdicts.append(
+            MetricVerdict(
+                name, metric, verdict, float(run_value),
+                float(base_value), tol.direction, tol.rel_tol,
+            )
+        )
+    return Comparison(
+        matrix=name,
+        run_sha=str(run.get("git_sha", "unknown")),
+        baseline_sha=str(baseline.get("git_sha", "unknown")),
+        verdicts=tuple(verdicts),
+    )
+
+
 def compare_artifacts(
     run: Mapping[str, Any],
     baseline: Mapping[str, Any],
     tolerances: Mapping[str, Tolerance] | None = None,
 ) -> Comparison:
-    """Gate ``run`` against ``baseline``, metric by metric."""
+    """Gate ``run`` against ``baseline``, metric by metric.
+
+    Two ``kind == "matrix"`` artifacts diff cell-by-cell over the
+    matrix metric panel; two ``kind == "bench"`` artifacts (the same
+    ``benchmark`` slug) diff their flat throughput payloads.
+    """
+    if run.get("kind") == "bench" and baseline.get("kind") == "bench":
+        return _compare_bench(run, baseline, tolerances)
     if run.get("kind") != "matrix" or baseline.get("kind") != "matrix":
         raise EvaluationError(
-            "compare needs two matrix artifacts "
+            "compare needs two matrix artifacts or two bench artifacts "
             f"(got kinds {run.get('kind')!r} vs {baseline.get('kind')!r})"
         )
     if run.get("matrix") != baseline.get("matrix"):

@@ -21,8 +21,11 @@ from typing import Iterator
 
 from repro.exceptions import EvaluationError
 
-#: Mechanism dimension values understood by the runner.
-MECHANISMS = ("msm", "msm-remap", "pl", "exp")
+#: Mechanism dimension values understood by the runner.  ``msm-kernel``
+#: is the MSM served through the compiled array-walk kernel (same
+#: mechanism, same distribution — a distinct column so the sampling
+#: path's throughput and its privacy/utility panel are gated too).
+MECHANISMS = ("msm", "msm-remap", "msm-kernel", "pl", "exp")
 
 #: Dataset dimension values understood by the runner.
 DATASETS = ("uniform", "gowalla", "yelp")
@@ -176,12 +179,12 @@ class MatrixSpec:
         )
 
 
-#: The CI gate matrix: 6 cells, < 1 minute on a laptop.  One geometry,
-#: one real dataset at a small fraction plus the uniform control, the
-#: three mechanism families, two budget points.
+#: The CI gate matrix: 8 cells, < 1 minute on a laptop.  One geometry,
+#: one real dataset at a small fraction, the three mechanism families
+#: plus the compiled-kernel MSM column, two budget points.
 SMOKE = MatrixSpec(
     name="smoke",
-    mechanisms=("msm", "pl", "exp"),
+    mechanisms=("msm", "msm-kernel", "pl", "exp"),
     indexes=(IndexSpec(granularity=3, height=2),),
     datasets=(DatasetSpec("gowalla", fraction=0.05),),
     epsilons=(0.5, 1.0),

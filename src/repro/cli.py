@@ -82,6 +82,17 @@ def _add_dataset_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_dilation_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dilation", type=float, default=None, metavar="DELTA",
+        help="build the per-node LPs over a DELTA-spanner of the "
+             "GeoInd constraint graph instead of all pairs: each "
+             "level solves at eps/DELTA over ~linear constraints, so "
+             "cold builds are faster while the guard still verifies "
+             "the full guarantee at eps (default: exact, all pairs)",
+    )
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset, args.fraction)
     b = dataset.bounds
@@ -118,7 +129,10 @@ def _cmd_bundle(args: argparse.Namespace) -> int:
     dataset = _load_dataset(args.dataset, args.fraction)
     grid = RegularGrid(dataset.bounds, args.prior_granularity)
     prior = empirical_prior(grid, dataset.points(), smoothing=0.1)
-    msm = MultiStepMechanism.build(args.epsilon, args.g, prior, rho=args.rho)
+    msm = MultiStepMechanism.build(
+        args.epsilon, args.g, prior, rho=args.rho,
+        spanner_dilation=args.dilation,
+    )
     info = save_bundle(msm, args.out)
     print(f"bundle       : {info.path}")
     print(f"node LPs     : {info.n_nodes}")
@@ -184,7 +198,8 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     grid = RegularGrid(dataset.bounds, args.prior_granularity)
     prior = empirical_prior(grid, dataset.points(), smoothing=0.1)
     msm = MultiStepMechanism.build(
-        args.epsilon, args.g, prior, rho=args.rho, remap=args.remap, obs=obs
+        args.epsilon, args.g, prior, rho=args.rho, remap=args.remap,
+        spanner_dilation=args.dilation, obs=obs,
     )
     if not dataset.bounds.contains(x):
         raise SystemExit(
@@ -236,6 +251,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         ledger=args.ledger,
         obs=obs,
         seed=args.seed,
+        spanner_dilation=args.dilation,
     )
     if args.ledger is not None:
         replay = server.ledger.replay
@@ -392,6 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_san.add_argument("--remap", action="store_true",
                        help="apply the optimal Bayesian remap to the output "
                             "(post-processing; never weakens the guarantee)")
+    _add_dilation_arg(p_san)
     p_san.add_argument("--metrics", nargs="?", const="-", default=None,
                        metavar="PATH",
                        help="collect runtime metrics and write them in "
@@ -411,6 +428,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bundle.add_argument("--rho", type=float, default=0.8)
     p_bundle.add_argument("--prior-granularity", type=int, default=16)
     p_bundle.add_argument("--out", required=True, help="output .npz path")
+    _add_dilation_arg(p_bundle)
     p_bundle.set_defaults(func=_cmd_bundle)
 
     p_serve = sub.add_parser(
@@ -448,6 +466,7 @@ def build_parser() -> argparse.ArgumentParser:
                               "PATH (stdout if no PATH is given)")
     p_serve.add_argument("--trace-out", default=None, metavar="PATH",
                          help="dump spans + metrics as JSON lines to PATH")
+    _add_dilation_arg(p_serve)
     p_serve.set_defaults(func=_cmd_serve)
 
     p_bench = sub.add_parser(

@@ -107,6 +107,10 @@ class NodeMechanismCache:
     # bind_observability() shadows it per instance.
     _obs = NOOP
 
+    # content-change counter; a class attribute (not set in ``__init__``)
+    # for the same old-pickle reason.  Instance writes shadow it.
+    _version = 0
+
     def __init__(self, max_bytes: int | None = None):
         if max_bytes is not None and max_bytes <= 0:
             raise ValueError(
@@ -161,6 +165,18 @@ class NodeMechanismCache:
     def bind_observability(self, obs: Observability) -> None:
         """Attach an observability handle (metrics mirror the counters)."""
         self._obs = obs
+
+    @property
+    def version(self) -> int:
+        """Monotone content-change counter.
+
+        Bumped on every :meth:`put`, eviction and :meth:`clear`.  A
+        compiled walk kernel records the version it was built against
+        and rebuilds (or falls back to the staged path) when it no
+        longer matches — the eviction→invalidation contract.
+        """
+        with self._lock:
+            return self._version
 
     # ------------------------------------------------------------------
     # lookups
@@ -238,6 +254,7 @@ class NodeMechanismCache:
             self._store[path] = entry
             self._store.move_to_end(path)
             self._resident_bytes += entry.size_bytes
+            self._version += 1
             self._evict_to_budget(protect=path)
         self._record_residency()
         return entry
@@ -261,6 +278,7 @@ class NodeMechanismCache:
         if evicted:
             self.evictions += evicted
             self.evicted_bytes += evicted_bytes
+            self._version += 1
             if self._obs.enabled:
                 metrics = self._obs.metrics
                 metrics.counter("repro_cache_evictions_total").inc(evicted)
@@ -413,6 +431,7 @@ class NodeMechanismCache:
             self.merges = 0
             self.evictions = 0
             self.evicted_bytes = 0
+            self._version += 1
         self._record_residency()
 
     @property

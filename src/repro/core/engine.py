@@ -50,7 +50,7 @@ from repro.exceptions import (
     SolverError,
 )
 from repro.geo.metric import EUCLIDEAN, Metric
-from repro.geo.point import Point
+from repro.geo.point import Point, points_to_array
 from repro.grid.index import IndexNode, SpatialIndex
 from repro.mechanisms.exponential import exponential_matrix_from_locations
 from repro.mechanisms.matrix import MechanismMatrix
@@ -67,6 +67,7 @@ from repro.obs import (
 from repro.priors.base import GridPrior
 from repro.privacy.guard import guard_mechanism
 from repro.core.cache import CacheEntry, NodeMechanismCache
+from repro.core.kernel import CompiledWalk, compile_walk
 from repro.core.resilience import (
     DegradationReport,
     DegradedNode,
@@ -282,6 +283,7 @@ class ExecutionPolicy(abc.ABC):
         engine: "WalkEngine",
         points: list[Point],
         rng: np.random.Generator,
+        trace: bool = True,
     ) -> list[WalkResult]:
         """Run the engine over ``points`` and return per-point results."""
 
@@ -296,14 +298,16 @@ class SerialExecution(ExecutionPolicy):
         engine: "WalkEngine",
         points: list[Point],
         rng: np.random.Generator,
+        trace: bool = True,
     ) -> list[WalkResult]:
-        return engine.walk(points, rng)
+        return engine.walk(points, rng, trace=trace)
 
 
 def _run_shard(
     engine: "WalkEngine",
     points: list[Point],
     stream: "np.random.Generator | np.random.SeedSequence",
+    trace: bool = True,
 ) -> tuple[
     list[WalkResult],
     dict[tuple[int, ...], CacheEntry],
@@ -333,7 +337,7 @@ def _run_shard(
             )
         )
     rng = np.random.default_rng(stream)
-    results = engine.walk(points, rng, postprocess=False)
+    results = engine.walk(points, rng, postprocess=False, trace=trace)
     shard_metrics = (
         engine.observability.snapshot() if parent_obs.enabled else None
     )
@@ -410,7 +414,7 @@ class ShardedExecution(ExecutionPolicy):
         self, engine: "WalkEngine", points: list[Point]
     ) -> list[list[int]]:
         """Point indices grouped by shard key, in deterministic order."""
-        coords = np.asarray([(p.x, p.y) for p in points], dtype=float)
+        coords = points_to_array(points)
         keys = self.shard_keys(engine, coords)
         shards: dict[int, list[int]] = {}
         for i, key in enumerate(keys):
@@ -423,6 +427,7 @@ class ShardedExecution(ExecutionPolicy):
         points: list[Point],
         rng: np.random.Generator,
         reason: str,
+        trace: bool = True,
     ) -> list[WalkResult]:
         """Run the batch serially, recording why sharding stood down.
 
@@ -436,22 +441,29 @@ class ShardedExecution(ExecutionPolicy):
             obs.metrics.counter(
                 "repro_exec_serial_fallback_total", reason=reason
             ).inc()
-        return engine.walk(points, rng)
+        return engine.walk(points, rng, trace=trace)
 
     def execute(
         self,
         engine: "WalkEngine",
         points: list[Point],
         rng: np.random.Generator,
+        trace: bool = True,
     ) -> list[WalkResult]:
         shards = self.partition(engine, points)
         workers = min(self.max_workers, len(shards))
         if len(points) < self._min_batch_size:
-            return self._serial_fallback(engine, points, rng, "small_batch")
+            return self._serial_fallback(
+                engine, points, rng, "small_batch", trace=trace
+            )
         if len(shards) < 2:
-            return self._serial_fallback(engine, points, rng, "single_shard")
+            return self._serial_fallback(
+                engine, points, rng, "single_shard", trace=trace
+            )
         if workers < 2:
-            return self._serial_fallback(engine, points, rng, "few_workers")
+            return self._serial_fallback(
+                engine, points, rng, "few_workers", trace=trace
+            )
         worker_engine = engine.worker_copy()
         try:
             payload = pickle.dumps(worker_engine)
@@ -462,7 +474,9 @@ class ShardedExecution(ExecutionPolicy):
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return self._serial_fallback(engine, points, rng, "unpicklable")
+            return self._serial_fallback(
+                engine, points, rng, "unpicklable", trace=trace
+            )
         del payload
         seeds = rng.spawn(len(shards))
         results: list[WalkResult | None] = [None] * len(points)
@@ -498,6 +512,7 @@ class ShardedExecution(ExecutionPolicy):
                     worker_engine,
                     [points[i] for i in shard],
                     seed,
+                    trace,
                 )
                 for shard, seed in zip(shards, seeds)
             ]
@@ -556,7 +571,13 @@ class WalkEngine:
         executor: ExecutionPolicy | None = None,
         postprocessor: PostProcessor | None = None,
         obs: Observability | None = None,
+        kernel: str = "auto",
+        kernel_min_batch: int = 1024,
     ):
+        if kernel not in ("auto", "always", "never"):
+            raise MechanismError(
+                f"kernel must be 'auto', 'always' or 'never', got {kernel!r}"
+            )
         self._index = index
         self._budgets = tuple(float(b) for b in budgets)
         self._prior = prior
@@ -571,6 +592,10 @@ class WalkEngine:
         self._executor = executor if executor is not None else SerialExecution()
         self._postprocessor = postprocessor
         self._lp_seconds = 0.0
+        self._kernel = kernel
+        self.kernel_min_batch = int(kernel_min_batch)
+        self._compiled: CompiledWalk | None = None
+        self._compile_failed_version: int | None = None
         self.bind_observability(obs if obs is not None else NOOP)
 
     # ------------------------------------------------------------------
@@ -599,6 +624,29 @@ class WalkEngine:
     @property
     def cache(self) -> NodeMechanismCache:
         return self._cache
+
+    @property
+    def spanner_dilation(self) -> float | None:
+        """The Δ-spanner dilation the cold LP builds run with (None = exact)."""
+        return self._spanner_dilation
+
+    @property
+    def kernel(self) -> str:
+        """Kernel dispatch policy: ``"auto"``, ``"always"`` or ``"never"``."""
+        return self._kernel
+
+    @kernel.setter
+    def kernel(self, mode: str) -> None:
+        if mode not in ("auto", "always", "never"):
+            raise MechanismError(
+                f"kernel must be 'auto', 'always' or 'never', got {mode!r}"
+            )
+        self._kernel = mode
+
+    @property
+    def compiled(self) -> CompiledWalk | None:
+        """The current compiled-walk snapshot (None = not compiled)."""
+        return self._compiled
 
     @property
     def solver(self) -> ResilientSolver:
@@ -676,15 +724,72 @@ class WalkEngine:
             executor=SerialExecution(),
             postprocessor=None,
             obs=self._obs,
+            kernel=self._kernel,
+            kernel_min_batch=self.kernel_min_batch,
         )
+
+    # ------------------------------------------------------------------
+    # the compiled kernel
+    # ------------------------------------------------------------------
+    def compile(self, build: bool = True) -> CompiledWalk | None:
+        """(Re)compile the walk kernel from the warmed tree.
+
+        ``build=True`` solves missing nodes through the normal resolve
+        path first (like a precompute); ``build=False`` compiles only if
+        every reachable node is already cached.  Returns the snapshot,
+        or None when the index/cache cannot be compiled — the engine
+        then stays on the staged path.  Failed compiles are remembered
+        per cache version so ``"auto"`` dispatch does not retry a
+        hopeless compile on every batch.
+        """
+        compiled = compile_walk(self, build_missing=build)
+        if compiled is None:
+            self._compiled = None
+            self._compile_failed_version = self._cache.version
+        else:
+            self._compiled = compiled
+            self._compile_failed_version = None
+        return self._compiled
+
+    def adopt_compiled(self, compiled: CompiledWalk) -> None:
+        """Adopt an externally built snapshot (e.g. a store sidecar)."""
+        self._compiled = compiled
+        self._compile_failed_version = None
+
+    def _kernel_ready(self, n_points: int) -> bool:
+        """Decide staged vs compiled for this batch (may compile)."""
+        mode = self._kernel
+        if mode == "never":
+            return False
+        if mode == "auto" and n_points < self.kernel_min_batch:
+            return False
+        version = self._cache.version
+        if (
+            self._compiled is not None
+            and self._compiled.cache_version == version
+        ):
+            return True
+        # Stale or absent snapshot: recompile.  "auto" only harvests a
+        # warm cache; "always" builds whatever is missing.
+        if mode == "auto" and self._compile_failed_version == version:
+            return False
+        return self.compile(build=(mode == "always")) is not None
 
     # ------------------------------------------------------------------
     # entry point
     # ------------------------------------------------------------------
     def run(
-        self, points: Sequence[Point], rng: np.random.Generator
+        self,
+        points: Sequence[Point],
+        rng: np.random.Generator,
+        trace: bool = True,
     ) -> list[WalkResult]:
-        """Sanitise ``points`` under the configured execution policy."""
+        """Sanitise ``points`` under the configured execution policy.
+
+        ``trace=False`` skips per-point :class:`StepTrace`
+        materialisation (results carry an empty trace tuple); sampled
+        points, degradation reports and telemetry are unaffected.
+        """
         points = list(points)
         if not points:
             return []
@@ -693,10 +798,10 @@ class WalkEngine:
                 "index root has no children; nothing to report"
             )
         if not self._obs.enabled:
-            return self._executor.execute(self, points, rng)
+            return self._executor.execute(self, points, rng, trace=trace)
         metrics = self._obs.metrics
         start = time.perf_counter()
-        results = self._executor.execute(self, points, rng)
+        results = self._executor.execute(self, points, rng, trace=trace)
         elapsed = time.perf_counter() - start
         metrics.counter("repro_walk_batches_total").inc()
         metrics.counter("repro_walk_points_total").inc(len(points))
@@ -704,7 +809,10 @@ class WalkEngine:
         return results
 
     def run_report(
-        self, points: Sequence[Point], rng: np.random.Generator
+        self,
+        points: Sequence[Point],
+        rng: np.random.Generator,
+        trace: bool = True,
     ) -> WalkReport:
         """Like :meth:`run`, but wrap the results in a :class:`WalkReport`.
 
@@ -713,10 +821,10 @@ class WalkEngine:
         batch accrued; disabled, ``telemetry`` is None.
         """
         if not self._obs.enabled:
-            return WalkReport(results=tuple(self.run(points, rng)))
+            return WalkReport(results=tuple(self.run(points, rng, trace=trace)))
         before = self._obs.snapshot()
         start = time.perf_counter()
-        results = self.run(points, rng)
+        results = self.run(points, rng, trace=trace)
         wall = time.perf_counter() - start
         delta = self._obs.snapshot().since(before)
         degraded_walks = sum(
@@ -746,15 +854,20 @@ class WalkEngine:
         points: Sequence[Point],
         rng: np.random.Generator,
         postprocess: bool = True,
+        trace: bool = True,
     ) -> list[WalkResult]:
-        """The level walk itself: every stage, one code path, any batch.
+        """The level walk: staged or compiled, one semantics, any batch.
 
         Semantically each point gets an independent Algorithm-1 walk
-        with full :class:`StepTrace` provenance and a per-point
-        :class:`~repro.core.resilience.DegradationReport`; the loop is
-        structured for throughput (group by node, bulk cache warm-up so
-        each level LP solves once, vectorised CDF-inversion sampling).
-        A batch of one *is* the scalar path.
+        with a per-point
+        :class:`~repro.core.resilience.DegradationReport` (and, with
+        ``trace=True``, full :class:`StepTrace` provenance).  Both code
+        paths consume the RNG stream identically per level — one
+        uniform draw for the drifted points (ascending batch order,
+        skipped when none drifted), one for the reported-child
+        inversion — so which path ran is unobservable in the output: the
+        staged path doubles as the kernel's differential-testing
+        oracle.  A batch of one *is* the scalar path.
         """
         points = list(points)
         if not points:
@@ -763,15 +876,36 @@ class WalkEngine:
             raise MechanismError(
                 "index root has no children; nothing to report"
             )
-        n = len(points)
+        coords = points_to_array(points)
+        if self._kernel_ready(len(points)):
+            return self._walk_kernel(coords, rng, postprocess, trace)
+        return self._walk_staged(coords, rng, postprocess, trace)
+
+    def _walk_staged(
+        self,
+        coords: np.ndarray,
+        rng: np.random.Generator,
+        postprocess: bool,
+        trace: bool,
+    ) -> list[WalkResult]:
+        """The object-world walk: per-node groups, cache, resilience.
+
+        The level step is organised as flat per-level passes over the
+        active points (locate everything, one drift draw, one uniform
+        draw, per-group row sampling with the pre-drawn uniforms), with
+        per-group Python loops only for descend/trace bookkeeping —
+        exactly the RNG schedule the compiled kernel replays.
+        """
+        n = coords.shape[0]
         obs = self._obs
         tracer = obs.tracer
-        coords = np.asarray([(p.x, p.y) for p in points], dtype=float)
         nodes: list[IndexNode] = [self._index.root] * n
-        traces: list[list[StepTrace]] = [[] for _ in range(n)]
+        traces: list[list[StepTrace]] | None = (
+            [[] for _ in range(n)] if trace else None
+        )
         substitutions: list[list[DegradedNode]] = [[] for _ in range(n)]
         active = list(range(n))
-        with tracer.span("walk", n=n):
+        with tracer.span("walk", n=n, path="staged"):
             for level, eps in enumerate(self._budgets, start=1):
                 if not active:
                     break
@@ -789,57 +923,102 @@ class WalkEngine:
                     entries = self.resolve_many(
                         level, group_nodes, children_of
                     )
-                    next_active: list[int] = []
-                    for path, idxs in groups.items():
-                        children = children_of[path]
-                        if not children:
-                            continue  # bottomed out early (adaptive indexes)
-                        entry = entries[path]
-                        with tracer.span("locate", n=len(idxs)) as sp:
-                            x_hat, drifted = self.locate(
-                                group_nodes[path], children, coords[idxs], rng
+                    # Points whose node bottomed out early (adaptive
+                    # indexes) drop from the walk; the rest proceed in
+                    # ascending batch order, which fixes the RNG layout.
+                    proc = [
+                        i for i in active if children_of[nodes[i].path]
+                    ]
+                    if not proc:
+                        active = proc
+                        continue
+                    pos_of = {i: p for p, i in enumerate(proc)}
+                    n_proc = len(proc)
+                    x_hat_lvl = np.full(n_proc, -1, dtype=np.int64)
+                    fanout_lvl = np.zeros(n_proc, dtype=np.int64)
+                    with tracer.span("locate", n=n_proc) as sp:
+                        for path, idxs in groups.items():
+                            children = children_of[path]
+                            if not children:
+                                continue
+                            raw = self._index.locate_child_indices(
+                                group_nodes[path], coords[idxs]
                             )
-                            if sp is not None:
-                                sp.attributes["drifted"] = int(drifted.sum())
-                        with tracer.span("sample", n=len(idxs)):
-                            reported = self.sample(entry, x_hat, rng)
-                        degraded_node = (
-                            DegradedNode(
-                                node_path=path,
-                                level=level,
-                                epsilon=eps,
-                                fallback=entry.source,
-                                reason=entry.reason or "",
+                            pos = [pos_of[i] for i in idxs]
+                            x_hat_lvl[pos] = raw
+                            fanout_lvl[pos] = len(children)
+                        drifted_lvl = x_hat_lvl < 0
+                        n_drifted = int(drifted_lvl.sum())
+                        if n_drifted:
+                            r = rng.random(n_drifted)
+                            fan = fanout_lvl[drifted_lvl]
+                            x_hat_lvl[drifted_lvl] = np.minimum(
+                                (r * fan).astype(np.int64), fan - 1
                             )
-                            if entry.degraded
-                            else None
-                        )
-                        with tracer.span("descend", n=len(idxs)):
-                            for pos, i in enumerate(idxs):
-                                traces[i].append(
-                                    StepTrace(
-                                        level=level,
-                                        node_path=path,
-                                        x_hat_index=int(x_hat[pos]),
-                                        x_hat_random=bool(drifted[pos]),
-                                        reported_index=int(reported[pos]),
-                                        degraded=entry.degraded,
-                                        mechanism=entry.source,
-                                    )
+                        if sp is not None:
+                            sp.attributes["drifted"] = n_drifted
+                    with tracer.span("sample", n=n_proc):
+                        u = rng.random(n_proc)
+                        reported_lvl = np.empty(n_proc, dtype=np.int64)
+                        for path, idxs in groups.items():
+                            if not children_of[path]:
+                                continue
+                            pos = [pos_of[i] for i in idxs]
+                            reported_lvl[pos] = entries[path].matrix.sample_rows(
+                                x_hat_lvl[pos], u=u[pos]
+                            )
+                    with tracer.span("descend", n=n_proc):
+                        for path, idxs in groups.items():
+                            children = children_of[path]
+                            if not children:
+                                continue
+                            entry = entries[path]
+                            degraded_node = (
+                                DegradedNode(
+                                    node_path=path,
+                                    level=level,
+                                    epsilon=eps,
+                                    fallback=entry.source,
+                                    reason=entry.reason or "",
                                 )
+                                if entry.degraded
+                                else None
+                            )
+                            for i in idxs:
+                                pos = pos_of[i]
+                                if traces is not None:
+                                    traces[i].append(
+                                        StepTrace(
+                                            level=level,
+                                            node_path=path,
+                                            x_hat_index=int(x_hat_lvl[pos]),
+                                            x_hat_random=bool(
+                                                drifted_lvl[pos]
+                                            ),
+                                            reported_index=int(
+                                                reported_lvl[pos]
+                                            ),
+                                            degraded=entry.degraded,
+                                            mechanism=entry.source,
+                                        )
+                                    )
                                 if degraded_node is not None:
                                     substitutions[i].append(degraded_node)
-                                nodes[i] = children[reported[pos]]
-                            next_active.extend(idxs)
-                        if obs.enabled:
-                            self._record_level_group(
-                                level, entry, x_hat, drifted, reported
-                            )
-                    active = next_active
+                                nodes[i] = children[reported_lvl[pos]]
+                            if obs.enabled:
+                                pos = [pos_of[i] for i in idxs]
+                                self._record_level_group(
+                                    level,
+                                    entry,
+                                    x_hat_lvl[pos],
+                                    drifted_lvl[pos],
+                                    reported_lvl[pos],
+                                )
+                    active = proc
             results = [
                 WalkResult(
                     point=nodes[i].bounds.center,
-                    trace=tuple(traces[i]),
+                    trace=tuple(traces[i]) if traces is not None else (),
                     degradation=DegradationReport(tuple(substitutions[i])),
                 )
                 for i in range(n)
@@ -849,6 +1028,118 @@ class WalkEngine:
                     sum(1 for subs in substitutions if subs)
                 )
             return self.finalise(results) if postprocess else results
+
+    def _walk_kernel(
+        self,
+        coords: np.ndarray,
+        rng: np.random.Generator,
+        postprocess: bool,
+        trace: bool,
+    ) -> list[WalkResult]:
+        """The array-world walk: flat per-level passes, lazy provenance.
+
+        The fused loop in :meth:`CompiledWalk.walk_arrays` touches no
+        Python objects; traces and degradation reports are materialised
+        afterwards from the per-level arrays — only when requested
+        (``trace=True``) or for the (usually empty) degraded subset.
+        Telemetry counters are computed exactly from the same arrays.
+        """
+        compiled = self._compiled
+        assert compiled is not None
+        n = coords.shape[0]
+        obs = self._obs
+        tracer = obs.tracer
+        with tracer.span("walk", n=n, path="kernel"):
+            final_ids, levels = compiled.walk_arrays(
+                coords, rng, tracer=tracer if obs.enabled else None
+            )
+            degraded_mask = np.zeros(n, dtype=bool)
+            for ld in levels:
+                node_degraded = compiled.degraded[ld.ids]
+                if node_degraded.any():
+                    degraded_mask[ld.active[node_degraded]] = True
+                if obs.enabled:
+                    self._record_level_arrays(ld, compiled)
+            traces: list[list[StepTrace]] | None = (
+                [[] for _ in range(n)] if trace else None
+            )
+            substitutions: dict[int, list[DegradedNode]] = {}
+            if trace or degraded_mask.any():
+                for ld in levels:
+                    eps = compiled.budgets[ld.level - 1]
+                    if traces is not None:
+                        for pos in range(ld.active.size):
+                            i = int(ld.active[pos])
+                            node_id = int(ld.ids[pos])
+                            traces[i].append(
+                                StepTrace(
+                                    level=ld.level,
+                                    node_path=compiled.paths[node_id],
+                                    x_hat_index=int(ld.x_hat[pos]),
+                                    x_hat_random=bool(ld.drifted[pos]),
+                                    reported_index=int(ld.reported[pos]),
+                                    degraded=bool(
+                                        compiled.degraded[node_id]
+                                    ),
+                                    mechanism=compiled.source[node_id],
+                                )
+                            )
+                    for pos in np.flatnonzero(compiled.degraded[ld.ids]):
+                        i = int(ld.active[pos])
+                        node_id = int(ld.ids[pos])
+                        substitutions.setdefault(i, []).append(
+                            DegradedNode(
+                                node_path=compiled.paths[node_id],
+                                level=ld.level,
+                                epsilon=eps,
+                                fallback=compiled.source[node_id],
+                                reason=compiled.reason[node_id] or "",
+                            )
+                        )
+            clean_report = DegradationReport(())
+            out_x = compiled.center_x[final_ids].tolist()
+            out_y = compiled.center_y[final_ids].tolist()
+            results = [
+                WalkResult(
+                    point=Point(out_x[i], out_y[i]),
+                    trace=tuple(traces[i]) if traces is not None else (),
+                    degradation=(
+                        DegradationReport(tuple(substitutions[i]))
+                        if i in substitutions
+                        else clean_report
+                    ),
+                )
+                for i in range(n)
+            ]
+            if obs.enabled:
+                obs.metrics.counter("repro_walk_degraded_walks_total").inc(
+                    int(degraded_mask.sum())
+                )
+            return self.finalise(results) if postprocess else results
+
+    def _record_level_arrays(self, ld, compiled: CompiledWalk) -> None:
+        """Exact per-level metrics from the kernel's arrays.
+
+        Mirrors :meth:`_record_level_group` summed over a level's
+        groups: same counters, same labels, same totals.
+        """
+        metrics = self._obs.metrics
+        n_steps = int(ld.active.size)
+        n_drifted = int(ld.drifted.sum())
+        on_track = int((~ld.drifted & (ld.reported == ld.x_hat)).sum())
+        metrics.counter("repro_walk_steps_total", level=ld.level).inc(n_steps)
+        if n_drifted:
+            metrics.counter(
+                "repro_walk_drifted_total", level=ld.level
+            ).inc(n_drifted)
+        metrics.counter(
+            "repro_walk_on_track_total", level=ld.level
+        ).inc(on_track)
+        degraded_steps = int(compiled.degraded[ld.ids].sum())
+        if degraded_steps:
+            metrics.counter(
+                "repro_walk_degraded_steps_total", level=ld.level
+            ).inc(degraded_steps)
 
     def _record_level_group(
         self,
@@ -893,12 +1184,22 @@ class WalkEngine:
     ) -> tuple[np.ndarray, np.ndarray]:
         """Algorithm 1 lines 8-10, vectorised: snap each point to the
         child containing it, or draw a uniform child where the walk has
-        drifted outside the node.  Returns ``(x_hat, drifted)``."""
+        drifted outside the node.  Returns ``(x_hat, drifted)``.
+
+        The drift draw is ``floor(U * fanout)`` over one
+        ``rng.random`` block (clamped against the ``U * fanout ==
+        fanout`` float edge case) — the same schedule the walk paths
+        use, so this public stage agrees with them draw-for-draw.
+        """
         x_hat = self._index.locate_child_indices(node, coords)
         drifted = x_hat < 0
         n_drifted = int(drifted.sum())
         if n_drifted:
-            x_hat[drifted] = rng.integers(len(children), size=n_drifted)
+            fanout = len(children)
+            r = rng.random(n_drifted)
+            x_hat[drifted] = np.minimum(
+                (r * fanout).astype(np.int64), fanout - 1
+            )
         return x_hat, drifted
 
     # -- stage: resolve -------------------------------------------------

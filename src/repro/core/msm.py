@@ -326,6 +326,11 @@ class MultiStepMechanism(Mechanism):
         return self._engine.solver
 
     @property
+    def spanner_dilation(self) -> float | None:
+        """The Δ-spanner dilation cold LP builds use (None = exact LP)."""
+        return self._engine.spanner_dilation
+
+    @property
     def lp_seconds(self) -> float:
         """Cumulative wall-clock spent solving per-node LPs."""
         return self._engine.lp_seconds
@@ -391,7 +396,10 @@ class MultiStepMechanism(Mechanism):
         return self._engine.run([x], rng)[0]
 
     def sanitize_batch(
-        self, xs: Sequence[Point], rng: np.random.Generator
+        self,
+        xs: Sequence[Point],
+        rng: np.random.Generator,
+        trace: bool = True,
     ) -> list[WalkResult]:
         """Sanitise many locations in one engine run.
 
@@ -412,24 +420,36 @@ class MultiStepMechanism(Mechanism):
         applies per node: when a node's solve is unrecoverable,
         exactly the points walking through that node carry the
         substituted mechanism in their traces, and only those.
+
+        ``trace=False`` skips per-point :class:`StepTrace`
+        materialisation — sampled points, degradation reports and
+        telemetry are unchanged, but results carry empty traces (the
+        hot-path configuration; on the compiled kernel the walk then
+        touches no per-point Python objects until the final results).
         """
-        return self._engine.run(xs, rng)
+        return self._engine.run(xs, rng, trace=trace)
 
     def sanitize_batch_report(
-        self, xs: Sequence[Point], rng: np.random.Generator
+        self,
+        xs: Sequence[Point],
+        rng: np.random.Generator,
+        trace: bool = True,
     ) -> WalkReport:
         """Like :meth:`sanitize_batch`, wrapped in a
         :class:`~repro.core.engine.WalkReport` whose ``telemetry``
         summarises the batch's metrics delta when observability is
         enabled (None otherwise)."""
-        return self._engine.run_report(xs, rng)
+        return self._engine.run_report(xs, rng, trace=trace)
 
     def sample_many(
         self, xs: Sequence[Point], rng: np.random.Generator
     ) -> list[Point]:
         """Batch sanitisation via the vectorised walk (same distribution
-        as per-point :meth:`sample`, far higher throughput)."""
-        return [walk.point for walk in self.sanitize_batch(xs, rng)]
+        as per-point :meth:`sample`, far higher throughput).  Nobody
+        reads traces here, so none are materialised."""
+        return [
+            walk.point for walk in self.sanitize_batch(xs, rng, trace=False)
+        ]
 
     def degradation_summary(self) -> DegradationReport:
         """Substitutions across every node solved so far (whole cache)."""

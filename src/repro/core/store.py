@@ -9,6 +9,7 @@ a SHA-256 over everything that determines the solved matrices:
 * index shape (bounds, per-level fanout, height),
 * the per-level epsilon split,
 * the utility and distinguishability metrics,
+* the Δ-spanner dilation the cold LP builds use (``None`` = exact),
 * a hash of the modelling prior.
 
 An engine warm-starting from the store therefore can only ever adopt
@@ -39,6 +40,16 @@ precompute once, persist, and let every later engine skip the LP solves
 entirely (Bordenabe et al. show why re-solving is the cost to avoid;
 Chatzikokolakis et al. make precompute-plus-reuse the canonical
 throughput lever).
+
+Alongside each bundle the store persists the **compiled walk arena**
+(:mod:`repro.core.kernel`) in a ``.kernel.npz`` sidecar, so a
+warm-started server starts on the fused array path without paying the
+compile.  The sidecar is never trusted on its own: at warm start the
+engine recompiles from the just-adopted cache and the persisted arena
+must match that fresh compile *bitwise* (:meth:`CompiledWalk.equals`);
+a mismatched or unreadable sidecar is quarantined while the bundle —
+which was independently checksummed and guard-verified — keeps
+serving.
 """
 
 from __future__ import annotations
@@ -50,9 +61,12 @@ import threading
 from dataclasses import dataclass
 from pathlib import Path
 
+import numpy as np
+
 from repro.exceptions import MechanismError
 from repro.obs import NOOP, Observability
 from repro.core.bundle import load_bundle, save_bundle
+from repro.core.kernel import CompiledWalk
 from repro.core.ledger import fsync_directory
 from repro.core.msm import MultiStepMechanism
 
@@ -92,13 +106,17 @@ def config_fingerprint(msm: MultiStepMechanism) -> str:
     h = hashlib.sha256()
     h.update(
         repr((
-            "msm-config-v1",
+            # v2: spanner_dilation joined the key — matrices solved over
+            # a Δ-spanner constraint subset are not interchangeable with
+            # exact-LP ones, so they must never share a slot.
+            "msm-config-v2",
             (b.min_x, b.min_y, b.max_x, b.max_y),
             getattr(index, "granularity", None),
             msm.height,
             msm.budgets,
             msm.dq.name,
             msm.engine.dx.name,
+            msm.spanner_dilation,
         )).encode()
     )
     h.update(prior_hash(msm.prior).encode())
@@ -199,6 +217,7 @@ class MechanismStore:
         finally:
             if os.path.exists(tmp):
                 os.unlink(tmp)
+        self._save_kernel(msm, fingerprint)
         self._record("saved")
         return StoreRecord(
             fingerprint=fingerprint,
@@ -230,6 +249,89 @@ class MechanismStore:
     def checksum_path(bundle_path: Path) -> Path:
         """Where a bundle's content-checksum sidecar lives."""
         return bundle_path.with_name(bundle_path.name + ".sha256")
+
+    def kernel_path_for(self, msm: MultiStepMechanism) -> Path:
+        """Where this mechanism's compiled-arena sidecar lives."""
+        return self._root / f"msm-{config_fingerprint(msm)}.kernel.npz"
+
+    def _save_kernel(self, msm: MultiStepMechanism, fingerprint: str) -> None:
+        """Persist the compiled walk arena beside the bundle.
+
+        The arena is compiled from a mechanism *restored from the
+        just-written bundle*, not from the builder's in-memory cache:
+        :class:`MechanismMatrix` renormalises rows at construction, so
+        a bundle round trip perturbs the last ulp of each kernel and
+        the builder's bits can never match a warm-starter's.  Every
+        loader of the same bundle file computes identical bits, so
+        compiling from a restore makes the sidecar bitwise-verifiable
+        at every future warm start.  An uncompilable tree just skips
+        the sidecar.  Same atomic write-and-checksum discipline as
+        bundles.
+        """
+        bundle_path = self._root / f"msm-{fingerprint}.npz"
+        try:
+            restored = load_bundle(
+                bundle_path,
+                guard=True,
+                expect_budgets=msm.budgets,
+                expect_metric=msm.dq,
+            )
+        except Exception:  # noqa: BLE001 - sidecar is best-effort
+            return
+        compiled = restored.engine.compile(build=False)
+        if compiled is None:
+            return
+        target = self._root / f"msm-{fingerprint}.kernel.npz"
+        fd, tmp = tempfile.mkstemp(
+            dir=self._root, prefix=".tmp-", suffix=".npz"
+        )
+        os.close(fd)
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez(fh, **compiled.to_arrays())
+                fh.flush()
+                os.fsync(fh.fileno())
+            digest = _file_sha256(tmp)
+            os.replace(tmp, target)
+            fsync_directory(self._root)
+            self._write_checksum(target, digest)
+        finally:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+
+    def _adopt_kernel(self, msm: MultiStepMechanism, fingerprint: str) -> None:
+        """Verify-then-adopt the compiled-arena sidecar on warm start.
+
+        The persisted arena is *evidence*, not authority: the engine
+        recompiles from the cache entries just adopted (guard-verified
+        by ``load_bundle``) and only keeps serving if the sidecar
+        matches that fresh compile bitwise.  A mismatch — stale file,
+        bit rot below the checksum's radar, tampering — quarantines the
+        sidecar; the fresh compile is kept either way, so warm-started
+        engines always begin kernel-ready when their tree is compilable.
+        """
+        compiled = msm.engine.compile(build=False)
+        path = self._root / f"msm-{fingerprint}.kernel.npz"
+        if not path.exists():
+            return
+        if compiled is None:
+            # the cache could not hold the full tree here (budget
+            # eviction mid-adopt): the sidecar cannot be verified, and
+            # an unverified arena must never serve — leave it on disk
+            # for a configuration that can check it
+            return
+        try:
+            with np.load(path) as data:
+                stored = CompiledWalk.from_arrays(dict(data))
+        except Exception as exc:  # noqa: BLE001 - any corruption shape
+            self._quarantine(path, f"{type(exc).__name__}: {exc}")
+            return
+        if not stored.equals(compiled):
+            self._quarantine(
+                path,
+                "kernel sidecar does not match a fresh compile of the "
+                "adopted cache",
+            )
 
     def _quarantine(self, path: Path, reason: str) -> None:
         """Move a corrupt bundle (and its sidecar) out of the way.
@@ -328,8 +430,10 @@ class MechanismStore:
             return None
         self._verify_geometry(path, msm, restored)
         adopted = 0
+        skipped = 0
         for node_path, entry in restored.cache.snapshot().items():
             if node_path in msm.cache:
+                skipped += 1
                 continue
             msm.cache.put(
                 node_path,
@@ -341,6 +445,12 @@ class MechanismStore:
                 epsilon=entry.epsilon,
             )
             adopted += 1
+        if skipped == 0:
+            # only a cache populated purely from this bundle can be
+            # expected to recompile to the sidecar's exact bits; a
+            # partially pre-warmed mechanism holds its own solver bits
+            # and must not condemn a good sidecar over the difference
+            self._adopt_kernel(msm, fingerprint)
         self._record("hit", adopted)
         return StoreRecord(
             fingerprint=fingerprint,
@@ -397,8 +507,6 @@ class MechanismStore:
                 f"store entry {path} was solved for a different index "
                 f"shape; refusing to warm-start from it"
             )
-        import numpy as np
-
         want_p, got_p = msm.prior.probabilities, restored.prior.probabilities
         if want_p.shape != got_p.shape or not np.allclose(
             want_p, got_p, rtol=1e-9, atol=1e-12
@@ -409,5 +517,10 @@ class MechanismStore:
             )
 
     def entries(self) -> list[Path]:
-        """All bundle files currently in the store."""
-        return sorted(self._root.glob("msm-*.npz"))
+        """All bundle files currently in the store (kernel sidecars are
+        companions of their bundle, not entries in their own right)."""
+        return sorted(
+            path
+            for path in self._root.glob("msm-*.npz")
+            if not path.name.endswith(".kernel.npz")
+        )

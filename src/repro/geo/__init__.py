@@ -11,7 +11,12 @@ from repro.geo.metric import (
     SquaredEuclideanMetric,
     get_metric,
 )
-from repro.geo.point import Point, centroid
+from repro.geo.point import (
+    Point,
+    array_to_points,
+    centroid,
+    points_to_array,
+)
 from repro.geo.projection import (
     EARTH_RADIUS_KM,
     EquirectangularProjection,
@@ -32,7 +37,9 @@ __all__ = [
     "Point",
     "SQUARED_EUCLIDEAN",
     "SquaredEuclideanMetric",
+    "array_to_points",
     "centroid",
+    "points_to_array",
     "get_metric",
     "haversine_km",
 ]

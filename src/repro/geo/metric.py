@@ -21,12 +21,10 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.geo.point import Point
+from repro.geo.point import Point, points_to_array
 
-
-def _as_array(points: Sequence[Point]) -> np.ndarray:
-    """Convert a sequence of points to an ``(n, 2)`` float array."""
-    return np.asarray([(p.x, p.y) for p in points], dtype=float).reshape(-1, 2)
+#: Shared object→array conversion (kept under the historical local name).
+_as_array = points_to_array
 
 
 class Metric(abc.ABC):

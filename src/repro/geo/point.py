@@ -11,7 +11,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Sequence
+
+import numpy as np
 
 
 @dataclass(frozen=True, slots=True)
@@ -58,6 +60,25 @@ class Point:
     def as_tuple(self) -> tuple[float, float]:
         """Return ``(x, y)`` as a plain tuple."""
         return (self.x, self.y)
+
+
+def points_to_array(points: Sequence[Point]) -> np.ndarray:
+    """Pack a point sequence into an ``(n, 2)`` float64 coordinate array.
+
+    The one shared conversion between the object world (lists of
+    :class:`Point`) and the array world (vectorised engine / mechanism
+    kernels); an empty sequence yields a ``(0, 2)`` array so callers
+    never special-case it.
+    """
+    return np.asarray(
+        [(p.x, p.y) for p in points], dtype=float
+    ).reshape(-1, 2)
+
+
+def array_to_points(coords: np.ndarray) -> list[Point]:
+    """Unpack an ``(n, 2)`` coordinate array into a list of :class:`Point`."""
+    coords = np.asarray(coords, dtype=float).reshape(-1, 2)
+    return [Point(float(x), float(y)) for x, y in coords]
 
 
 def centroid(points: list[Point]) -> Point:

@@ -2,7 +2,7 @@
 
 from repro.grid.cell import Cell
 from repro.grid.hierarchy import HierarchicalGrid
-from repro.grid.index import IndexNode, SpatialIndex
+from repro.grid.index import ChildGeometry, IndexNode, SpatialIndex
 from repro.grid.kdtree import KDTreeIndex
 from repro.grid.quadtree import QuadtreeIndex
 from repro.grid.regular import RegularGrid
@@ -10,6 +10,7 @@ from repro.grid.str_index import STRIndex
 
 __all__ = [
     "Cell",
+    "ChildGeometry",
     "HierarchicalGrid",
     "IndexNode",
     "KDTreeIndex",

@@ -14,7 +14,7 @@ from repro.exceptions import GridError
 from repro.geo.bbox import BoundingBox
 from repro.geo.point import Point
 from repro.grid.cell import Cell
-from repro.grid.index import IndexNode, SpatialIndex
+from repro.grid.index import ChildGeometry, IndexNode, SpatialIndex
 from repro.grid.regular import RegularGrid
 
 
@@ -101,6 +101,21 @@ class HierarchicalGrid(SpatialIndex):
         )
         out[inside] = (rows * self._g + cols)[inside]
         return out
+
+    def child_geometry(self, node: IndexNode) -> ChildGeometry | None:
+        if node.level >= self._height:
+            return None
+        b = node.bounds
+        # Same expressions as locate_child_indices, so the compiled
+        # kernel's gathered arithmetic matches the staged path bitwise.
+        return ChildGeometry(
+            kind="grid",
+            fanout=self._g * self._g,
+            gx=self._g,
+            gy=self._g,
+            cell_w=b.width / self._g,
+            cell_h=b.height / self._g,
+        )
 
     def max_height(self) -> int:
         return self._height

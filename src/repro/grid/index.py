@@ -47,6 +47,36 @@ class IndexNode:
         return self.bounds.center
 
 
+@dataclass(frozen=True, slots=True)
+class ChildGeometry:
+    """Arithmetic description of one node's child layout.
+
+    The compiled walk kernel locates points among a node's children with
+    pure array arithmetic; this record is the per-node recipe, exported
+    by indexes whose children form either a regular ``gx x gy`` grid of
+    equal cells (``kind="grid"``) or a single axis-aligned binary split
+    (``kind="split-x"`` / ``"split-y"``).  Child position must equal the
+    child's ``path[-1]``: row-major ``row * gx + col`` for grids, the
+    0/1 side for splits.  The float fields must be the *same expressions*
+    the index's own ``locate_child_indices`` computes (e.g.
+    ``cell_w = bounds.width / g``), so the kernel's gathered arithmetic
+    is bitwise identical to the staged path's per-node arithmetic.
+
+    Indexes with irregular children (e.g. the STR index's quantile
+    tiling) return ``None`` from :meth:`SpatialIndex.child_geometry`,
+    which makes them uncompilable — the engine then stays on the staged
+    path.
+    """
+
+    kind: str  # "grid" | "split-x" | "split-y"
+    fanout: int
+    gx: int = 1
+    gy: int = 1
+    cell_w: float = 0.0
+    cell_h: float = 0.0
+    split: float = 0.0
+
+
 class SpatialIndex(abc.ABC):
     """A hierarchical, non-overlapping partition of a bounding box.
 
@@ -106,6 +136,14 @@ class SpatialIndex(abc.ABC):
             if child is not None:
                 out[i] = child.path[-1]
         return out
+
+    def child_geometry(self, node: IndexNode) -> "ChildGeometry | None":
+        """Arithmetic child layout of ``node``, or None if irregular.
+
+        ``None`` (the default) marks the node as uncompilable: the walk
+        engine falls back to the staged path for the whole index.
+        """
+        return None
 
     def max_height(self) -> int:
         """Maximum leaf depth of the index (root is depth 0)."""

@@ -21,7 +21,7 @@ import numpy as np
 from repro.exceptions import GridError
 from repro.geo.bbox import BoundingBox
 from repro.geo.point import Point
-from repro.grid.index import IndexNode, SpatialIndex
+from repro.grid.index import ChildGeometry, IndexNode, SpatialIndex
 
 #: Minimum fraction of the parent extent each child must keep.  Stops a
 #: heavily-skewed median from producing sliver cells that would make the
@@ -146,3 +146,15 @@ class KDTreeIndex(SpatialIndex):
             side = y > kids[0].bounds.max_y
         out[inside] = side.astype(np.int64)[inside]
         return out
+
+    def child_geometry(self, node: IndexNode) -> ChildGeometry | None:
+        kids = self._children.get(node.path)
+        if kids is None:
+            return None
+        if node.level % 2 == 0:
+            return ChildGeometry(
+                kind="split-x", fanout=2, split=kids[0].bounds.max_x
+            )
+        return ChildGeometry(
+            kind="split-y", fanout=2, split=kids[0].bounds.max_y
+        )

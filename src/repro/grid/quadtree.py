@@ -21,7 +21,7 @@ import numpy as np
 from repro.exceptions import GridError
 from repro.geo.bbox import BoundingBox
 from repro.geo.point import Point
-from repro.grid.index import IndexNode, SpatialIndex
+from repro.grid.index import ChildGeometry, IndexNode, SpatialIndex
 from repro.grid.regular import RegularGrid
 
 
@@ -123,3 +123,18 @@ class QuadtreeIndex(SpatialIndex):
         )
         out[inside] = (rows * 2 + cols)[inside]
         return out
+
+    def child_geometry(self, node: IndexNode) -> ChildGeometry | None:
+        if node.path not in self._children:
+            return None
+        b = node.bounds
+        # Same divisors as locate_child_indices (width / 2.0, not a
+        # precomputed half-width), for bitwise agreement.
+        return ChildGeometry(
+            kind="grid",
+            fanout=4,
+            gx=2,
+            gy=2,
+            cell_w=b.width / 2.0,
+            cell_h=b.height / 2.0,
+        )

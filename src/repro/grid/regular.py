@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.exceptions import GridError
 from repro.geo.bbox import BoundingBox
-from repro.geo.point import Point
+from repro.geo.point import Point, points_to_array
 from repro.grid.cell import Cell
 
 
@@ -149,7 +149,7 @@ class RegularGrid:
         counts = np.zeros(self.n_cells, dtype=np.int64)
         if not points:
             return counts
-        arr = np.asarray([(p.x, p.y) for p in points], dtype=float)
+        arr = points_to_array(points)
         inside = (
             (arr[:, 0] >= self._bounds.min_x)
             & (arr[:, 0] <= self._bounds.max_x)

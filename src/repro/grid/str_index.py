@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.exceptions import GridError
 from repro.geo.bbox import BoundingBox
-from repro.geo.point import Point
+from repro.geo.point import Point, points_to_array
 from repro.grid.index import IndexNode, SpatialIndex
 
 #: Minimum fraction of the parent extent each slab/cell must keep.
@@ -83,9 +83,7 @@ class STRIndex(SpatialIndex):
         self._height = height
         self._root = IndexNode(bounds=bounds, level=0, path=())
         self._children: dict[tuple[int, ...], list[IndexNode]] = {}
-        xy = np.asarray(
-            [(p.x, p.y) for p in points if bounds.contains(p)], dtype=float
-        ).reshape(-1, 2)
+        xy = points_to_array([p for p in points if bounds.contains(p)])
         self._build(self._root, xy)
 
     def _build(self, node: IndexNode, xy: np.ndarray) -> None:

@@ -66,6 +66,7 @@ class MechanismMatrix:
         self._outputs = list(outputs)
         self._k = k / sums[:, None]
         self._k.setflags(write=False)
+        self._cdf: np.ndarray | None = None
 
     # ------------------------------------------------------------------
     # accessors
@@ -90,6 +91,21 @@ class MechanismMatrix:
         """``(|X|, |Z|)``."""
         return self._k.shape
 
+    @property
+    def cdf(self) -> np.ndarray:
+        """Row-wise cumulative distribution, cached (read-only).
+
+        ``cumsum`` over full rows first and gathering after is bitwise
+        identical to gathering first and summing after (each row's prefix
+        sums involve only that row), so sampling through this cache
+        reproduces the historical per-call ``cumsum(k[idx])`` exactly.
+        """
+        if self._cdf is None:
+            cdf = np.cumsum(self._k, axis=1)
+            cdf.setflags(write=False)
+            self._cdf = cdf
+        return self._cdf
+
     def row(self, x_index: int) -> np.ndarray:
         """The output distribution ``K(x)(Z)`` for input index ``x_index``."""
         return self._k[x_index]
@@ -109,7 +125,10 @@ class MechanismMatrix:
         return self._outputs[self.sample(x_index, rng)]
 
     def sample_rows(
-        self, x_indices: np.ndarray, rng: np.random.Generator
+        self,
+        x_indices: np.ndarray,
+        rng: np.random.Generator | None = None,
+        u: np.ndarray | None = None,
     ) -> np.ndarray:
         """Draw one output index per entry of ``x_indices``, vectorised.
 
@@ -118,8 +137,22 @@ class MechanismMatrix:
         but implemented by CDF inversion over the gathered rows — one
         ``rng.random`` call and a comparison instead of ``len(x_indices)``
         ``rng.choice`` calls.  This is the batch-sanitisation hot path.
+
+        The uniforms may be drawn by the caller and passed via ``u``
+        (one per index) — the walk engine does this so that staged and
+        compiled paths consume the RNG stream identically.
         """
         idx = np.asarray(x_indices, dtype=np.int64).ravel()
+        if u is None:
+            if rng is None:
+                raise MechanismError("sample_rows needs either rng or u")
+            u = rng.random(idx.size)
+        else:
+            u = np.asarray(u, dtype=float).ravel()
+            if u.size != idx.size:
+                raise MechanismError(
+                    f"{u.size} uniforms for {idx.size} row indices"
+                )
         if idx.size == 0:
             return np.empty(0, dtype=np.int64)
         n_rows, n_cols = self._k.shape
@@ -128,12 +161,7 @@ class MechanismMatrix:
                 f"row indices outside [0, {n_rows}): "
                 f"min={idx.min()}, max={idx.max()}"
             )
-        cdf = np.cumsum(self._k[idx], axis=1)
-        u = rng.random(idx.size)
-        out = (u[:, None] > cdf).sum(axis=1)
-        # Float round-off can leave cdf[:, -1] a hair under 1.0; clamp so
-        # a u drawn in that sliver still maps to the last output.
-        return np.minimum(out, n_cols - 1).astype(np.int64)
+        return invert_cdf_rows(self.cdf[idx], u)
 
     def expected_loss(self, prior: np.ndarray, metric: Metric) -> float:
         """Exact expected utility loss ``sum_x Pi(x) K(x)(z) dQ(x, z)``.
@@ -197,3 +225,53 @@ class MechanismMatrix:
         remapped = np.zeros_like(self._k)
         np.add.at(remapped.T, assignment, self._k.T)
         return MechanismMatrix(self._inputs, self._outputs, remapped)
+
+
+# ----------------------------------------------------------------------
+# Arena operations (compiled-walk support)
+# ----------------------------------------------------------------------
+def invert_cdf_rows(cdf_rows: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Invert pre-gathered CDF rows at uniforms ``u`` (one per row).
+
+    Comparison-count inversion: output ``j`` iff
+    ``cdf[j-1] <= u < cdf[j]``.  Used by both :meth:`sample_rows` and
+    the compiled kernel's cross-node arena gather so the two paths are
+    bitwise identical given the same rows and uniforms.
+    """
+    out = (u[:, None] > cdf_rows).sum(axis=1)
+    # Float round-off can leave cdf[:, -1] a hair under 1.0; clamp so
+    # a u drawn in that sliver still maps to the last output.
+    return np.minimum(out, cdf_rows.shape[1] - 1).astype(np.int64)
+
+
+def stack_cdf_arena(matrices: Sequence[MechanismMatrix]) -> np.ndarray:
+    """Stack same-width mechanism CDFs into one contiguous row arena.
+
+    Rows of matrix ``m`` occupy the block starting at
+    ``sum(matrices[j].shape[0] for j < m)``; each block is bitwise equal
+    to that matrix's own :attr:`MechanismMatrix.cdf` (row-wise prefix
+    sums are independent of stacking).
+    """
+    if not matrices:
+        return np.empty((0, 0), dtype=float)
+    widths = {m.shape[1] for m in matrices}
+    if len(widths) != 1:
+        raise MechanismError(
+            f"cannot stack mixed-width matrices into one arena: {sorted(widths)}"
+        )
+    return np.concatenate([m.cdf for m in matrices], axis=0)
+
+
+def sample_arena_rows(
+    arena_cdf: np.ndarray, rows: np.ndarray, u: np.ndarray
+) -> np.ndarray:
+    """Cross-node row-gather sampling against a stacked CDF arena."""
+    rows = np.asarray(rows, dtype=np.int64).ravel()
+    if rows.size == 0:
+        return np.empty(0, dtype=np.int64)
+    if np.any((rows < 0) | (rows >= arena_cdf.shape[0])):
+        raise MechanismError(
+            f"arena rows outside [0, {arena_cdf.shape[0]}): "
+            f"min={rows.min()}, max={rows.max()}"
+        )
+    return invert_cdf_rows(arena_cdf[rows], np.asarray(u, dtype=float).ravel())

@@ -21,7 +21,7 @@ from scipy.special import lambertw
 
 from repro.exceptions import MechanismError
 from repro.geo.bbox import BoundingBox
-from repro.geo.point import Point
+from repro.geo.point import Point, array_to_points, points_to_array
 from repro.grid.regular import RegularGrid
 from repro.mechanisms.base import Mechanism
 from repro.mechanisms.matrix import MechanismMatrix
@@ -134,9 +134,9 @@ class PlanarLaplaceMechanism(Mechanism):
             return []
         theta = rng.uniform(0.0, 2.0 * np.pi, size=n)
         r = planar_laplace_radius(rng.uniform(size=n), self.epsilon)
-        arr = np.asarray([(p.x, p.y) for p in xs], dtype=float)
+        arr = points_to_array(xs)
         out = arr + np.column_stack([r * np.cos(theta), r * np.sin(theta)])
-        points = [Point(float(px), float(py)) for px, py in out]
+        points = array_to_points(out)
         if self._grid is not None:
             return [self._grid.snap_clamped(p) for p in points]
         if self._bounds is not None:

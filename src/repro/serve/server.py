@@ -332,6 +332,11 @@ class SanitizationServer:
             if obs is not None:
                 store.bind_observability(obs)
             store.get_or_build(msm)
+        # serving batches are micro-batches: let even a single-point
+        # batch ride the compiled kernel once the cache can hold the
+        # tree ('auto' still falls back to the staged walk when it
+        # cannot, e.g. under a tight cache_max_bytes)
+        msm.engine.kernel_min_batch = 1
         server = cls(msm, config, obs=obs, ledger=ledger)
         if seed is not None:
             server._rng = np.random.default_rng(seed)
@@ -681,7 +686,9 @@ class SanitizationServer:
         points = [r.x for r in live]
         start = time.perf_counter()
         try:
-            walks = self._mechanism.sanitize_batch(points, self._rng)
+            walks = self._mechanism.sanitize_batch(
+                points, self._rng, trace=False
+            )
         except Exception as exc:  # fail the whole batch, never hang it
             with self._lock:
                 for request in live:

@@ -358,5 +358,12 @@ class FlakyCacheProxy(NodeMechanismCache):
         return self._inner.size_bytes
 
     @property
+    def version(self) -> int:
+        # Writes delegate to the inner cache, so its counter is the one
+        # that moves; surfacing it keeps kernel invalidation honest
+        # under the proxy.
+        return self._inner.version
+
+    @property
     def resident_bytes(self) -> int:
         return self._inner.resident_bytes

@@ -377,7 +377,7 @@ class TestLiveTinyMatrix:
         assert a == b
 
     def test_registry_knows_smoke_and_full(self):
-        assert len(get_matrix("smoke")) == 6
+        assert len(get_matrix("smoke")) == 8
         assert len(get_matrix("full")) == 48
         with pytest.raises(EvaluationError, match="unknown benchmark"):
             get_matrix("nope")

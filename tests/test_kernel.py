@@ -1,0 +1,487 @@
+"""The compiled array-walk kernel (:mod:`repro.core.kernel`).
+
+Four angles:
+
+* **compile contract** — what compiles (regular warm trees), what
+  refuses (adaptive tilings, cold caches), and how the cache-version
+  handshake invalidates a stale arena after eviction;
+* **differential fuzz** — Hypothesis-driven byte-identity of the
+  compiled kernel against the staged walk across {GIHI, quadtree,
+  k-d tree} x remap x mid-batch cache faults, under a shared seed.
+  The two paths are one mechanism expressed two ways, so points,
+  traces and degradation reports must match *exactly*, not just in
+  distribution;
+* **chi-square equivalence** (``statistical`` marker) — independent
+  seeds, same leaf histogram: the distribution-level complement of
+  the byte-level fuzz;
+* **spanner guard** — matrices built over a Δ-spanner constraint
+  subset at ``eps / Δ`` still pass the privacy guard at the full
+  ``eps`` (the accounting the ``--dilation`` knob relies on).
+
+Plus the store round trip: the persisted ``.kernel.npz`` arena adopts
+bitwise on warm start and quarantines on tamper.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.core.cache import NodeMechanismCache
+from repro.core.kernel import CompiledWalk, compile_walk
+from repro.core.msm import MultiStepMechanism
+from repro.core.resilience import ResilienceConfig, ResilientSolver
+from repro.core.store import MechanismStore, config_fingerprint
+from repro.exceptions import DegradedModeWarning, MechanismError
+from repro.geo import BoundingBox, Point
+from repro.geo.metric import EUCLIDEAN
+from repro.grid import RegularGrid
+from repro.grid.hierarchy import HierarchicalGrid
+from repro.grid.kdtree import KDTreeIndex
+from repro.grid.quadtree import QuadtreeIndex
+from repro.grid.str_index import STRIndex
+from repro.mechanisms.optimal import optimal_mechanism_from_locations
+from repro.priors import GridPrior
+from repro.privacy.guard import guard_mechanism
+from repro.testing.faults import (
+    FaultInjectingSolver,
+    FlakyCacheProxy,
+    RaiseFault,
+)
+
+SEED = 20190326
+
+BOUNDS = BoundingBox.square(Point(0.0, 0.0), 20.0)
+
+
+def _sample_points(n: int = 200) -> list[Point]:
+    coords = np.random.default_rng(7).uniform(0.0, 20.0, size=(n, 2))
+    return [Point(float(x), float(y)) for x, y in coords]
+
+
+#: name -> (index factory, walk height, prior granularity)
+_CONFIGS = {
+    "gihi": (lambda: HierarchicalGrid(BOUNDS, 3, 2), 2, 9),
+    "quad": (
+        lambda: QuadtreeIndex(BOUNDS, _sample_points(), capacity=1,
+                              max_depth=3),
+        3,
+        16,
+    ),
+    "kd": (
+        lambda: KDTreeIndex(BOUNDS, _sample_points(), max_depth=3),
+        3,
+        16,
+    ),
+}
+
+#: config name -> warmed clean cache snapshot, built once per run (the
+#: LP sweep is the expensive part; every fuzz example reuses it)
+_WARM: dict[str, dict] = {}
+
+
+def _warm_snapshot(kind: str) -> dict:
+    if kind not in _WARM:
+        make_index, h, g = _CONFIGS[kind]
+        msm = MultiStepMechanism(
+            make_index(),
+            [1.0 / h] * h,
+            GridPrior.uniform(RegularGrid(BOUNDS, g)),
+        )
+        msm.precompute()
+        _WARM[kind] = msm.cache.snapshot()
+    return _WARM[kind]
+
+
+def _dead_solver() -> ResilientSolver:
+    return ResilientSolver(
+        ResilienceConfig.starting_with("highs-ds"),
+        solve_fn=FaultInjectingSolver(
+            [RaiseFault(message="kernel-fuzz outage")]
+        ),
+    )
+
+
+def _drop_path(index) -> tuple[int, ...]:
+    """A root child that has children itself: dropping it forces a
+    mid-walk re-solve, which the dead solver turns into degradation."""
+    for child in index.children(index.root):
+        if index.children(child):
+            return child.path
+    raise AssertionError("no internal root child to drop")
+
+
+def _make_pair(kind: str, remap: bool, faults: bool):
+    """Kernel and staged MSMs, identically configured over *independent*
+    caches.
+
+    Independence matters: were the caches shared, the staged engine's
+    re-solve of a dropped path would bump the shared version and
+    silently invalidate the kernel engine's arena, turning the
+    differential test vacuous (both sides would run staged).
+    """
+    make_index, h, g = _CONFIGS[kind]
+    snapshot = _warm_snapshot(kind)
+    drop = _drop_path(make_index()) if faults else None
+
+    def make() -> MultiStepMechanism:
+        inner = NodeMechanismCache()
+        inner.merge(snapshot)
+        cache = (
+            FlakyCacheProxy(inner, drop_paths=[drop]) if faults else inner
+        )
+        return MultiStepMechanism(
+            make_index(),
+            [1.0 / h] * h,
+            GridPrior.uniform(RegularGrid(BOUNDS, g)),
+            remap=remap,
+            cache=cache,
+            solver=_dead_solver() if faults else None,
+        )
+
+    kernel_msm, staged_msm = make(), make()
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DegradedModeWarning)
+        kernel_msm.engine.kernel = "always"
+        assert kernel_msm.engine.compile() is not None
+    staged_msm.engine.kernel = "never"
+    return kernel_msm, staged_msm, drop
+
+
+def _workload(seed: int, n: int = 60) -> list[Point]:
+    rng = np.random.default_rng(seed)
+    pts = [
+        Point(float(x), float(y))
+        for x, y in rng.uniform(0.0, 20.0, size=(n, 2))
+    ]
+    # out-of-domain points exercise the uniform-drift draw at level 1
+    pts.append(Point(-1.0, 5.0))
+    pts.append(Point(21.0, 25.0))
+    return pts
+
+
+def _gihi_msm(granularity: int = 3, height: int = 2, **kwargs):
+    return MultiStepMechanism(
+        HierarchicalGrid(BOUNDS, granularity, height),
+        [0.5] * height,
+        GridPrior.uniform(RegularGrid(BOUNDS, granularity**height)),
+        **kwargs,
+    )
+
+
+# ----------------------------------------------------------------------
+# compile contract
+# ----------------------------------------------------------------------
+class TestCompileContract:
+    def test_warm_gihi_compiles_with_expected_shape(self):
+        msm = _gihi_msm()
+        msm.precompute()
+        compiled = msm.engine.compile(build=False)
+        assert compiled is not None
+        # root + 9 children + 81 grandchildren, two arena levels
+        assert compiled.n_nodes == 1 + 9 + 81
+        assert compiled.n_levels == 2
+        assert compiled.cdf_levels[0].shape == (9, 9)
+        assert compiled.cdf_levels[1].shape == (81, 9)
+        assert compiled.row_offset[0] == 0
+        leaves = compiled.child_count == 0
+        assert leaves.sum() == 81
+        assert np.all(compiled.row_offset[leaves] == -1)
+        assert compiled.cache_version == msm.cache.version
+
+    def test_cold_cache_does_not_compile_without_build(self):
+        msm = _gihi_msm(granularity=2)
+        assert msm.engine.compile(build=False) is None
+        assert msm.engine.compiled is None
+        # build=True solves the tree and succeeds
+        assert msm.engine.compile(build=True) is not None
+        assert len(msm.cache) == 1 + 4  # root + level-1 internal nodes
+
+    def test_adaptive_str_index_is_uncompilable(self):
+        index = STRIndex(BOUNDS, _sample_points(), fanout=3, height=2)
+        msm = MultiStepMechanism(
+            index,
+            [0.5, 0.5],
+            GridPrior.uniform(RegularGrid(BOUNDS, 16)),
+        )
+        msm.precompute()
+        assert msm.engine.compile(build=False) is None
+        # and the engine keeps serving via the staged path even when
+        # dispatch asks for the kernel on every batch size
+        msm.engine.kernel = "auto"
+        msm.engine.kernel_min_batch = 1
+        walks = msm.sanitize_batch(
+            _workload(SEED), np.random.default_rng(SEED)
+        )
+        assert len(walks) == 62
+
+    def test_eviction_bumps_version_and_invalidates(self):
+        msm = _gihi_msm(granularity=2)
+        msm.precompute()
+        engine = msm.engine
+        compiled = engine.compile(build=False)
+        assert compiled is not None
+        before = msm.cache.version
+        msm.cache.clear()
+        assert msm.cache.version > before
+        # the stale arena is never used: auto mode on the now-cold cache
+        # sees the version mismatch, fails the (build=False) recompile,
+        # and falls back to the staged walk — which re-solves
+        engine.kernel = "auto"
+        engine.kernel_min_batch = 1
+        walks = msm.sanitize_batch(
+            _workload(SEED, n=8), np.random.default_rng(SEED)
+        )
+        assert len(walks) == 10
+        assert engine.compiled is None  # dropped, not silently reused
+        # a rebuild re-arms the kernel against the new cache version
+        assert engine.compile(build=True) is not None
+        assert engine.compiled.cache_version == msm.cache.version
+
+    def test_always_mode_builds_missing_entries(self):
+        msm = _gihi_msm(granularity=2)
+        msm.engine.kernel = "always"
+        walks = msm.sanitize_batch(
+            _workload(SEED, n=4), np.random.default_rng(SEED)
+        )
+        assert len(walks) == 6
+        assert msm.engine.compiled is not None
+
+    def test_invalid_kernel_mode_rejected(self):
+        msm = _gihi_msm(granularity=2)
+        with pytest.raises(MechanismError, match="kernel"):
+            msm.engine.kernel = "sometimes"
+
+    def test_to_from_arrays_roundtrip(self):
+        msm = _gihi_msm()
+        msm.precompute()
+        compiled = msm.engine.compile(build=False)
+        clone = CompiledWalk.from_arrays(compiled.to_arrays())
+        assert compiled.equals(clone)
+        assert clone.paths == compiled.paths
+
+    def test_auto_mode_keeps_small_batches_staged(self):
+        msm = _gihi_msm(granularity=2)
+        msm.precompute()
+        engine = msm.engine
+        assert engine.kernel == "auto"
+        assert engine.kernel_min_batch > 8
+        msm.sanitize_batch(
+            _workload(SEED, n=6), np.random.default_rng(SEED)
+        )
+        assert engine.compiled is None  # never compiled for a tiny batch
+
+
+# ----------------------------------------------------------------------
+# differential fuzz: kernel == staged, byte for byte
+# ----------------------------------------------------------------------
+class TestByteIdentity:
+    @pytest.mark.parametrize(
+        "kind,remap,faults",
+        [
+            ("gihi", False, False),
+            ("gihi", True, False),
+            ("gihi", False, True),
+            ("gihi", True, True),
+            ("quad", False, False),
+            ("quad", False, True),
+            ("kd", False, False),
+            ("kd", False, True),
+        ],
+    )
+    @given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=6, deadline=None, derandomize=True)
+    def test_kernel_matches_staged(self, kind, remap, faults, seed):
+        kernel_msm, staged_msm, drop = _make_pair(kind, remap, faults)
+        points = _workload(seed)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DegradedModeWarning)
+            a = kernel_msm.sanitize_batch(points, np.random.default_rng(seed))
+            b = staged_msm.sanitize_batch(points, np.random.default_rng(seed))
+        assert [w.point for w in a] == [w.point for w in b]
+        assert [w.trace for w in a] == [w.trace for w in b]
+        assert [w.degradation for w in a] == [w.degradation for w in b]
+        if faults:
+            # the walks really ran through the degraded fallback: any
+            # step through the dropped node is marked
+            assert all(
+                s.degraded
+                for w in b
+                for s in w.trace
+                if s.node_path == drop
+            )
+
+    def test_traceless_run_same_points_empty_traces(self):
+        kernel_msm, _, _ = _make_pair("gihi", remap=False, faults=False)
+        points = _workload(SEED)
+        a = kernel_msm.sanitize_batch(points, np.random.default_rng(SEED))
+        b = kernel_msm.sanitize_batch(
+            points, np.random.default_rng(SEED), trace=False
+        )
+        assert [w.point for w in a] == [w.point for w in b]
+        assert all(w.trace == () for w in b)
+        assert [w.degradation for w in a] == [w.degradation for w in b]
+
+
+# ----------------------------------------------------------------------
+# distributional equivalence (independent seeds)
+# ----------------------------------------------------------------------
+@pytest.mark.statistical
+class TestChiSquareEquivalence:
+    N = 6000
+    ALPHA = 0.01
+    MIN_POOLED = 10
+
+    def test_chi_square_kernel_vs_staged(self):
+        """Kernel and staged leaf distributions are indistinguishable
+        under *independent* seeds (alpha = 0.01; fixed seeds, verified
+        deterministic outcome)."""
+        msm = _gihi_msm()
+        msm.precompute()
+        assert msm.engine.compile(build=False) is not None
+        xs = [
+            Point(float(x), float(y))
+            for x, y in np.random.default_rng(SEED).uniform(
+                0.0, 20.0, size=(self.N, 2)
+            )
+        ]
+        msm.engine.kernel = "never"
+        staged = msm.sanitize_batch(xs, np.random.default_rng(31))
+        msm.engine.kernel = "always"
+        kernel = msm.sanitize_batch(xs, np.random.default_rng(32))
+
+        grid = msm.index.level_grid(min(msm.height, msm.index.height))
+
+        def leaf_counts(walks):
+            counts = np.zeros(grid.n_cells, dtype=float)
+            for w in walks:
+                counts[grid.locate(w.point).index] += 1
+            return counts
+
+        a, b = leaf_counts(staged), leaf_counts(kernel)
+        pooled = a + b
+        keep = pooled >= self.MIN_POOLED
+        table = np.vstack([
+            np.append(a[keep], a[~keep].sum()),
+            np.append(b[keep], b[~keep].sum()),
+        ])
+        table = table[:, table.sum(axis=0) > 0]
+        _, p_value, _, _ = stats.chi2_contingency(table)
+        assert p_value >= self.ALPHA, (
+            f"kernel and staged leaf distributions diverge "
+            f"(p={p_value:.4g})"
+        )
+
+
+# ----------------------------------------------------------------------
+# spanner dilation: the guard holds at the full epsilon
+# ----------------------------------------------------------------------
+class TestSpannerGuard:
+    @pytest.mark.parametrize("dilation", [1.1, 1.5, 2.0])
+    def test_spanner_solve_passes_guard_at_full_epsilon(self, dilation):
+        """Solving over the spanner's edge set at ``eps / dilation``
+        yields a mechanism the guard verifies at ``eps`` over *all*
+        pairs — fewer constraints, same guarantee."""
+        epsilon = 0.8
+        grid = RegularGrid(BOUNDS, 4)
+        locations = grid.centers()
+        prior = np.full(len(locations), 1.0 / len(locations))
+
+        exact = optimal_mechanism_from_locations(
+            epsilon, locations, prior, EUCLIDEAN
+        )
+        spanned = optimal_mechanism_from_locations(
+            epsilon, locations, prior, EUCLIDEAN,
+            spanner_dilation=dilation,
+        )
+        assert spanned.n_constraints < exact.n_constraints
+        report = guard_mechanism(spanned.matrix, epsilon)
+        assert report.satisfied
+        # utility can only get worse under a tighter effective epsilon
+        assert spanned.expected_loss >= exact.expected_loss - 1e-9
+
+    def test_msm_built_with_dilation_guards_every_node(self):
+        msm = _gihi_msm(spanner_dilation=1.5)
+        msm.precompute()
+        assert msm.spanner_dilation == 1.5
+        for entry in msm.cache.snapshot().values():
+            report = guard_mechanism(
+                entry.matrix, entry.epsilon, dx=msm.engine.dx
+            )
+            assert report.satisfied
+        # and the dilated tree compiles like any other
+        assert msm.engine.compile(build=False) is not None
+
+
+# ----------------------------------------------------------------------
+# store round trip: the persisted arena sidecar
+# ----------------------------------------------------------------------
+class TestKernelSidecar:
+    def test_sidecar_written_and_adopted_bitwise(self, tmp_path):
+        store = MechanismStore(tmp_path / "store")
+        builder = _gihi_msm()
+        store.get_or_build(builder)
+        sidecar = store.kernel_path_for(builder)
+        assert sidecar.exists()
+        assert MechanismStore.checksum_path(sidecar).exists()
+        assert sidecar not in store.entries()  # not a bundle
+
+        warm = _gihi_msm()
+        record = store.get_or_build(warm)
+        assert record.outcome == "hit"
+        assert sidecar.exists()  # verified, not quarantined
+        assert warm.engine.compiled is not None
+        # the adopted arena IS a fresh compile of the adopted cache
+        recompiled = compile_walk(warm.engine, build_missing=False)
+        assert warm.engine.compiled.equals(recompiled)
+
+    def test_warm_started_kernel_run_matches_staged(self, tmp_path):
+        store = MechanismStore(tmp_path / "store")
+        store.get_or_build(_gihi_msm())
+        warm = _gihi_msm()
+        store.get_or_build(warm)
+        points = _workload(SEED)
+        warm.engine.kernel = "always"
+        a = warm.sanitize_batch(points, np.random.default_rng(SEED))
+        warm.engine.kernel = "never"
+        b = warm.sanitize_batch(points, np.random.default_rng(SEED))
+        assert [w.point for w in a] == [w.point for w in b]
+        assert [w.trace for w in a] == [w.trace for w in b]
+
+    def test_tampered_sidecar_quarantined_fresh_compile_survives(
+        self, tmp_path
+    ):
+        store = MechanismStore(tmp_path / "store")
+        store.get_or_build(_gihi_msm())
+        probe = _gihi_msm()
+        sidecar = store.kernel_path_for(probe)
+        with np.load(sidecar) as data:
+            arrays = dict(data)
+        arrays["cdf_0"] = arrays["cdf_0"].copy()
+        arrays["cdf_0"][0, 0] += 1e-9  # below any statistical radar
+        with open(sidecar, "wb") as fh:
+            np.savez(fh, **arrays)
+        MechanismStore.checksum_path(sidecar).write_text(
+            hashlib.sha256(sidecar.read_bytes()).hexdigest() + "\n"
+        )
+        warm = _gihi_msm()
+        record = store.warm_start(warm)
+        assert record is not None and record.outcome == "hit"
+        assert not sidecar.exists()
+        quarantined = list(
+            (store.root / ".quarantine").glob("*.kernel.npz*")
+        )
+        assert quarantined
+        # serving is unaffected: the fresh compile took over
+        assert warm.engine.compiled is not None
+
+    def test_dilation_is_part_of_the_fingerprint(self):
+        assert config_fingerprint(_gihi_msm()) != config_fingerprint(
+            _gihi_msm(spanner_dilation=1.5)
+        )

@@ -268,7 +268,7 @@ class TestSpanTree:
         roots = obs.spans
         assert [r.name for r in roots] == ["walk"]
         walk = roots[0]
-        assert walk.attributes == {"n": 40}
+        assert walk.attributes == {"n": 40, "path": "staged"}
         # one level span per index level, then the finalise stage
         assert walk.child_names() == ["level", "level", "finalise"]
         for depth, level in enumerate(walk.find("level"), start=1):
@@ -359,6 +359,29 @@ class TestNoopIdentity:
         b = observed.sanitize_batch(points, np.random.default_rng(SEED))
         assert [w.point for w in a] == [w.point for w in b]
         assert [w.trace for w in a] == [w.trace for w in b]
+
+    def test_observed_kernel_walk_is_byte_identical(self, square20):
+        """Instrumentation changes nothing on the compiled path either:
+        same points, same traces, with or without a collecting handle."""
+        plain = small_msm(square20, g=2, h=2)
+        observed = small_msm(
+            square20, g=2, h=2, obs=Observability.collecting(trace=True)
+        )
+        for msm in (plain, observed):
+            msm.precompute()
+            msm.engine.kernel = "always"
+            assert msm.engine.compile(build=False) is not None
+        points = batch(100)
+        a = plain.sanitize_batch(points, np.random.default_rng(SEED))
+        b = observed.sanitize_batch(points, np.random.default_rng(SEED))
+        assert [w.point for w in a] == [w.point for w in b]
+        assert [w.trace for w in a] == [w.trace for w in b]
+        # the observed run went down the kernel path, visibly so
+        walk_spans = [
+            s for s in observed.observability.spans if s.name == "walk"
+        ]
+        assert walk_spans
+        assert all(s.attributes["path"] == "kernel" for s in walk_spans)
 
     def test_noop_handle_records_nothing(self, square20):
         msm = small_msm(square20, g=2, h=2)  # default NOOP handle
