@@ -28,6 +28,12 @@ from repro.bench.compare import (
     format_comparison,
     parse_tolerance_overrides,
 )
+from repro.bench.load import (
+    COMMITTED_SINGLE_CORE_REQ_S,
+    LoadSpec,
+    run_load_benchmark,
+    zipf_workload,
+)
 from repro.bench.matrix import (
     MATRICES,
     CellSpec,
@@ -42,11 +48,13 @@ from repro.bench.runner import ROOT_SEED, cell_seed, run_cell, run_matrix
 __all__ = [
     "ArtifactError",
     "BENCH_TOLERANCES",
+    "COMMITTED_SINGLE_CORE_REQ_S",
     "CellSpec",
     "Comparison",
     "DEFAULT_TOLERANCES",
     "DatasetSpec",
     "IndexSpec",
+    "LoadSpec",
     "MATRICES",
     "MatrixSpec",
     "MetricVerdict",
@@ -63,9 +71,11 @@ __all__ = [
     "parse_tolerance_overrides",
     "report_tables",
     "run_cell",
+    "run_load_benchmark",
     "run_matrix",
     "save_artifact",
     "validate_artifact",
     "validation_errors",
     "wrap_legacy",
+    "zipf_workload",
 ]

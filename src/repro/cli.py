@@ -241,6 +241,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         coalesce_window=args.coalesce_window,
         max_batch=args.max_batch,
     )
+    if args.workers > 1:
+        return _serve_pool(args, config, prior, dataset, obs)
     server = SanitizationServer.build(
         prior,
         config,
@@ -305,6 +307,79 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_pool(args, config, prior, dataset, obs) -> int:
+    """The multi-worker branch of ``repro serve`` (--workers > 1):
+    freeze the warmed mechanism into an arena, shard users across
+    worker processes, and drive the same synthetic client load."""
+    import threading
+
+    from repro.exceptions import BudgetError, ServeError
+    from repro.serve import ServingPool
+
+    pool = ServingPool.build(
+        prior,
+        config,
+        workers=args.workers,
+        arena_dir=args.arena,
+        granularity=args.g,
+        rho=args.rho,
+        store=args.store,
+        obs=obs,
+        seed=args.seed,
+        ledger_dir=args.ledger_dir,
+        spanner_dilation=args.dilation,
+    )
+    points = dataset.points()
+    refused = {"budget": 0, "serve": 0}
+    refusal_lock = threading.Lock()
+
+    def client(client_id: int) -> None:
+        rng = np.random.default_rng(args.seed + client_id)
+        user = f"user-{client_id}"
+        for _ in range(args.requests // args.clients):
+            x = points[int(rng.integers(len(points)))]
+            try:
+                pool.report(user, x)
+            except BudgetError:
+                with refusal_lock:
+                    refused["budget"] += 1
+            except ServeError:
+                with refusal_lock:
+                    refused["serve"] += 1
+
+    with pool:
+        print(f"workers    : {args.workers} processes, "
+              f"arena {pool.arena.nbytes} bytes (zero-copy mmap)")
+        if args.ledger_dir is not None:
+            replay = pool.ledger_replay()
+            print(f"ledgers    : {args.ledger_dir} "
+                  f"({len(replay.spent)} users, "
+                  f"{sum(replay.spent.values()):.4f} eps replayed, "
+                  f"{replay.corrupt_lines} corrupt lines skipped)")
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(args.clients)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        pool.collect_metrics()
+        stats = pool.stats()
+    print(f"clients    : {args.clients}")
+    print(f"requests   : {stats.requests} admitted, "
+          f"{stats.completed} completed")
+    print(f"refused    : {refused['budget']} budget, "
+          f"{refused['serve']} serve")
+    print(f"batches    : {stats.batches} "
+          f"({stats.coalesced} requests coalesced, "
+          f"largest {stats.max_batch_points})")
+    print(f"sessions   : {stats.sessions} across "
+          f"{args.workers} shards, {stats.respawns} respawns")
+    _write_observability(obs, args)
+    return 0
+
+
 def _default_run_path(matrix_name: str) -> str:
     return f"benchmarks/runs/{matrix_name}.json"
 
@@ -353,6 +428,44 @@ def _cmd_bench_report(args: argparse.Namespace) -> int:
     run_path = args.run or _default_run_path(args.matrix)
     artifact = load_artifact(run_path)
     print(format_report(artifact))
+    return 0
+
+
+def _cmd_bench_load(args: argparse.Namespace) -> int:
+    from repro.bench import ROOT_SEED, save_artifact, wrap_legacy
+    from repro.bench.load import LoadSpec, run_load_benchmark
+
+    seed = args.seed if args.seed is not None else ROOT_SEED
+    spec = LoadSpec(
+        workers=args.workers,
+        total_requests=args.requests,
+        n_users=args.users,
+        zipf_s=args.zipf_s,
+        ledger=args.ledger,
+        seed=seed,
+    )
+    results = run_load_benchmark(spec, progress=print)
+    path = save_artifact(
+        wrap_legacy("pool-load", results, seed), args.out
+    )
+    saturation = results["saturation"]
+    open_loop = results["open_loop"]
+    print(f"workers    : {results['workers']} "
+          f"(host cpu_count {results['cpu_count']}, "
+          f"gate {results['expected_gate']})")
+    print(f"saturation : {saturation['req_per_s']:.0f} req/s "
+          f"({saturation['requests']} requests in "
+          f"{saturation['elapsed_seconds']:.2f}s)")
+    print(f"open loop  : p50 {open_loop['p50_ms']:.2f} ms, "
+          f"p95 {open_loop['p95_ms']:.2f} ms, "
+          f"p99 {open_loop['p99_ms']:.2f} ms "
+          f"at {open_loop['target_req_per_s']:.0f} req/s")
+    print(f"baseline   : "
+          f"{results['baseline_single_process']['req_per_s']:.0f} req/s "
+          f"single-process -> speedup "
+          f"{results['speedup_vs_inrun_baseline']:.2f}x in-run, "
+          f"{results['speedup_vs_committed']:.2f}x vs committed")
+    print(f"artifact   : {path}")
     return 0
 
 
@@ -460,6 +573,18 @@ def build_parser() -> argparse.ArgumentParser:
                          help="durable budget journal; replayed on start so "
                               "spent budgets survive crashes and restarts")
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument("--workers", type=int, default=1,
+                         help="worker processes; >1 serves through the "
+                              "zero-copy arena pool with users sharded "
+                              "by stable hash (default 1: in-process "
+                              "dispatcher)")
+    p_serve.add_argument("--arena", default=None, metavar="DIR",
+                         help="freeze the compiled mechanism arena here "
+                              "(default: a run-scoped temp directory)")
+    p_serve.add_argument("--ledger-dir", default=None, metavar="DIR",
+                         help="per-shard durable budget journals for the "
+                              "worker pool (crash-safe spend, replayed "
+                              "on worker respawn)")
     p_serve.add_argument("--metrics", nargs="?", const="-", default=None,
                          metavar="PATH",
                          help="write the full Prometheus metrics dump to "
@@ -514,6 +639,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_brep.add_argument("--matrix", default="smoke",
                         help="matrix name used for the default --run path")
     p_brep.set_defaults(func=_cmd_bench_report)
+
+    p_bload = bench_sub.add_parser(
+        "load",
+        help="open-loop load benchmark against the multi-worker pool",
+    )
+    p_bload.add_argument("--workers", type=int, default=2)
+    p_bload.add_argument("--requests", type=int, default=1000,
+                         help="total open-loop requests (default 1000; "
+                              "the committed BENCH_load.json uses "
+                              "benchmarks/bench_load.py at full size)")
+    p_bload.add_argument("--users", type=int, default=200,
+                         help="distinct users behind the Zipf arrivals")
+    p_bload.add_argument("--zipf-s", type=float, default=1.1,
+                         help="Zipf skew of user arrivals")
+    p_bload.add_argument("--ledger", action="store_true",
+                         help="attach per-shard durable budget journals "
+                              "(measures the fsync price)")
+    p_bload.add_argument("--out", default="BENCH_load.json",
+                         metavar="PATH",
+                         help="artifact path (default BENCH_load.json)")
+    p_bload.add_argument("--seed", type=int, default=None)
+    p_bload.set_defaults(func=_cmd_bench_load)
 
     p_exp = sub.add_parser("experiment", help="regenerate a paper table/figure")
     p_exp.add_argument("name", choices=sorted(_EXPERIMENTS))

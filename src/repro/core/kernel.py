@@ -115,6 +115,21 @@ class CompiledWalk:
     def n_levels(self) -> int:
         return len(self.budgets)
 
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of the flat numeric arrays (what an arena maps).
+
+        The per-level CDF arenas dominate; this is the figure the
+        serving pool reports as ``repro_pool_arena_bytes`` — one copy
+        machine-wide regardless of worker count.
+        """
+        total = sum(
+            np.asarray(value).nbytes
+            for key, value in self.to_arrays().items()
+            if key not in ("source", "reason")
+        )
+        return int(total)
+
     # ------------------------------------------------------------------
     # the fused walk
     # ------------------------------------------------------------------

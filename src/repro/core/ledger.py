@@ -58,6 +58,7 @@ import threading
 import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Iterable
 
 from repro.exceptions import LedgerError
 from repro.obs import NOOP, Observability
@@ -235,6 +236,34 @@ def replay_journal(path: str | Path) -> LedgerReplay:
                 )
                 replay.spent[reservation.user] = max(0.0, remaining)
     return replay
+
+
+def replay_many(paths: "Iterable[str | Path]") -> LedgerReplay:
+    """Replay several shard journals into one fail-closed account.
+
+    The multi-worker serving pool shards budget accounting by user-id
+    hash: each user's journal entries live in exactly one shard file,
+    so merging replays is a disjoint union — per-user spend adds (a
+    user appearing in two shards would indicate a resharding bug, and
+    adding is the fail-closed way to count it), corrupt-line counts
+    add, and open reservations union (entry ids embed the user, so
+    shards cannot collide on a live id in a correct deployment; a
+    collision keeps the first-seen reservation, which only ever
+    over-counts).
+    """
+    merged = LedgerReplay()
+    for path in paths:
+        replay = replay_journal(path)
+        for user, eps in replay.spent.items():
+            merged.spent[user] = merged.spent.get(user, 0.0) + eps
+        merged.entries += replay.entries
+        merged.corrupt_lines += replay.corrupt_lines
+        merged.committed += replay.committed
+        merged.released += replay.released
+        merged.max_seq = max(merged.max_seq, replay.max_seq)
+        for entry_id, reservation in replay.open_reservations.items():
+            merged.open_reservations.setdefault(entry_id, reservation)
+    return merged
 
 
 class BudgetLedger:

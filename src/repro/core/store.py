@@ -333,6 +333,41 @@ class MechanismStore:
                 "adopted cache",
             )
 
+    def arena_dir_for(self, msm: MultiStepMechanism) -> Path:
+        """Where this mechanism's serving arena lives."""
+        return self._root / f"msm-{config_fingerprint(msm)}.arena"
+
+    def export_arena(self, msm: MultiStepMechanism, directory: Path | None = None):
+        """Freeze ``msm``'s compiled walk into a serving arena.
+
+        The multi-worker pool's workers map the arena read-only at zero
+        copy (:class:`~repro.serve.arena.MechanismArena`); exporting
+        through the store keys the directory by the same config
+        fingerprint as the bundle and the ``.kernel.npz`` sidecar, so
+        one warmed mechanism yields one arena however many pools serve
+        it.  Compiles through the engine's normal resolve path
+        (``build=True``), warming any missing cache entries exactly
+        like a precompute.
+
+        Returns the opened :class:`~repro.serve.arena.MechanismArena`.
+        """
+        from repro.serve.arena import MechanismArena
+
+        compiled = msm.engine.compile(build=True)
+        if compiled is None:
+            raise MechanismError(
+                "mechanism tree is not compilable into an arena "
+                "(adaptive geometry, ragged fanout, or an evicting cache "
+                "too small to hold the tree)"
+            )
+        target = directory if directory is not None else self.arena_dir_for(msm)
+        arena = MechanismArena.freeze(compiled, target)
+        if self._obs.enabled:
+            self._obs.metrics.gauge("repro_store_arena_bytes").set(
+                arena.nbytes
+            )
+        return arena
+
     def _quarantine(self, path: Path, reason: str) -> None:
         """Move a corrupt bundle (and its sidecar) out of the way.
 

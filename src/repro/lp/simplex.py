@@ -24,6 +24,14 @@ from repro.lp.problem import LinearProgram
 from repro.lp.result import LPResult, LPStatus
 
 _TOL = 1e-9
+# An unbounded verdict requires a column that is *genuinely* non-positive,
+# judged at a tolerance strictly below the stable-pivot cutoff ``_TOL``: a
+# column whose reduced cost crosses -_TOL only because several sub-_TOL
+# entries add up has no stable pivot row, but it is not an unbounded ray
+# either (phase 1, for one, can never be unbounded — its objective is a sum
+# of artificials, bounded below by zero).  Such gray columns are skipped as
+# entering candidates rather than misreported.
+_RAY_TOL = 1e-12
 
 
 def solve_simplex(problem: LinearProgram, max_iterations: int = 100_000) -> LPResult:
@@ -149,7 +157,11 @@ class _DenseStandardForm:
         # ---------------- phase 2: original objective ------------------
         keep = [j for j in range(total)] + [total + m]
         tableau2 = tableau[:, keep]
-        phase2_cost = self.c.copy()
+        # A zero-value artificial from a redundant row may still be basic
+        # (its column was dropped above, but its *index* survives in
+        # ``basis``): pad the cost vector so ``cost[basis]`` stays in
+        # bounds and the leftover artificial prices at zero.
+        phase2_cost = np.concatenate([self.c, np.zeros(m)])
         status = self._iterate(tableau2, basis, phase2_cost, max_iterations)
         if status is not LPStatus.OPTIMAL:
             return (status, np.empty(0))
@@ -184,19 +196,31 @@ class _DenseStandardForm:
             candidates = np.nonzero(reduced < -_TOL)[0]
             if candidates.size == 0:
                 return LPStatus.OPTIMAL
-            enter = int(candidates[0])  # Bland: smallest index
-            col = tableau[:, enter]
-            positive = col > _TOL
-            if not np.any(positive):
-                return LPStatus.UNBOUNDED
-            ratios = np.full(m, np.inf)
-            ratios[positive] = tableau[positive, -1] / col[positive]
-            best = np.min(ratios)
-            # Bland tie-break: leaving variable with the smallest index.
-            tied = [i for i in range(m) if ratios[i] <= best + _TOL]
-            leave = min(tied, key=lambda i: basis[i])
-            self._pivot(tableau, basis, leave, enter)
-            self.iterations += 1
+            pivoted = False
+            for enter in candidates:  # Bland: smallest index first
+                enter = int(enter)
+                col = tableau[:, enter]
+                positive = col > _TOL
+                if not np.any(positive):
+                    if np.all(col <= _RAY_TOL):
+                        return LPStatus.UNBOUNDED
+                    # Gray column: improving on paper, but every entry is
+                    # too small to pivot on stably.  Try the next one.
+                    continue
+                ratios = np.full(m, np.inf)
+                ratios[positive] = tableau[positive, -1] / col[positive]
+                best = np.min(ratios)
+                # Bland tie-break: leaving variable with the smallest index.
+                tied = [i for i in range(m) if ratios[i] <= best + _TOL]
+                leave = min(tied, key=lambda i: basis[i])
+                self._pivot(tableau, basis, leave, enter)
+                self.iterations += 1
+                pivoted = True
+                break
+            if not pivoted:
+                # Every improving column was numerically degenerate; the
+                # attainable gain is O(tolerance), so the vertex stands.
+                return LPStatus.OPTIMAL
         return LPStatus.ITERATION_LIMIT
 
     @staticmethod

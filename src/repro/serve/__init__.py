@@ -1,4 +1,4 @@
-"""Concurrent serving front-end over one shared sanitisation engine.
+"""Concurrent serving front-ends over one shared sanitisation engine.
 
 :class:`SanitizationServer` owns many per-user
 :class:`~repro.core.session.SanitizationSession`\\ s sharing a single
@@ -8,14 +8,37 @@ admission control on lifetime budgets.  With a
 :class:`~repro.core.ledger.BudgetLedger` attached, every admission is
 journalled durably before it may sample, so a crash or restart can
 never reset a user's spent budget.
+
+:class:`ServingPool` scales the same design across worker processes:
+the warmed mechanism is frozen into a read-only
+:class:`MechanismArena` every worker maps at zero copy, users shard to
+workers by the stable hash :func:`shard_for_user` so each budget lives
+in exactly one process, and per-shard stats/metrics fold back through
+an associative merge algebra.  :class:`AsyncSanitizationFrontend`
+bridges the pool into asyncio applications.
 """
 
 from repro.core.ledger import BudgetLedger
+from repro.serve.arena import ArenaError, MechanismArena
+from repro.serve.frontend import AsyncSanitizationFrontend
+from repro.serve.pool import (
+    ServingPool,
+    ShardBudgetBook,
+    shard_for_user,
+    shard_journal_path,
+)
 from repro.serve.server import SanitizationServer, ServerConfig, ServerStats
 
 __all__ = [
+    "ArenaError",
+    "AsyncSanitizationFrontend",
     "BudgetLedger",
+    "MechanismArena",
     "SanitizationServer",
     "ServerConfig",
     "ServerStats",
+    "ServingPool",
+    "ShardBudgetBook",
+    "shard_for_user",
+    "shard_journal_path",
 ]

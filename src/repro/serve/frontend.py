@@ -1,0 +1,130 @@
+"""Asyncio front-end over the multi-worker serving pool.
+
+:class:`ServingPool` exposes a thread-flavoured interface — blocking
+:meth:`~repro.serve.pool.ServingPool.report` and a
+``concurrent.futures.Future`` from
+:meth:`~repro.serve.pool.ServingPool.submit`.  An asyncio application
+(an HTTP handler, a websocket fan-in) must never block its event loop
+on either, so this module wraps the pool behind coroutines:
+
+* submission stays synchronous and cheap (a domain check, an overload
+  check, a queue put — no I/O), so it runs inline on the loop;
+* the *wait* is bridged with :func:`asyncio.wrap_future`, which wires
+  the worker's completion callback to the loop without a polling
+  thread.
+
+The frontend adds nothing to the privacy story — routing, budget
+admission, and sampling all happen in the pool and its workers — and
+nothing to the stats algebra: :meth:`AsyncSanitizationFrontend.stats`
+and :meth:`~AsyncSanitizationFrontend.collect_metrics` are the pool's
+own merged views.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.exceptions import ServeError
+from repro.geo.point import Point
+from repro.core.session import SessionReport
+from repro.serve.pool import ServingPool
+from repro.serve.server import ServerStats
+
+__all__ = ["AsyncSanitizationFrontend"]
+
+
+class AsyncSanitizationFrontend:
+    """Route sanitisation requests from an event loop into a
+    :class:`~repro.serve.pool.ServingPool`.
+
+    Usage::
+
+        pool = ServingPool.build(prior, config, workers=4)
+        async with AsyncSanitizationFrontend(pool) as frontend:
+            report = await frontend.report("user-1", Point(3.2, 7.9))
+
+    The frontend starts the pool on ``__aenter__`` if needed and, when
+    constructed with ``own_pool=True`` (the context-manager default
+    path), stops it on ``__aexit__``.
+    """
+
+    def __init__(self, pool: ServingPool, own_pool: bool = True):
+        self._pool = pool
+        self._own_pool = bool(own_pool)
+
+    @property
+    def pool(self) -> ServingPool:
+        return self._pool
+
+    async def __aenter__(self) -> "AsyncSanitizationFrontend":
+        if not self._pool.running:
+            # worker spawn + arena mmap + ledger replay can take real
+            # time; keep it off the event loop
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._pool.start
+            )
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        if self._own_pool:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self._pool.stop
+            )
+
+    async def report(
+        self, user_id: str, x: Point, timeout: float | None = 30.0
+    ) -> SessionReport:
+        """Sanitise one location without blocking the event loop.
+
+        Raises exactly what the pool's blocking path raises —
+        :class:`~repro.exceptions.BudgetError` on an exhausted lifetime
+        budget, :class:`~repro.exceptions.ServeError` on domain,
+        overload, crash, or timeout — so callers can share handling
+        with synchronous code.
+        """
+        loop = asyncio.get_running_loop()
+        deadline = (
+            None if timeout is None else loop.time() + timeout
+        )
+        request = self._pool.submit(user_id, x)
+        future = asyncio.wrap_future(request.future, loop=loop)
+        try:
+            if deadline is None:
+                return await future
+            return await asyncio.wait_for(
+                future, timeout=deadline - loop.time()
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            request.abandon()
+            raise ServeError(
+                f"request for {user_id!r} timed out after "
+                f"{timeout:.3g}s",
+                reason="timeout",
+            ) from None
+
+    async def report_many(
+        self,
+        requests: "list[tuple[str, Point]]",
+        timeout: float | None = 30.0,
+    ) -> list:
+        """Submit many requests concurrently; returns results aligned
+        with ``requests``, exceptions in place (``gather`` semantics,
+        so one rejected user never hides another's report)."""
+        return await asyncio.gather(
+            *(
+                self.report(user_id, x, timeout=timeout)
+                for user_id, x in requests
+            ),
+            return_exceptions=True,
+        )
+
+    def stats(self) -> ServerStats:
+        """The pool's merged stats (cheap and non-blocking)."""
+        return self._pool.stats()
+
+    async def collect_metrics(self):
+        """Merge worker metrics snapshots off-loop (each snapshot is a
+        pipe round-trip through a shard's feeder thread)."""
+        return await asyncio.get_running_loop().run_in_executor(
+            None, self._pool.collect_metrics
+        )

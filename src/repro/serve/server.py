@@ -184,9 +184,35 @@ class ServerStats:
     retries: int = 0
     replayed_users: int = 0
     replayed_epsilon: float = 0.0
+    #: worker-process respawns (always 0 for the in-process server;
+    #: the multi-worker pool counts its crash recoveries here)
+    respawns: int = 0
 
     def as_dict(self) -> dict:
         return dict(self.__dict__)
+
+    #: fields combined with ``max`` by :meth:`merge`; everything else
+    #: (counts, epsilon totals) adds.
+    _MERGE_MAX = ("max_batch_points",)
+
+    def merge(self, other: "ServerStats") -> "ServerStats":
+        """Combine two stats snapshots from *disjoint* serving shards.
+
+        Same algebra as :meth:`repro.obs.metrics.MetricsSnapshot.merge`
+        — associative and commutative, so N workers' stats fold in any
+        order (tree-reduce, incremental, stragglers last) to the same
+        totals.  Counters add; ``max_batch_points`` takes the max.
+        ``sessions`` adds because the pool shards users by stable hash:
+        a user's session lives in exactly one shard, so shard session
+        counts are disjoint by construction.
+        """
+        merged = ServerStats()
+        for key in self.__dict__:
+            a, b = getattr(self, key), getattr(other, key)
+            setattr(
+                merged, key, max(a, b) if key in self._MERGE_MAX else a + b
+            )
+        return merged
 
 
 class SanitizationServer:

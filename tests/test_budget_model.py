@@ -413,3 +413,138 @@ class TestAccountantAdmissionConsistency:
         assert session.reports_remaining == 0
         with pytest.raises(BudgetError):
             session.report(Point(1.0, 1.0), rng)
+
+
+# ----------------------------------------------------------------------
+# sharded serving: routing purity + the cross-restart spend invariant
+# ----------------------------------------------------------------------
+class TestShardRoutingProperty:
+    """The pool's shard router must be a stable *pure* function of
+    ``(user_id, n_workers)`` — it names which journal file owns a
+    user's spend, so any ambient dependence (process hash salt, map
+    iteration order, locale) would double-track budgets."""
+
+    @given(
+        user=st.text(max_size=64),
+        workers=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_stable_pure_and_in_range(self, user, workers):
+        import hashlib
+
+        from repro.serve.pool import shard_for_user
+
+        shard = shard_for_user(user, workers)
+        assert 0 <= shard < workers
+        # idempotent under repetition (no hidden state)
+        assert shard_for_user(user, workers) == shard
+        # pinned to the documented definition: SHA-256 of the UTF-8
+        # id, first 8 bytes big-endian, mod the worker count —
+        # changing this is an on-disk data-migration event
+        digest = hashlib.sha256(user.encode("utf-8")).digest()
+        assert shard == int.from_bytes(digest[:8], "big") % workers
+
+    @given(user=st.text(max_size=64))
+    @settings(max_examples=100, deadline=None)
+    def test_single_worker_pool_is_total(self, user):
+        from repro.serve.pool import shard_for_user
+
+        assert shard_for_user(user, 1) == 0
+
+
+class TestCrossRestartBudgetInvariant:
+    """Per-user spend summed across shard restarts never exceeds the
+    lifetime budget: every incarnation of a shard worker replays its
+    journal into a fresh :class:`ShardBudgetBook` before admitting,
+    so delivered reports across any kill/restart schedule stay within
+    what one uninterrupted accountant would have allowed."""
+
+    @given(
+        attempts_per_life=st.lists(
+            st.integers(min_value=0, max_value=6),
+            min_size=1,
+            max_size=4,
+        ),
+        affordable=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_delivered_spend_bounded_across_restarts(
+        self, attempts_per_life, affordable
+    ):
+        import tempfile
+        from pathlib import Path
+
+        from repro.core.ledger import BudgetLedger, replay_journal
+        from repro.serve.pool import ShardBudgetBook
+
+        per = 0.5  # dyadic: multiples are exact in floats
+        lifetime = per * affordable
+        delivered = 0
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "shard.journal"
+            for attempts in attempts_per_life:
+                ledger = BudgetLedger(path, sync=False)
+                book = ShardBudgetBook(lifetime, per, ledger=ledger)
+                for _ in range(attempts):
+                    try:
+                        entry_id = book.admit("u")
+                    except BudgetError:
+                        continue
+                    book.settle("u", entry_id)
+                    delivered += 1
+                ledger.close()  # the restart boundary
+            replay = replay_journal(path)
+        # the invariant: total delivered spend fits the lifetime
+        assert delivered * per <= lifetime
+        # and restarts lose nothing: exactly the affordable count is
+        # delivered, no more (no reset) and no less (no phantom spend)
+        assert delivered == min(affordable, sum(attempts_per_life))
+        assert replay.spent_for("u") == delivered * per
+
+    @given(
+        plan=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=3),  # settled
+                st.integers(min_value=0, max_value=2),  # orphaned
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_orphaned_reservations_replay_as_spend(self, plan):
+        """A reservation with no commit (the worker died holding it)
+        must replay as spend — fail closed — so delivered + orphaned
+        together never exceed the lifetime."""
+        import tempfile
+        from pathlib import Path
+
+        from repro.core.ledger import BudgetLedger, replay_journal
+        from repro.serve.pool import ShardBudgetBook
+
+        per = 0.5
+        lifetime = 2.0  # affords 4 reports
+        delivered = orphaned = 0
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / "shard.journal"
+            for settled_n, orphan_n in plan:
+                ledger = BudgetLedger(path, sync=False)
+                book = ShardBudgetBook(lifetime, per, ledger=ledger)
+                for _ in range(settled_n):
+                    try:
+                        entry_id = book.admit("u")
+                    except BudgetError:
+                        continue
+                    book.settle("u", entry_id)
+                    delivered += 1
+                for _ in range(orphan_n):
+                    try:
+                        book.admit("u")  # reserved, never settled
+                        orphaned += 1
+                    except BudgetError:
+                        continue
+                ledger.close()  # orphans stay open in the journal
+            replay = replay_journal(path)
+        assert (delivered + orphaned) * per <= lifetime
+        # replay counts every orphan as spent: >= the delivered spend
+        assert replay.spent_for("u") == (delivered + orphaned) * per

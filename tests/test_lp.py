@@ -219,3 +219,34 @@ class TestCrossValidation:
         assert simplex.objective == pytest.approx(
             highs.objective, rel=1e-6, abs=1e-6
         )
+
+    def test_sub_tolerance_coefficients_are_not_unbounded(self):
+        # Regression (found by the property above): two rows of
+        # 1e-9 * y0 <= 0 make column 0's phase-1 reduced cost cross the
+        # entering tolerance while every individual entry sits below the
+        # old ratio-test cutoff, so the solver declared a bounded program
+        # (c > 0, y >= 0: optimum is y = 0) an unbounded ray.
+        builder = LinearProgramBuilder(3)
+        builder.set_objective(np.ones(3))
+        builder.add_le({0: 1e-9}, 0.0)
+        builder.add_le({0: 1e-9}, 0.0)
+        program = builder.build()
+        simplex = solve(program, backend="simplex")
+        highs = solve(program, backend="highs-ds")
+        assert highs.is_optimal
+        assert simplex.is_optimal
+        assert simplex.objective == pytest.approx(0.0, abs=1e-9)
+
+    def test_redundant_equality_rows_leave_artificial_priced_at_zero(self):
+        # Regression: a duplicated equality row leaves a zero-value
+        # artificial basic after phase 1; phase 2's cost lookup must not
+        # index past the structural columns.
+        builder = LinearProgramBuilder(2)
+        builder.set_objective(np.asarray([1.0, 2.0]))
+        builder.add_eq({0: 1.0, 1: 1.0}, 1.0)
+        builder.add_eq({0: 1.0, 1: 1.0}, 1.0)
+        program = builder.build()
+        simplex = solve(program, backend="simplex")
+        highs = solve(program, backend="highs-ds")
+        assert simplex.is_optimal
+        assert simplex.objective == pytest.approx(highs.objective, abs=1e-9)

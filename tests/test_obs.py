@@ -796,3 +796,97 @@ class TestAchievedRhoFromMetrics:
                 f"level {level}: achieved Pr[x|x] {achieved:.4f} "
                 f"< rho {rho}"
             )
+
+
+# ----------------------------------------------------------------------
+# worker-pool metrics: the merge algebra over a real 3-worker run
+# ----------------------------------------------------------------------
+class TestPoolSnapshotMerge:
+    def test_three_worker_snapshots_fold_order_free(
+        self, square20, tmp_path
+    ):
+        """Run a real 3-worker pool, pull each worker's registry
+        snapshot over the pipe, and verify the merge algebra on live
+        data: any fold order gives identical totals, and the folded
+        counters equal the pool's ground truth."""
+        from repro.core.msm import MultiStepMechanism
+        from repro.serve import MechanismArena, ServerConfig, ServingPool
+
+        index = HierarchicalGrid(square20, 2, 2)
+        prior = GridPrior.uniform(RegularGrid(square20, 4))
+        msm = MultiStepMechanism(index, (0.6, 0.9), prior)
+        msm.precompute()
+        arena = MechanismArena.freeze(
+            msm.engine.compile(build=True), tmp_path / "arena"
+        )
+        config = ServerConfig(
+            lifetime_epsilon=1000.0,
+            per_report_epsilon=1.5,
+            coalesce_window=0.005,
+        )
+        obs = Observability.collecting(trace=False)
+        n = 90
+        pool = ServingPool(arena, config, workers=3, obs=obs, seed=SEED)
+        with pool:
+            handles = [
+                pool.submit(f"user-{i % 18}", Point(3.0, 3.0))
+                for i in range(n)
+            ]
+            for handle in handles:
+                handle.future.result(timeout=60)
+            snapshots = pool.worker_snapshots()
+
+        assert len(snapshots) == 3
+        assert all(s is not None for s in snapshots)
+        # every worker served (Zipf-free round-robin users hit all 3)
+        assert all(
+            s.counter_total("repro_pool_worker_points_total") > 0
+            for s in snapshots
+        )
+
+        a, b, c = snapshots
+        left = a.merge(b).merge(c)
+        right = c.merge(b).merge(a)
+        nested = a.merge(b.merge(c))
+        assert left == right == nested
+
+        # the folded totals are the pool's ground truth
+        assert left.counter_total("repro_pool_worker_points_total") == n
+        assert (
+            left.counter_total("repro_pool_worker_batches_total")
+            == sum(s.batches for s in pool.shard_stats())
+        )
+        hist = left.histogram_value("repro_pool_worker_batch_points")
+        assert hist is not None and hist.count == sum(
+            s.batches for s in pool.shard_stats()
+        )
+
+        # folding into a live frontend registry matches the pure merge
+        reg = MetricsRegistry()
+        for snapshot in snapshots:
+            reg.merge(snapshot)
+        assert reg.snapshot() == left
+
+    def test_pool_server_stats_merge_matches_metrics_algebra(
+        self, square20, tmp_path
+    ):
+        """ServerStats.merge is the same algebra: associative,
+        commutative, counters add, high-water marks take max."""
+        from repro.serve import ServerStats
+
+        def stats(completed, batches, high):
+            s = ServerStats()
+            s.completed = completed
+            s.batches = batches
+            s.max_batch_points = high
+            return s
+
+        a, b, c = stats(3, 1, 7), stats(5, 2, 12), stats(2, 1, 4)
+        left = a.merge(b).merge(c)
+        right = c.merge(a).merge(b)
+        nested = a.merge(b.merge(c))
+        for merged in (right, nested):
+            assert merged.as_dict() == left.as_dict()
+        assert left.completed == 10
+        assert left.batches == 4
+        assert left.max_batch_points == 12

@@ -602,3 +602,64 @@ class TestServerDistributionEquivalence:
         assert p_value > 0.01, (
             f"server vs direct distributions diverge (p={p_value:.4f})"
         )
+
+
+@pytest.mark.statistical
+class TestPoolDistributionEquivalence:
+    def test_pool_matches_direct_batch_chi_square(
+        self, serve_prior, tmp_path
+    ):
+        """The multi-worker pool is the same mechanism: >= 20k samples
+        across 4 worker processes (each with its own RNG stream,
+        walking the shared zero-copy arena) against direct
+        ``sanitize_batch``, two-sample chi-square at alpha = 1%.
+
+        Process parallelism, micro-batching, and the mmap'd arena are
+        all scheduling/storage concerns — none may perturb the sampled
+        distribution."""
+        from scipy import stats
+
+        from repro.serve import MechanismArena, ServingPool
+
+        n = 20_000
+        n_users = 40
+        x = Point(3.0, 3.0)
+        msm = MultiStepMechanism.build(1.0, 2, serve_prior)
+        msm.precompute()
+        compiled = msm.engine.compile(build=True)
+        arena = MechanismArena.freeze(compiled, tmp_path / "arena")
+        config = ServerConfig(
+            lifetime_epsilon=float(n + 1),
+            per_report_epsilon=1.0,
+            coalesce_window=0.02,
+            max_batch=512,
+            max_pending=2 * n,
+        )
+        pool = ServingPool(arena, config, workers=4, seed=SEED)
+        with pool:
+            handles = [
+                pool.submit(f"user-{i % n_users}", x) for i in range(n)
+            ]
+            reports = [h.future.result(timeout=300) for h in handles]
+        assert pool.stats().completed == n
+        # all four workers actually sampled (no degenerate routing)
+        assert all(s.batches > 0 for s in pool.shard_stats())
+
+        leaf_grid = msm.index.level_grid(msm.height)
+        pooled = np.zeros(leaf_grid.n_cells)
+        for r in reports:
+            pooled[leaf_grid.locate(r.reported).index] += 1
+
+        direct_walks = msm.sanitize_batch(
+            [x] * n, np.random.default_rng(SEED + 1)
+        )
+        direct = np.zeros(leaf_grid.n_cells)
+        for w in direct_walks:
+            direct[leaf_grid.locate(w.point).index] += 1
+
+        keep = (pooled + direct) > 0
+        table = np.vstack([pooled[keep], direct[keep]])
+        _, p_value, _, _ = stats.chi2_contingency(table)
+        assert p_value > 0.01, (
+            f"pool vs direct distributions diverge (p={p_value:.4f})"
+        )
