@@ -27,24 +27,39 @@ from repro.exceptions import EvaluationError
 #: path's throughput and its privacy/utility panel are gated too).
 MECHANISMS = ("msm", "msm-remap", "msm-kernel", "pl", "exp")
 
-#: Dataset dimension values understood by the runner.
-DATASETS = ("uniform", "gowalla", "yelp")
+#: Dataset dimension values understood by the runner.  ``graph-city``
+#: is the synthetic road network (no I/O, fully deterministic); it is
+#: only meaningful with a ``kind="graph"`` index and the staged MSM.
+DATASETS = ("uniform", "gowalla", "yelp", "graph-city")
+
+#: Index dimension kinds: ``gihi`` is the planar hierarchical grid,
+#: ``graph`` the road-network balanced edge-cut partition.
+INDEX_KINDS = ("gihi", "graph")
 
 
 @dataclass(frozen=True)
 class IndexSpec:
-    """One value of the index dimension: a GIHI geometry.
+    """One value of the index dimension: a GIHI geometry or a graph
+    partition.
 
-    ``granularity`` is the per-level fanout ``g``, ``height`` the tree
-    depth ``h``; the leaf grid is ``g**h x g**h``.  Flat (grid)
-    mechanisms in the same cell column use the identical leaf grid, so
-    losses are comparable across the mechanism dimension.
+    For ``kind="gihi"`` (the default) ``granularity`` is the per-level
+    fanout ``g``, ``height`` the tree depth ``h``; the leaf grid is
+    ``g**h x g**h``.  Flat (grid) mechanisms in the same cell column use
+    the identical leaf grid, so losses are comparable across the
+    mechanism dimension.  For ``kind="graph"`` the same two numbers
+    parameterise a :class:`~repro.graph.partition.GraphPartitionIndex`
+    (per-node fanout and tree height) over the synthetic road network.
     """
 
     granularity: int
     height: int
+    kind: str = "gihi"
 
     def __post_init__(self) -> None:
+        if self.kind not in INDEX_KINDS:
+            raise EvaluationError(
+                f"unknown index kind {self.kind!r}; choose from {INDEX_KINDS}"
+            )
         if self.granularity < 2:
             raise EvaluationError("index granularity must be >= 2")
         if self.height < 1:
@@ -56,6 +71,8 @@ class IndexSpec:
 
     @property
     def label(self) -> str:
+        if self.kind == "graph":
+            return f"graph-f{self.granularity}h{self.height}"
         return f"gihi-g{self.granularity}h{self.height}"
 
 
@@ -103,6 +120,20 @@ class CellSpec:
             )
         if self.epsilon <= 0:
             raise EvaluationError("cell epsilon must be positive")
+        graph_index = self.index.kind == "graph"
+        graph_dataset = self.dataset.name == "graph-city"
+        if graph_index != graph_dataset:
+            raise EvaluationError(
+                "graph cells must pair a kind='graph' index with the "
+                "'graph-city' dataset (and vice versa); got "
+                f"index={self.index.label!r}, dataset={self.dataset.label!r}"
+            )
+        if graph_index and self.mechanism != "msm":
+            raise EvaluationError(
+                "graph cells support only the staged 'msm' mechanism "
+                "(flat grid mechanisms and the compiled kernel are "
+                f"planar-only); got {self.mechanism!r}"
+            )
 
     @property
     def cell_id(self) -> str:
@@ -136,6 +167,12 @@ class MatrixSpec:
         the honest estimate of the code's speed).
     rho:
         Budget-allocation target passed to the MSM builder.
+    extra_cells:
+        Fully-resolved cells appended after the cross product — used
+        for combinations that only make sense pointwise (the graph
+        cells pair one dataset with one index kind and one mechanism,
+        so putting them in the product dimensions would explode into
+        invalid cells).
     """
 
     name: str
@@ -143,6 +180,7 @@ class MatrixSpec:
     indexes: tuple[IndexSpec, ...]
     datasets: tuple[DatasetSpec, ...]
     epsilons: tuple[float, ...]
+    extra_cells: tuple[CellSpec, ...] = ()
     n_points: int = 5_000
     n_eval_inputs: int = 6
     n_eval_samples: int = 3_000
@@ -165,29 +203,46 @@ class MatrixSpec:
             )
 
     def cells(self) -> Iterator[CellSpec]:
-        """The cross product, in deterministic order."""
+        """The cross product, then the extra cells, in deterministic order."""
         for mechanism in self.mechanisms:
             for index in self.indexes:
                 for dataset in self.datasets:
                     for epsilon in self.epsilons:
                         yield CellSpec(mechanism, index, dataset, epsilon)
+        yield from self.extra_cells
 
     def __len__(self) -> int:
         return (
             len(self.mechanisms) * len(self.indexes)
             * len(self.datasets) * len(self.epsilons)
+            + len(self.extra_cells)
         )
 
 
-#: The CI gate matrix: 8 cells, < 1 minute on a laptop.  One geometry,
-#: one real dataset at a small fraction, the three mechanism families
-#: plus the compiled-kernel MSM column, two budget points.
+#: The two road-network smoke cells: the staged MSM over the balanced
+#: edge-cut partition of the synthetic city, gated at the same two
+#: budget points as the planar cells.
+_GRAPH_SMOKE_CELLS = tuple(
+    CellSpec(
+        "msm",
+        IndexSpec(granularity=4, height=2, kind="graph"),
+        DatasetSpec("graph-city"),
+        eps,
+    )
+    for eps in (0.5, 1.0)
+)
+
+#: The CI gate matrix: 10 cells, < 1 minute on a laptop.  One planar
+#: geometry, one real dataset at a small fraction, the three mechanism
+#: families plus the compiled-kernel MSM column, two budget points —
+#: plus the two road-network cells.
 SMOKE = MatrixSpec(
     name="smoke",
     mechanisms=("msm", "msm-kernel", "pl", "exp"),
     indexes=(IndexSpec(granularity=3, height=2),),
     datasets=(DatasetSpec("gowalla", fraction=0.05),),
     epsilons=(0.5, 1.0),
+    extra_cells=_GRAPH_SMOKE_CELLS,
     n_points=20_000,
     n_eval_inputs=6,
     n_eval_samples=3_000,

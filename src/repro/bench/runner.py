@@ -59,6 +59,13 @@ ROOT_SEED = 20190326
 #: city windows.
 UNIFORM_SIDE_KM = 20.0
 
+#: Synthetic road network used by ``graph-city`` cells: one fixed city
+#: shared by every cell (the cell streams only drive workloads and
+#: sampling), so graph cells stay comparable across epsilons and runs.
+GRAPH_CITY_BLOCKS = 8
+GRAPH_CITY_BLOCK_KM = 0.5
+GRAPH_CITY_SEED = ROOT_SEED
+
 
 def cell_seed(root_seed: int, cell_id: str) -> np.random.SeedSequence:
     """Per-cell seed derivation, stable under matrix edits."""
@@ -168,11 +175,122 @@ def _build_mechanism(
     return exp, lambda: exp.matrix, (cell.epsilon,)
 
 
+def _graph_eval_inputs(partition: "GraphPartitionIndex", n: int) -> list[Point]:
+    """``n`` leaf-medoid vertices nearest the domain centre.
+
+    The graph analogue of :func:`_eval_inputs` — and like it, the
+    inputs are the *matrix's own input set* (leaf representatives, not
+    arbitrary vertices): the estimator divides log frequency ratios by
+    ``dx``, so evaluating at adjacent road vertices a fraction of a
+    block apart would amplify sampling noise by the tiny divisor
+    instead of measuring the mechanism.
+    """
+    b = partition.bounds
+    cx = (b.min_x + b.max_x) / 2.0
+    cy = (b.min_y + b.max_y) / 2.0
+    centers = [leaf.center for leaf in partition.leaves()]
+    ranked = sorted(
+        range(len(centers)),
+        key=lambda i: (
+            (centers[i].x - cx) ** 2 + (centers[i].y - cy) ** 2,
+            i,
+        ),
+    )
+    return [centers[i] for i in ranked[: min(n, len(centers))]]
+
+
+def _run_graph_cell(
+    cell: CellSpec, spec: MatrixSpec, rng: np.random.Generator
+) -> dict[str, Any]:
+    """Execute one road-network cell: the staged MSM over the balanced
+    edge-cut partition, with every distance — loss panel, tight
+    epsilon, empirical epsilon — measured under shortest-path distance.
+
+    The per-level budgets are an equal split of the cell epsilon (the
+    lattice-aware allocator reasons about grid cell diagonals and does
+    not transfer to network distance).
+    """
+    from repro.graph import (
+        GraphMetric,
+        GraphPartitionIndex,
+        VertexBins,
+        synthetic_city,
+    )
+
+    g, h = cell.index.granularity, cell.index.height
+    build_start = time.perf_counter()
+    city = synthetic_city(
+        blocks=GRAPH_CITY_BLOCKS,
+        block_km=GRAPH_CITY_BLOCK_KM,
+        seed=GRAPH_CITY_SEED,
+    )
+    metric = GraphMetric(city)
+    partition = GraphPartitionIndex(city, fanout=g, height=h)
+    budgets = (cell.epsilon / h,) * h
+    prior = GridPrior.uniform(
+        RegularGrid(city.bounds, cell.index.leaf_granularity)
+    )
+    msm = MultiStepMechanism(partition, budgets, prior, dq=metric, dx=metric)
+    msm.precompute()
+    build_seconds = time.perf_counter() - build_start
+
+    workload = _workload(None, city.bounds, spec.n_points, rng)
+    sample_seconds = float("inf")
+    for _ in range(spec.n_timing_repeats):
+        sample_start = time.perf_counter()
+        reported = msm.sample_many(workload, rng)
+        sample_seconds = min(
+            sample_seconds, time.perf_counter() - sample_start
+        )
+        assert len(reported) == spec.n_points
+
+    matrix = msm.to_matrix()
+    stop_prior = np.full(matrix.shape[0], 1.0 / matrix.shape[0])
+    panel = privacy_metrics(matrix, stop_prior, metric)
+    eps_hat = empirical_epsilon_sampled(
+        msm,
+        _graph_eval_inputs(partition, spec.n_eval_inputs),
+        VertexBins(city),
+        spec.n_eval_samples,
+        rng,
+        dx=metric,
+    )
+
+    return {
+        "cell_id": cell.cell_id,
+        "mechanism": cell.mechanism,
+        "index": cell.index.label,
+        "dataset": cell.dataset.label,
+        "epsilon": cell.epsilon,
+        "budgets": [round(b, 6) for b in budgets],
+        "n_leaves": len(partition.leaves()),
+        "build_seconds": round(build_seconds, 4),
+        "sample_seconds": round(sample_seconds, 4),
+        "metrics": {
+            "throughput_pts_per_s": round(
+                spec.n_points / max(sample_seconds, 1e-9), 1
+            ),
+            "mean_loss_km": round(panel.expected_loss, 6),
+            "worst_case_loss_km": round(panel.worst_case_loss, 6),
+            "adversarial_error_km": round(panel.adversarial_error, 6),
+            "identification_rate": round(panel.identification_rate, 6),
+            "conditional_entropy_bits": round(
+                panel.conditional_entropy_bits, 6
+            ),
+            "prior_entropy_bits": round(panel.prior_entropy_bits, 6),
+            "empirical_epsilon": round(eps_hat, 6),
+            "epsilon_tight": round(panel.epsilon_tight, 6),
+        },
+    }
+
+
 def run_cell(
     cell: CellSpec, spec: MatrixSpec, root_seed: int = ROOT_SEED
 ) -> dict[str, Any]:
     """Execute one benchmark cell and return its artifact entry."""
     rng = np.random.default_rng(cell_seed(root_seed, cell.cell_id))
+    if cell.dataset.name == "graph-city":
+        return _run_graph_cell(cell, spec, rng)
     points, bounds = _load_points_and_bounds(cell.dataset)
     leaf_grid = RegularGrid(bounds, cell.index.leaf_granularity)
     if points is None:

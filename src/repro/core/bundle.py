@@ -201,9 +201,7 @@ def load_bundle(
                     int(part) for part in key[len("node_"):].split("_")
                 )
             node = _node_at(index, node_path)
-            locations = [
-                child.bounds.center for child in index.children(node)
-            ]
+            locations = [child.center for child in index.children(node)]
             level = len(node_path) + 1
             level_eps = budgets[level - 1]
             degraded = key in degraded_keys

@@ -1017,7 +1017,7 @@ class WalkEngine:
                     active = proc
             results = [
                 WalkResult(
-                    point=nodes[i].bounds.center,
+                    point=nodes[i].center,
                     trace=tuple(traces[i]) if traces is not None else (),
                     degradation=DegradationReport(tuple(substitutions[i])),
                 )
@@ -1250,7 +1250,7 @@ class WalkEngine:
         matrix with the provenance dict
         :meth:`~repro.core.cache.NodeMechanismCache.put` expects.
         """
-        locations = [child.bounds.center for child in children]
+        locations = [child.center for child in children]
         sub_prior = self.child_prior(children)
         eps = self._budgets[level - 1]
         start = time.perf_counter()
@@ -1309,18 +1309,18 @@ class WalkEngine:
         )
 
     def child_prior(self, children: Sequence[IndexNode]) -> np.ndarray:
-        """Global prior mass restricted to ``children`` and renormalised."""
+        """Global prior mass restricted to ``children`` and renormalised.
+
+        Region membership is delegated to the index's
+        :meth:`~repro.grid.index.SpatialIndex.contains_mask`, so
+        non-box partitions (the graph index) fold the prior onto their
+        true regions rather than onto bounding-box envelopes.
+        """
         centers = self._prior.grid.centers_array()
         probs = self._prior.probabilities
         masses = np.zeros(len(children))
         for j, child in enumerate(children):
-            b = child.bounds
-            inside = (
-                (centers[:, 0] >= b.min_x)
-                & (centers[:, 0] < b.max_x)
-                & (centers[:, 1] >= b.min_y)
-                & (centers[:, 1] < b.max_y)
-            )
+            inside = self._index.contains_mask(child, centers)
             masses[j] = probs[inside].sum()
         total = masses.sum()
         if total <= 0:

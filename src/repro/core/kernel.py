@@ -199,12 +199,12 @@ class CompiledWalk:
                 sx_mask = kinds == KIND_SPLIT_X
                 if sx_mask.any():
                     x_hat[sx_mask] = (
-                        ax[sx_mask] > self.split[ids[sx_mask]]
+                        ax[sx_mask] >= self.split[ids[sx_mask]]
                     ).astype(np.int64)
                 sy_mask = kinds == KIND_SPLIT_Y
                 if sy_mask.any():
                     x_hat[sy_mask] = (
-                        ay[sy_mask] > self.split[ids[sy_mask]]
+                        ay[sy_mask] >= self.split[ids[sy_mask]]
                     ).astype(np.int64)
                 x_hat[~inside] = -1
                 drifted = x_hat < 0
@@ -429,7 +429,7 @@ def compile_walk(
         min_y[node_id] = b.min_y
         max_x[node_id] = b.max_x
         max_y[node_id] = b.max_y
-        center = b.center
+        center = node.center
         center_x[node_id] = center.x
         center_y[node_id] = center.y
         level[node_id] = node.level

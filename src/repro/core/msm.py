@@ -466,27 +466,25 @@ class MultiStepMechanism(Mechanism):
             )
         return DegradationReport(tuple(substitutions))
 
-    def reported_distribution(self, x: Point) -> tuple[list[Point], np.ndarray]:
-        """Exact output distribution of the walk for actual location ``x``.
+    def _walk_distribution(self, x: Point) -> tuple[list[IndexNode], np.ndarray]:
+        """Exact stop-node distribution of the walk for location ``x``.
 
         Expands the full walk tree (``fanout^height`` leaves), folding
         the lines-9-10 random fallback in closed form: when the current
         node does not contain ``x``, the effective mechanism row is the
-        uniform mixture of all rows.  Used for exact expected-loss
-        computation and for the privacy product-matrix tests.  This is
-        the distribution of the *walk itself* — the finalise stage, a
-        deterministic output transformation, is intentionally not
-        folded in.
+        uniform mixture of all rows.  Returns the nodes at which the
+        walk terminates with their probabilities; index-agnostic (only
+        ``children`` / ``locate_child`` are used).
         """
         index = self.index
         budgets = self.budgets
-        points: list[Point] = []
+        stops: list[IndexNode] = []
         probs: list[float] = []
 
         def walk(node: IndexNode, level: int, mass: float) -> None:
             children = index.children(node)
             if level > len(budgets) or not children:
-                points.append(node.bounds.center)
+                stops.append(node)
                 probs.append(mass)
                 return
             matrix = self._step_mechanism(node, level, children)
@@ -501,7 +499,40 @@ class MultiStepMechanism(Mechanism):
                     walk(child, level + 1, mass * p)
 
         walk(index.root, 1, 1.0)
-        return (points, np.asarray(probs))
+        return (stops, np.asarray(probs))
+
+    def reported_distribution(self, x: Point) -> tuple[list[Point], np.ndarray]:
+        """Exact output distribution of the walk for actual location ``x``.
+
+        The point of each stop node is its ``center`` (box centre for
+        planar indexes, medoid vertex for graph partitions).  This is
+        the distribution of the *walk itself* — the finalise stage, a
+        deterministic output transformation, is intentionally not
+        folded in.  Used for exact expected-loss computation and for
+        the privacy product-matrix tests.
+        """
+        stops, probs = self._walk_distribution(x)
+        return ([node.center for node in stops], probs)
+
+    def stop_nodes(self) -> list[IndexNode]:
+        """Nodes at which walks can terminate, in depth-first order.
+
+        These are the leaves of the index truncated at the budgeted
+        height — the exact support of :meth:`reported_distribution` for
+        every input.
+        """
+        index = self.index
+        max_level = len(self.budgets)
+        out: list[IndexNode] = []
+        stack = [(index.root, 1)]
+        while stack:
+            node, level = stack.pop()
+            children = index.children(node)
+            if level > max_level or not children:
+                out.append(node)
+            else:
+                stack.extend((c, level + 1) for c in reversed(children))
+        return out
 
     def expected_loss(self, x: Point, dq: Metric | None = None) -> float:
         """Exact expected utility loss for actual location ``x``."""
@@ -511,11 +542,13 @@ class MultiStepMechanism(Mechanism):
         return float(probs @ losses)
 
     def to_matrix(self, guard: bool = False) -> MechanismMatrix:
-        """The exact end-to-end mechanism over leaf-cell centres.
+        """The exact end-to-end mechanism over the walk's stop points.
 
-        Requires MSM over a :class:`~repro.grid.hierarchy.HierarchicalGrid`
-        (leaf cells then form a regular grid whose centres serve as both
-        X and Z).  The result is the dense product of the whole walk —
+        Over a :class:`~repro.grid.hierarchy.HierarchicalGrid` the stop
+        points are the leaf-cell centres in row-major grid order; over
+        any other index (STR, k-d, graph partition) they are the
+        :meth:`stop_nodes` representative points in depth-first order.
+        Either way the result is the dense product of the whole walk —
         it makes MSM a first-class citizen of everything that consumes
         matrices: GeoInd verification, Bayesian remapping, inference
         attacks and exact expected-loss computation.  Cost is
@@ -530,18 +563,30 @@ class MultiStepMechanism(Mechanism):
         online path samples from are always guarded regardless.
         """
         index = self.index
-        if not isinstance(index, HierarchicalGrid):
-            raise MechanismError(
-                "to_matrix requires MSM over a HierarchicalGrid"
+        if isinstance(index, HierarchicalGrid):
+            depth = min(self.height, index.height)
+            leaf_grid = index.level_grid(depth)
+            centers = leaf_grid.centers()
+            k = np.zeros((len(centers), len(centers)))
+            for i, x in enumerate(centers):
+                points, probs = self.reported_distribution(x)
+                for p, mass in zip(points, probs):
+                    k[i, leaf_grid.locate(p).index] += mass
+            return guarded_matrix(
+                centers,
+                centers,
+                k,
+                epsilon=self.epsilon if guard else None,
+                dx=self._engine.dx,
             )
-        depth = min(self.height, index.height)
-        leaf_grid = index.level_grid(depth)
-        centers = leaf_grid.centers()
-        k = np.zeros((len(centers), len(centers)))
+        stops = self.stop_nodes()
+        row_of = {node.path: j for j, node in enumerate(stops)}
+        centers = [node.center for node in stops]
+        k = np.zeros((len(stops), len(stops)))
         for i, x in enumerate(centers):
-            points, probs = self.reported_distribution(x)
-            for p, mass in zip(points, probs):
-                k[i, leaf_grid.locate(p).index] += mass
+            nodes, probs = self._walk_distribution(x)
+            for node, mass in zip(nodes, probs):
+                k[i, row_of[node.path]] += mass
         return guarded_matrix(
             centers,
             centers,

@@ -222,17 +222,21 @@ def privacy_metrics(
     prior: np.ndarray,
     metric: Metric = EUCLIDEAN,
     epsilon_tight: bool = True,
+    dx: Metric | None = None,
 ) -> PrivacyMetrics:
     """Compute the full adversarial metric panel for one matrix.
 
     ``epsilon_tight=False`` skips the exact GeoInd sweep (quadratic in
     the location count) and reports ``nan`` — useful when only the
-    entropy/loss panel is needed on large matrices.
+    entropy/loss panel is needed on large matrices.  ``dx`` is the
+    distinguishability metric for that sweep (defaults to ``metric``,
+    so a road-network panel measures epsilon under shortest-path
+    distance).
     """
     prior = _as_prior(prior, matrix.shape[0])
     attack = optimal_inference_attack(matrix, prior, metric)
     tight = (
-        float(matrix_epsilon_tight(matrix)[0])
+        float(matrix_epsilon_tight(matrix, dx=dx if dx is not None else metric)[0])
         if epsilon_tight
         else float("nan")
     )

@@ -21,6 +21,11 @@ class BoundingBox:
 
     The box is closed on all sides; :meth:`contains` treats boundary points
     as inside so that snapping a domain-boundary location never fails.
+    That makes ``contains`` a *membership* test, not a tie-breaker: a
+    point on an edge shared by two sibling cells is contained by both.
+    The index layer resolves such ties with its own half-open
+    convention (see :mod:`repro.grid.index`); do not use ``contains``
+    to pick between adjacent boxes.
     """
 
     min_x: float

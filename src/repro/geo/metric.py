@@ -28,7 +28,23 @@ _as_array = points_to_array
 
 
 class Metric(abc.ABC):
-    """A symmetric, non-negative distance function on planar points."""
+    """A distance function on points of the planar domain.
+
+    The protocol itself only promises ``__call__`` and ``pairwise``;
+    it does **not** guarantee the metric axioms.  Implementations need
+    not be planar (the road-network :class:`~repro.graph.metric.
+    GraphMetric` measures shortest-path distance) and need not satisfy
+    the triangle inequality (:data:`SQUARED_EUCLIDEAN` deliberately
+    violates it, which is why it is accepted only as ``dQ``).
+
+    The GeoInd guarantee, however, is only meaningful when ``dX`` is a
+    true *pseudometric*: non-negative, symmetric, ``d(x, x) = 0`` and
+    triangle inequality.  (Pseudo: two distinct planar points may be at
+    distance zero, e.g. when they snap to the same road vertex — GeoInd
+    then simply makes them indistinguishable.)  Because the type system
+    cannot enforce this, :meth:`check_axioms` validates the axioms on a
+    concrete sample and the privacy guard runs it on small matrices.
+    """
 
     #: short name used in result tables (e.g. ``"euclidean"``)
     name: str = "metric"
@@ -40,6 +56,61 @@ class Metric(abc.ABC):
     @abc.abstractmethod
     def pairwise(self, xs: Sequence[Point], zs: Sequence[Point]) -> np.ndarray:
         """Return the ``(len(xs), len(zs))`` matrix of distances."""
+
+    def check_axioms(
+        self,
+        points: Sequence[Point],
+        rtol: float = 1e-9,
+        atol: float = 1e-9,
+        max_points: int = 64,
+    ) -> None:
+        """Validate the pseudometric axioms on a sample of points.
+
+        Checks finiteness, non-negativity, ``d(x, x) = 0``, symmetry
+        and the triangle inequality over all triples of (at most
+        ``max_points``) sample points, with tolerance
+        ``atol + rtol * scale`` absorbing float rounding.  O(n^3) in
+        the sample size, so keep the sample small; intended as a debug
+        validator, not a hot-path check.
+
+        Raises
+        ------
+        ValueError
+            Naming the first violated axiom.  A metric that passes on
+            a sample may still be invalid elsewhere — this is a
+            falsifier, not a proof.
+        """
+        pts = list(points)[:max_points]
+        if len(pts) < 2:
+            return
+        d = np.asarray(self.pairwise(pts, pts), dtype=float)
+        if not np.all(np.isfinite(d)):
+            raise ValueError(f"{self.name}: non-finite distances in sample")
+        scale = float(d.max()) if d.size else 0.0
+        tol = atol + rtol * scale
+        if float(d.min()) < -tol:
+            raise ValueError(
+                f"{self.name}: negative distance ({float(d.min()):.3e})"
+            )
+        worst_diag = float(np.abs(np.diagonal(d)).max())
+        if worst_diag > tol:
+            raise ValueError(
+                f"{self.name}: d(x, x) != 0 (worst {worst_diag:.3e})"
+            )
+        worst_asym = float(np.abs(d - d.T).max())
+        if worst_asym > tol:
+            raise ValueError(
+                f"{self.name}: asymmetric (worst |d(x,y)-d(y,x)| "
+                f"= {worst_asym:.3e})"
+            )
+        # d[i, k] <= d[i, j] + d[j, k] for all triples (broadcast to n^3).
+        excess = d[:, None, :] - (d[:, :, None] + d[None, :, :])
+        worst_tri = float(excess.max())
+        if worst_tri > tol:
+            raise ValueError(
+                f"{self.name}: triangle inequality violated "
+                f"(worst excess {worst_tri:.3e})"
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"{type(self).__name__}()"

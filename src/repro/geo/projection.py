@@ -1,10 +1,23 @@
 """Geographic <-> planar coordinate conversion.
 
 Both evaluation datasets come as WGS-84 latitude/longitude check-ins
-bounded to a roughly 20 x 20 km city window.  At that scale an
-**equirectangular projection** anchored at the window's reference latitude
-is accurate to well under one metre, which is far below the noise the
-mechanisms add, so it is the projection the whole library standardises on.
+bounded to a roughly 20 x 20 km city window.  The library standardises
+on an **equirectangular projection** anchored at the window's reference
+latitude.
+
+Accuracy contract (pinned by ``tests/test_geo_projection.py``):
+
+* ``to_plane`` / ``to_geo`` round-trip exactly (they are algebraic
+  inverses — no tolerance involved);
+* planar Euclidean distance agrees with :func:`haversine_km` to within
+  **0.1 % relative error** for any pair inside a 20 x 20 km mid-latitude
+  window.  The worst case is an east-west pair along the edge farthest
+  from the reference latitude (the Gowalla-Austin window's top corners
+  drift ~18 m over ~20 km, i.e. ~0.09 %), because the projection fixes
+  ``cos(lat)`` at the window's midpoint.  That drift is an order of
+  magnitude below the noise the mechanisms add, but it is *not* "well
+  under a metre" at domain edges — callers needing sub-metre geodesics
+  across the full window must use :func:`haversine_km` directly.
 """
 
 from __future__ import annotations

@@ -1,0 +1,25 @@
+"""Road-network scenario: GeoInd on graphs (ROADMAP item 3).
+
+A synthetic city road graph, a shortest-path metric behind the
+:class:`~repro.geo.metric.Metric` protocol, and a hierarchical graph
+partition behind the :class:`~repro.grid.index.SpatialIndex` protocol —
+so the MSM walk, guard, cache and evaluation stack run over road
+networks unchanged.
+"""
+
+from repro.graph.city import RoadGraph, synthetic_city
+from repro.graph.metric import GraphMetric
+from repro.graph.partition import (
+    GraphIndexNode,
+    GraphPartitionIndex,
+    VertexBins,
+)
+
+__all__ = [
+    "GraphIndexNode",
+    "GraphMetric",
+    "GraphPartitionIndex",
+    "RoadGraph",
+    "VertexBins",
+    "synthetic_city",
+]

@@ -1,0 +1,219 @@
+"""Synthetic city road graphs.
+
+The road-network scenario (ROADMAP item 3, "Geo-Graph-
+Indistinguishability", Takagi et al.) needs a reproducible city to run
+on.  :func:`synthetic_city` generates one in the style of a downtown
+street grid: jittered block intersections, four-neighbour streets whose
+weights are their planar length inflated by a random traffic factor,
+and a random subset of streets removed — except that a random spanning
+tree is always protected, so the network is connected by construction
+and every Dijkstra distance is finite.
+
+:class:`RoadGraph` is the shared substrate: vertex coordinates, a CSR
+adjacency matrix ready for ``scipy.sparse.csgraph``, and nearest-vertex
+snapping (a cKDTree), which is how planar API points are mapped onto
+the network by the metric and the partition index.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.sparse import csr_matrix
+from scipy.sparse.csgraph import connected_components
+from scipy.spatial import cKDTree
+
+from repro.exceptions import GridError
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+
+
+class RoadGraph:
+    """An undirected, connected, positively weighted road network.
+
+    Parameters
+    ----------
+    coords:
+        ``(n, 2)`` planar vertex coordinates in km.
+    edges:
+        ``(m, 2)`` integer vertex-id pairs (undirected; one row per
+        street, symmetrised internally).
+    weights:
+        ``(m,)`` positive travel costs in km (length x traffic factor).
+    """
+
+    def __init__(
+        self, coords: np.ndarray, edges: np.ndarray, weights: np.ndarray
+    ):
+        coords = np.asarray(coords, dtype=float)
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        weights = np.asarray(weights, dtype=float).ravel()
+        if coords.ndim != 2 or coords.shape[1] != 2 or coords.shape[0] < 2:
+            raise GridError(
+                f"coords must be (n >= 2, 2), got {coords.shape}"
+            )
+        n = coords.shape[0]
+        if edges.shape[0] != weights.size:
+            raise GridError(
+                f"{edges.shape[0]} edges but {weights.size} weights"
+            )
+        if edges.size and (edges.min() < 0 or edges.max() >= n):
+            raise GridError("edge endpoint out of vertex range")
+        if np.any(weights <= 0) or not np.all(np.isfinite(weights)):
+            raise GridError("edge weights must be positive and finite")
+        self._coords = coords
+        self._edges = edges
+        self._weights = weights
+        row = np.concatenate([edges[:, 0], edges[:, 1]])
+        col = np.concatenate([edges[:, 1], edges[:, 0]])
+        dat = np.concatenate([weights, weights])
+        self._csr = csr_matrix((dat, (row, col)), shape=(n, n))
+        n_comp, _ = connected_components(self._csr, directed=False)
+        if n_comp != 1:
+            raise GridError(
+                f"road graph must be connected, got {n_comp} components"
+            )
+        self._kdtree = cKDTree(coords)
+        self._bounds = BoundingBox(
+            float(coords[:, 0].min()),
+            float(coords[:, 1].min()),
+            float(coords[:, 0].max()),
+            float(coords[:, 1].max()),
+        )
+
+    @property
+    def n_vertices(self) -> int:
+        return self._coords.shape[0]
+
+    @property
+    def n_edges(self) -> int:
+        return self._edges.shape[0]
+
+    @property
+    def coords(self) -> np.ndarray:
+        """``(n, 2)`` vertex coordinates (read-only view)."""
+        view = self._coords.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def csr(self) -> csr_matrix:
+        """Symmetric CSR adjacency matrix for ``scipy.sparse.csgraph``."""
+        return self._csr
+
+    @property
+    def bounds(self) -> BoundingBox:
+        """Tight envelope of the vertex coordinates."""
+        return self._bounds
+
+    def vertex_point(self, v: int) -> Point:
+        """The planar location of vertex ``v``."""
+        x, y = self._coords[v]
+        return Point(float(x), float(y))
+
+    def vertex_points(self) -> list[Point]:
+        """All vertex locations in id order."""
+        return [Point(float(x), float(y)) for x, y in self._coords]
+
+    def nearest_vertex(self, p: Point) -> int:
+        """Id of the vertex nearest to ``p`` in the plane."""
+        _, idx = self._kdtree.query([p.x, p.y])
+        return int(idx)
+
+    def nearest_vertices(self, coords: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`nearest_vertex` over an ``(m, 2)`` array."""
+        coords = np.asarray(coords, dtype=float).reshape(-1, 2)
+        if coords.shape[0] == 0:
+            return np.empty(0, dtype=np.int64)
+        _, idx = self._kdtree.query(coords)
+        return np.asarray(idx, dtype=np.int64)
+
+
+class _UnionFind:
+    """Minimal union-find for the spanning-tree protection."""
+
+    def __init__(self, n: int):
+        self._parent = list(range(n))
+
+    def find(self, a: int) -> int:
+        parent = self._parent
+        while parent[a] != a:
+            parent[a] = parent[parent[a]]
+            a = parent[a]
+        return a
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        self._parent[ra] = rb
+        return True
+
+
+def synthetic_city(
+    blocks: int = 8,
+    block_km: float = 0.5,
+    jitter: float = 0.25,
+    drop_probability: float = 0.3,
+    max_weight_factor: float = 1.5,
+    seed: int = 0,
+) -> RoadGraph:
+    """Generate a connected downtown-style street network.
+
+    ``(blocks + 1)^2`` intersections on a jittered square grid,
+    four-neighbour streets weighted by planar length times a uniform
+    traffic factor in ``[1, max_weight_factor]``.  Each street outside
+    a randomly chosen spanning tree is dropped with
+    ``drop_probability``, so the network is irregular (shortest paths
+    detour around missing streets) yet guaranteed connected.
+    Deterministic in ``seed``.
+    """
+    if blocks < 1:
+        raise GridError(f"blocks must be >= 1, got {blocks}")
+    if block_km <= 0:
+        raise GridError(f"block_km must be positive, got {block_km}")
+    if not 0 <= jitter < 0.5:
+        raise GridError(f"jitter must be in [0, 0.5), got {jitter}")
+    if not 0 <= drop_probability < 1:
+        raise GridError(
+            f"drop_probability must be in [0, 1), got {drop_probability}"
+        )
+    if max_weight_factor < 1:
+        raise GridError(
+            f"max_weight_factor must be >= 1, got {max_weight_factor}"
+        )
+    rng = np.random.default_rng(seed)
+    side = blocks + 1
+    ii, jj = np.meshgrid(np.arange(side), np.arange(side), indexing="ij")
+    base = np.stack([jj.ravel(), ii.ravel()], axis=1).astype(float) * block_km
+    coords = base + rng.uniform(
+        -jitter, jitter, size=base.shape
+    ) * block_km
+
+    def vid(i: int, j: int) -> int:
+        return i * side + j
+
+    pairs = []
+    for i in range(side):
+        for j in range(side):
+            if j + 1 < side:
+                pairs.append((vid(i, j), vid(i, j + 1)))
+            if i + 1 < side:
+                pairs.append((vid(i, j), vid(i + 1, j)))
+    edges = np.asarray(pairs, dtype=np.int64)
+    lengths = np.hypot(
+        coords[edges[:, 0], 0] - coords[edges[:, 1], 0],
+        coords[edges[:, 0], 1] - coords[edges[:, 1], 1],
+    )
+    weights = lengths * rng.uniform(1.0, max_weight_factor, size=lengths.size)
+
+    # Random spanning tree: visit candidate streets in shuffled order and
+    # protect the first edge that joins two components; the rest survive
+    # independently with probability 1 - drop_probability.
+    order = rng.permutation(edges.shape[0])
+    uf = _UnionFind(side * side)
+    in_tree = np.zeros(edges.shape[0], dtype=bool)
+    for e in order:
+        if uf.union(int(edges[e, 0]), int(edges[e, 1])):
+            in_tree[e] = True
+    keep = in_tree | (rng.random(edges.shape[0]) >= drop_probability)
+    return RoadGraph(coords, edges[keep], weights[keep])

@@ -2,11 +2,33 @@
 
 The paper presents MSM over a hierarchical grid but notes (Section 4,
 footnote 4) that "the MSM concept applies to any hierarchical data
-structure without node overlap, e.g. R+-trees or k-d-trees".  This module
-defines the small protocol MSM actually needs so that
+structure without node overlap".  This module defines the small protocol
+MSM actually needs so that
 :class:`~repro.grid.hierarchy.HierarchicalGrid`,
-:class:`~repro.grid.quadtree.QuadtreeIndex` and
-:class:`~repro.grid.kdtree.KDTreeIndex` are interchangeable.
+:class:`~repro.grid.quadtree.QuadtreeIndex`,
+:class:`~repro.grid.kdtree.KDTreeIndex`,
+:class:`~repro.grid.str_index.STRIndex` and the road-network
+:class:`~repro.graph.partition.GraphPartitionIndex` are interchangeable.
+Node regions need not be boxes: ``IndexNode.bounds`` is only required to
+*enclose* the node's region (graph nodes carry vertex-id sets and use
+their bounding box purely as an envelope).
+
+Boundary convention
+-------------------
+Children tile their parent, so a point on a shared internal edge lies in
+two *closed* child boxes.  Every locate path — scalar scan, vectorised
+arithmetic, and the compiled kernel — resolves such ties with one
+half-open convention: child extents are min-closed / max-open, and each
+node's own max edges fold into its last cell.  Applied recursively down
+a walk, only the domain's max edges behave as closed.  Comparison-based
+paths (the default scan, the k-d split test) implement the convention
+exactly; arithmetic grids realise it through floor-and-clamp, where a
+float bitwise-equal to a stored child edge may consistently resolve to
+either neighbour (the stored edge is not always the floor-division
+breakpoint).  The binding contract in all cases: scalar
+``locate_child`` and vectorised ``locate_child_indices`` agree
+byte-for-byte, including on exact edge and corner points (pinned by
+``tests/test_boundary_convention.py``).
 """
 
 from __future__ import annotations
@@ -43,7 +65,14 @@ class IndexNode:
 
     @property
     def center(self) -> Point:
-        """Centre of the node's extent."""
+        """Representative point of the node's region.
+
+        The engine uses this as the node's location whenever it needs a
+        single point (OPT child locations, reported points, matrix
+        rows).  For box-tiled indexes it is the box centre; subclasses
+        with non-box regions (e.g. graph partitions) override it with a
+        point guaranteed to lie in the region (a medoid vertex).
+        """
         return self.bounds.center
 
 
@@ -106,13 +135,23 @@ class SpatialIndex(abc.ABC):
         """Return the child of ``node`` whose extent contains ``p``.
 
         Returns None when ``p`` is outside ``node`` (or ``node`` is a
-        leaf).  The default implementation scans children; concrete
-        indexes override it with O(1) arithmetic where possible.
+        leaf).  The scan applies the index-wide boundary convention:
+        each child is tested half-open (min-closed / max-open) first,
+        so a point on a shared internal edge resolves to the higher
+        cell; points on the node's own max edges match no half-open
+        box and fall back to the last closed match, folding into the
+        last cell — the same result the vectorised floor-and-clamp
+        arithmetic produces.  Concrete indexes override with O(1)
+        arithmetic where possible.
         """
+        best: IndexNode | None = None
         for child in self.children(node):
-            if child.bounds.contains(p):
+            b = child.bounds
+            if b.min_x <= p.x < b.max_x and b.min_y <= p.y < b.max_y:
                 return child
-        return None
+            if b.contains(p):
+                best = child
+        return best
 
     def locate_child_indices(
         self, node: IndexNode, coords: np.ndarray
@@ -136,6 +175,25 @@ class SpatialIndex(abc.ABC):
             if child is not None:
                 out[i] = child.path[-1]
         return out
+
+    def contains_mask(self, node: IndexNode, coords: np.ndarray) -> np.ndarray:
+        """Boolean mask of the coordinates lying in ``node``'s region.
+
+        Used by the engine to fold a prior onto a node (e.g. the
+        uniform-fallback weights of Algorithm 1).  The default applies
+        the half-open convention to the node's box (min-closed /
+        max-open), which partitions sibling extents exactly for
+        box-tiled indexes; indexes whose regions are not boxes (the
+        graph partition) override it with true region membership.
+        """
+        coords = np.asarray(coords, dtype=float).reshape(-1, 2)
+        b = node.bounds
+        return (
+            (coords[:, 0] >= b.min_x)
+            & (coords[:, 0] < b.max_x)
+            & (coords[:, 1] >= b.min_y)
+            & (coords[:, 1] < b.max_y)
+        )
 
     def child_geometry(self, node: IndexNode) -> "ChildGeometry | None":
         """Arithmetic child layout of ``node``, or None if irregular.

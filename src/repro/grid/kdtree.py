@@ -127,8 +127,10 @@ class KDTreeIndex(SpatialIndex):
     ) -> np.ndarray:
         """Vectorised binary location, agreeing point-for-point with the
         scalar :meth:`~repro.grid.index.SpatialIndex.locate_child` scan:
-        both children's bounds are closed, the left child is checked
-        first, so a point exactly on the split plane goes left."""
+        the split plane belongs to the right child (min-closed /
+        max-open), matching the build-time bucketing ``p.x >= coord``,
+        so the median sample point locates into the child it was
+        bucketed into."""
         coords = np.asarray(coords, dtype=float).reshape(-1, 2)
         out = np.full(coords.shape[0], -1, dtype=np.int64)
         kids = self._children.get(node.path)
@@ -141,9 +143,9 @@ class KDTreeIndex(SpatialIndex):
             (x >= b.min_x) & (x <= b.max_x) & (y >= b.min_y) & (y <= b.max_y)
         )
         if node.level % 2 == 0:
-            side = x > kids[0].bounds.max_x
+            side = x >= kids[0].bounds.max_x
         else:
-            side = y > kids[0].bounds.max_y
+            side = y >= kids[0].bounds.max_y
         out[inside] = side.astype(np.int64)[inside]
         return out
 

@@ -156,18 +156,3 @@ class STRIndex(SpatialIndex):
 
     def children(self, node: IndexNode) -> list[IndexNode]:
         return list(self._children.get(node.path, ()))
-
-    def locate_child(self, node: IndexNode, p: Point) -> IndexNode | None:
-        kids = self._children.get(node.path)
-        if kids is None or not node.bounds.contains(p):
-            return None
-        # Children tile the node exactly; shared edges resolve to the
-        # higher cell, domain boundary folds inward (scan is O(f^2)).
-        best = None
-        for kid in kids:
-            b = kid.bounds
-            if b.min_x <= p.x < b.max_x and b.min_y <= p.y < b.max_y:
-                return kid
-            if kid.bounds.contains(p):
-                best = kid
-        return best

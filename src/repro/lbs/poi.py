@@ -16,6 +16,7 @@ import numpy as np
 
 from repro.exceptions import DatasetError
 from repro.geo.bbox import BoundingBox
+from repro.geo.metric import Metric
 from repro.geo.point import Point
 
 
@@ -45,6 +46,7 @@ class POIStore:
         self._xy = np.asarray(
             [(p.location.x, p.location.y) for p in self._pois], dtype=float
         )
+        self._points = [p.location for p in self._pois]
 
     @classmethod
     def from_coordinates(
@@ -86,21 +88,37 @@ class POIStore:
             float(self._xy[:, 1].max()),
         )
 
-    def knn(self, query: Point, k: int) -> list[POI]:
+    def _distances(self, query: Point, metric: Metric | None) -> np.ndarray:
+        """Distance from ``query`` to every POI under ``metric``.
+
+        ``None`` keeps the historical fast planar-Euclidean path; any
+        :class:`~repro.geo.metric.Metric` (e.g. the road-network
+        shortest-path metric) is evaluated through its vectorised
+        ``pairwise``.
+        """
+        if metric is None:
+            return np.hypot(self._xy[:, 0] - query.x, self._xy[:, 1] - query.y)
+        return np.asarray(metric.pairwise([query], self._points), dtype=float)[0]
+
+    def knn(
+        self, query: Point, k: int, metric: Metric | None = None
+    ) -> list[POI]:
         """The ``k`` POIs nearest to ``query``, closest first."""
         if k < 1:
             raise DatasetError(f"k must be >= 1, got {k}")
         k = min(k, len(self._pois))
-        d = np.hypot(self._xy[:, 0] - query.x, self._xy[:, 1] - query.y)
+        d = self._distances(query, metric)
         order = np.argpartition(d, k - 1)[:k]
         order = order[np.argsort(d[order])]
         return [self._pois[i] for i in order]
 
-    def within_radius(self, query: Point, radius: float) -> list[POI]:
+    def within_radius(
+        self, query: Point, radius: float, metric: Metric | None = None
+    ) -> list[POI]:
         """All POIs within ``radius`` km of ``query``, closest first."""
         if radius <= 0:
             raise DatasetError(f"radius must be positive, got {radius}")
-        d = np.hypot(self._xy[:, 0] - query.x, self._xy[:, 1] - query.y)
+        d = self._distances(query, metric)
         idx = np.nonzero(d <= radius)[0]
         idx = idx[np.argsort(d[idx])]
         return [self._pois[i] for i in idx]

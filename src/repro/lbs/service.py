@@ -71,19 +71,38 @@ class LocationBasedService:
     deployment advantages the paper claims over encryption-based
     approaches (Section 3.1) — so this class is deliberately just a
     store plus a query method.
+
+    ``metric`` selects the travel-distance model for both the k-NN
+    ranking and the extra-distance QoS metric: ``None`` (default) is
+    planar Euclidean; a road-network deployment passes the
+    shortest-path :class:`~repro.graph.metric.GraphMetric`, so "nearest
+    POI" and "extra travel" both mean driving distance.
     """
 
-    def __init__(self, store: POIStore):
+    def __init__(self, store: POIStore, metric=None):
         self._store = store
+        self._metric = metric
 
     @property
     def store(self) -> POIStore:
         """The POI catalogue."""
         return self._store
 
+    @property
+    def metric(self):
+        """Travel-distance metric (None = planar Euclidean)."""
+        return self._metric
+
+    def _travel(self, a: Point, b: Point) -> float:
+        if self._metric is None:
+            return a.distance_to(b)
+        return float(self._metric(a, b))
+
     def query(self, reported: Point, k: int) -> list[int]:
         """Answer a k-NN query at the reported location (POI ids)."""
-        return [p.poi_id for p in self._store.knn(reported, k)]
+        return [
+            p.poi_id for p in self._store.knn(reported, k, metric=self._metric)
+        ]
 
     def evaluate_query(
         self, actual: Point, reported: Point, k: int
@@ -106,8 +125,8 @@ class LocationBasedService:
             )
         answered_nearest = self._store[answered[0]].location
         true_nearest = self._store[truth[0]].location
-        extra = actual.distance_to(answered_nearest) - actual.distance_to(
-            true_nearest
+        extra = self._travel(actual, answered_nearest) - self._travel(
+            actual, true_nearest
         )
         recall = len(set(answered) & set(truth)) / len(truth)
         return QueryOutcome(

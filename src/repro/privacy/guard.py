@@ -30,6 +30,11 @@ from repro.privacy.geoind import GeoIndReport, assert_geoind
 #: Row-sum slack tolerated by the guard (matches the matrix constructor).
 _ROW_TOL = 1e-6
 
+#: Largest input set on which the guard also validates the dX metric
+#: axioms.  O(n^3) triples, so the check is confined to node-mechanism
+#: scale, where it is far cheaper than the LP solve it accompanies.
+_AXIOM_CHECK_MAX = 64
+
 
 def guard_mechanism(
     matrix: MechanismMatrix,
@@ -40,10 +45,12 @@ def guard_mechanism(
     """Validate ``matrix`` before it may be sampled from.
 
     Checks, in order: finite entries, non-negativity, row-stochasticity
-    within tolerance, and the epsilon-GeoInd constraint
-    ``K[x, z] <= exp(eps * dx(x, x')) * K[x', z]`` (via the tight
-    empirical epsilon).  Returns the :class:`GeoIndReport` on success so
-    callers can log the actual headroom.
+    within tolerance, the ``dx`` pseudometric axioms on the input
+    locations (small matrices only — a squared metric passed as ``dX``
+    would make the GeoInd bound vacuous), and the epsilon-GeoInd
+    constraint ``K[x, z] <= exp(eps * dx(x, x')) * K[x', z]`` (via the
+    tight empirical epsilon).  Returns the :class:`GeoIndReport` on
+    success so callers can log the actual headroom.
 
     Raises
     ------
@@ -54,6 +61,14 @@ def guard_mechanism(
         raise PrivacyViolationError(
             f"guard needs a positive epsilon, got {epsilon}"
         )
+    if len(matrix.inputs) <= _AXIOM_CHECK_MAX:
+        try:
+            dx.check_axioms(matrix.inputs)
+        except ValueError as exc:
+            raise PrivacyViolationError(
+                f"dX fails the pseudometric axioms on the mechanism's "
+                f"inputs: {exc}"
+            ) from None
     k = matrix.k
     if not np.all(np.isfinite(k)):
         raise PrivacyViolationError("mechanism matrix has non-finite entries")

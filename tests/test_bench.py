@@ -19,6 +19,7 @@ import pytest
 
 from repro.bench import (
     ArtifactError,
+    CellSpec,
     Comparison,
     DatasetSpec,
     IndexSpec,
@@ -377,7 +378,73 @@ class TestLiveTinyMatrix:
         assert a == b
 
     def test_registry_knows_smoke_and_full(self):
-        assert len(get_matrix("smoke")) == 8
+        assert len(get_matrix("smoke")) == 10
         assert len(get_matrix("full")) == 48
         with pytest.raises(EvaluationError, match="unknown benchmark"):
             get_matrix("nope")
+        # The two extra smoke cells are the road-network pair, appended
+        # after the planar cross product.
+        cells = list(get_matrix("smoke").cells())
+        assert len(cells) == 10
+        assert [c.cell_id for c in cells[-2:]] == [
+            "msm|graph-f4h2|graph-city|eps0.5",
+            "msm|graph-f4h2|graph-city|eps1",
+        ]
+
+
+class TestGraphCells:
+    """The road-network cells: spec validation and a live tiny run."""
+
+    def test_graph_index_requires_graph_dataset(self):
+        with pytest.raises(EvaluationError, match="graph cells"):
+            CellSpec(
+                "msm",
+                IndexSpec(4, 2, kind="graph"),
+                DatasetSpec("uniform"),
+                1.0,
+            )
+        with pytest.raises(EvaluationError, match="graph cells"):
+            CellSpec(
+                "msm",
+                IndexSpec(3, 2),
+                DatasetSpec("graph-city"),
+                1.0,
+            )
+
+    def test_graph_cells_are_msm_only(self):
+        with pytest.raises(EvaluationError, match="only the staged"):
+            CellSpec(
+                "pl",
+                IndexSpec(4, 2, kind="graph"),
+                DatasetSpec("graph-city"),
+                1.0,
+            )
+
+    def test_unknown_index_kind_rejected(self):
+        with pytest.raises(EvaluationError, match="index kind"):
+            IndexSpec(4, 2, kind="voronoi")
+
+    def test_live_graph_cell_produces_valid_artifact(self):
+        spec = MatrixSpec(
+            name="smoke",  # reuse a registered name: artifact-compatible
+            mechanisms=("msm",),
+            indexes=(IndexSpec(granularity=4, height=2, kind="graph"),),
+            datasets=(DatasetSpec("graph-city"),),
+            epsilons=(1.0,),
+            n_points=64,
+            n_eval_inputs=2,
+            n_eval_samples=200,
+            n_timing_repeats=1,
+        )
+        artifact = run_matrix(spec, root_seed=7)
+        assert validation_errors(artifact) == []
+        (cell,) = artifact["cells"]
+        assert cell["cell_id"] == "msm|graph-f4h2|graph-city|eps1"
+        assert cell["budgets"] == [0.5, 0.5]
+        metrics = cell["metrics"]
+        for key in REQUIRED_CELL_METRICS:
+            assert key in metrics
+        assert metrics["worst_case_loss_km"] >= metrics["mean_loss_km"]
+        # Network distance dominates the planar distance, so the losses
+        # must be at least plausible for a ~4x4 km city window.
+        assert 0.0 < metrics["mean_loss_km"] < 10.0

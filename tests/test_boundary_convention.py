@@ -1,0 +1,224 @@
+"""Boundary-convention properties for all four planar indexes.
+
+Children tile their parent, so a point exactly on a shared internal
+edge is inside *two* closed child boxes.  The repo-wide convention
+(:mod:`repro.grid.index`) resolves the tie half-open: child extents are
+min-closed / max-open, and each node's own max edges fold into its last
+cell — applied recursively, only the domain's max edges behave closed.
+
+These tests pin the convention where it actually bites: points placed
+*exactly* on internal child edges and corners (no float fuzz — the
+coordinates are the very floats the index computed for its child
+bounds).  For every such point and every internal node, the scalar
+``locate_child`` and the vectorised ``locate_child_indices`` must agree
+byte-for-byte, the located child must half-open-contain the point
+unless it lies on the node's max edge, and the k-d tree must send a
+point on the split plane to the *right* child — the side its own build
+bucketing (``p.x >= coord``) put the median sample point on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geo.bbox import BoundingBox
+from repro.geo.point import Point
+from repro.grid.hierarchy import HierarchicalGrid
+from repro.grid.kdtree import KDTreeIndex
+from repro.grid.quadtree import QuadtreeIndex
+from repro.grid.str_index import STRIndex
+
+
+def _sample_points(bounds: BoundingBox, seed: int, n: int = 60) -> list[Point]:
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(bounds.min_x, bounds.max_x, n)
+    ys = rng.uniform(bounds.min_y, bounds.max_y, n)
+    return [Point(float(x), float(y)) for x, y in zip(xs, ys)]
+
+
+def _build_index(kind: str, bounds: BoundingBox, seed: int):
+    pts = _sample_points(bounds, seed)
+    if kind == "hierarchy":
+        return HierarchicalGrid(bounds, 3, 2)
+    if kind == "quadtree":
+        return QuadtreeIndex(bounds, pts, capacity=4, max_depth=3)
+    if kind == "kdtree":
+        return KDTreeIndex(bounds, pts, max_depth=4)
+    if kind == "str":
+        return STRIndex(bounds, pts, fanout=3, height=2)
+    raise AssertionError(kind)
+
+
+def _internal_nodes(index):
+    out = []
+    stack = [index.root]
+    while stack:
+        node = stack.pop()
+        kids = index.children(node)
+        if kids:
+            out.append((node, kids))
+            stack.extend(kids)
+    return out
+
+
+def _edge_points(node, kids) -> list[Point]:
+    """Every child-edge coordinate crossed with every other: exact
+    internal edges, corners where four cells meet, and the node's own
+    boundary — the adversarial set for a tiling convention."""
+    xs = sorted({b for k in kids for b in (k.bounds.min_x, k.bounds.max_x)})
+    ys = sorted({b for k in kids for b in (k.bounds.min_y, k.bounds.max_y)})
+    mid_x = [(a + b) / 2 for a, b in zip(xs, xs[1:])]
+    mid_y = [(a + b) / 2 for a, b in zip(ys, ys[1:])]
+    points = [Point(x, y) for x in xs for y in ys]          # corners
+    points += [Point(x, y) for x in xs for y in mid_y]      # vertical edges
+    points += [Point(x, y) for x in mid_x for y in ys]      # horizontal edges
+    return points
+
+
+KINDS = ("hierarchy", "quadtree", "kdtree", "str")
+
+# Deliberately awkward domains: non-square-friendly widths whose child
+# edges are not representable "nice" floats, plus the unit square.
+DOMAINS = (
+    BoundingBox(0.0, 0.0, 1.0, 1.0),
+    BoundingBox(-3.7, 2.1, 7.3, 13.1),
+    BoundingBox(0.1, 0.1, 1.2, 1.2),
+)
+
+
+class TestScalarVectorisedAgreement:
+    @pytest.mark.parametrize("kind", KINDS)
+    @pytest.mark.parametrize("domain", DOMAINS, ids=("unit", "offset", "drift"))
+    def test_edge_points_agree_byte_for_byte(self, kind, domain):
+        if kind == "hierarchy" and domain.width != domain.height:
+            pytest.skip("hierarchy requires a square domain")
+        index = _build_index(kind, domain, seed=20190326)
+        for node, kids in _internal_nodes(index):
+            pts = _edge_points(node, kids)
+            coords = np.asarray([(p.x, p.y) for p in pts])
+            vec = index.locate_child_indices(node, coords)
+            for p, v in zip(pts, vec):
+                child = index.locate_child(node, p)
+                if child is None:
+                    assert v == -1, (kind, node.path, p)
+                else:
+                    assert v == child.path[-1], (kind, node.path, p)
+
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_located_child_contains_point(self, kind):
+        """The located child always closed-contains the point (true for
+        every kind, including the arithmetic grids whose floor division
+        may assign an edge-equal float to either neighbour — see the
+        comparison-based test below for the exact tie-break)."""
+        index = _build_index(kind, DOMAINS[0], seed=7)
+        for node, kids in _internal_nodes(index):
+            for p in _edge_points(node, kids):
+                child = index.locate_child(node, p)
+                if child is None:
+                    continue
+                assert child.bounds.contains(p), (kind, node.path, p)
+
+    @pytest.mark.parametrize("kind", ("kdtree", "str"))
+    def test_comparison_based_tie_break_is_exactly_half_open(self, kind):
+        """Where the tie-break is a direct comparison against the stored
+        edge float (k-d split plane, STR scan) the half-open convention
+        is *exact*: unless the point sits on the node's own max edge
+        (where it folds into the last cell), the located child
+        half-open contains it.  Arithmetic grids realise the same
+        convention through floor-and-clamp, where an edge-equal float
+        may consistently land either side of the stored edge — there
+        the byte-identity test above is the contract."""
+        index = _build_index(kind, DOMAINS[0], seed=7)
+        for node, kids in _internal_nodes(index):
+            for p in _edge_points(node, kids):
+                child = index.locate_child(node, p)
+                if child is None:
+                    continue
+                b = child.bounds
+                on_node_max = (
+                    p.x == node.bounds.max_x or p.y == node.bounds.max_y
+                )
+                if not on_node_max:
+                    assert b.min_x <= p.x < b.max_x, (kind, node.path, p)
+                    assert b.min_y <= p.y < b.max_y, (kind, node.path, p)
+                else:
+                    assert b.contains(p), (kind, node.path, p)
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_property_random_samples_all_kinds(self, seed):
+        """Hypothesis sweep: data-adaptive builds driven by arbitrary
+        seeds keep scalar and vectorised location identical on the
+        exact edge/corner floats those builds produce."""
+        domain = DOMAINS[1]
+        for kind in ("quadtree", "kdtree", "str"):
+            index = _build_index(kind, domain, seed=seed)
+            for node, kids in _internal_nodes(index):
+                pts = _edge_points(node, kids)
+                coords = np.asarray([(p.x, p.y) for p in pts])
+                vec = index.locate_child_indices(node, coords)
+                for p, v in zip(pts, vec):
+                    child = index.locate_child(node, p)
+                    expect = -1 if child is None else child.path[-1]
+                    assert v == expect, (kind, seed, node.path, p)
+
+
+class TestKDTreeSplitTieBreak:
+    def test_split_plane_point_goes_right_like_build_bucketing(self):
+        """The build puts ``p.x >= coord`` in the right bucket; locate
+        must send a point on the split plane to the same side, or the
+        median sample point would be 'lost' by its own tree."""
+        domain = DOMAINS[0]
+        index = _build_index("kdtree", domain, seed=11)
+        root = index.root
+        kids = index.children(root)
+        split = kids[0].bounds.max_x
+        p = Point(split, (domain.min_y + domain.max_y) / 2)
+        child = index.locate_child(root, p)
+        assert child is kids[1] or child.path == kids[1].path
+        vec = index.locate_child_indices(root, np.asarray([[p.x, p.y]]))
+        assert vec[0] == 1
+
+    def test_domain_max_edge_folds_into_last_cell(self):
+        index = _build_index("kdtree", DOMAINS[0], seed=11)
+        root = index.root
+        kids = index.children(root)
+        p = Point(root.bounds.max_x, root.bounds.max_y)
+        child = index.locate_child(root, p)
+        assert child is not None and child.path == kids[1].path
+        vec = index.locate_child_indices(root, np.asarray([[p.x, p.y]]))
+        assert vec[0] == 1
+
+
+class TestContainsMask:
+    @pytest.mark.parametrize("kind", KINDS)
+    def test_children_partition_interior_points(self, kind):
+        """contains_mask over siblings must be a partition (each point
+        in exactly one child) for points strictly inside the parent."""
+        index = _build_index(kind, DOMAINS[0], seed=3)
+        rng = np.random.default_rng(5)
+        for node, kids in _internal_nodes(index):
+            b = node.bounds
+            coords = np.stack(
+                [
+                    rng.uniform(b.min_x, b.max_x, 200),
+                    rng.uniform(b.min_y, b.max_y, 200),
+                ],
+                axis=1,
+            )
+            # Keep strictly-interior points (uniform draws exclude the
+            # max edge already; guard against min-edge coincidences).
+            interior = (
+                (coords[:, 0] > b.min_x)
+                & (coords[:, 0] < b.max_x)
+                & (coords[:, 1] > b.min_y)
+                & (coords[:, 1] < b.max_y)
+            )
+            coords = coords[interior]
+            total = np.zeros(coords.shape[0], dtype=int)
+            for kid in kids:
+                total += index.contains_mask(kid, coords).astype(int)
+            assert np.all(total == 1), (kind, node.path)

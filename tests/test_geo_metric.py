@@ -61,6 +61,45 @@ class TestPairwise:
             assert np.allclose(np.diag(metric.pairwise(pts, pts)), 0.0)
 
 
+class TestCheckAxioms:
+    GRID = [Point(x, y) for x in (0.0, 1.0, 2.5) for y in (0.0, 1.5)]
+
+    def test_true_metrics_pass(self):
+        EUCLIDEAN.check_axioms(self.GRID)
+        MANHATTAN.check_axioms(self.GRID)
+
+    def test_squared_euclidean_fails_triangle(self):
+        """The protocol docstring names this exact trap: squared
+        Euclidean is symmetric and zero on the diagonal but breaks the
+        triangle inequality, so it is not a valid dX."""
+        with pytest.raises(ValueError, match="triangle"):
+            SQUARED_EUCLIDEAN.check_axioms(self.GRID)
+
+    def test_single_point_trivially_passes(self):
+        EUCLIDEAN.check_axioms([Point(3, 4)])
+
+    def test_max_points_caps_the_check(self):
+        pts = [Point(float(i), 0.0) for i in range(10)]
+        # With max_points=2 only a prefix is checked, so even squared
+        # Euclidean passes (any two points satisfy the axioms).
+        SQUARED_EUCLIDEAN.check_axioms(pts, max_points=2)
+
+    def test_guard_rejects_non_metric_dx(self):
+        """guard_mechanism re-validates dX on small mechanisms; a
+        triangle-breaking dX must surface as a privacy violation, not
+        slip through into the epsilon certificate."""
+        from repro.exceptions import PrivacyViolationError
+        from repro.mechanisms.matrix import MechanismMatrix
+        from repro.privacy.guard import guard_mechanism
+
+        pts = [Point(0, 0), Point(1, 0), Point(2, 0)]
+        k = np.full((3, 3), 1.0 / 3.0)
+        matrix = MechanismMatrix(pts, pts, k)
+        guard_mechanism(matrix, 1.0, dx=EUCLIDEAN)
+        with pytest.raises(PrivacyViolationError, match="pseudometric"):
+            guard_mechanism(matrix, 1.0, dx=SQUARED_EUCLIDEAN)
+
+
 class TestRegistry:
     @pytest.mark.parametrize(
         "name", ["euclidean", "squared_euclidean", "manhattan"]

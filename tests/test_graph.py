@@ -1,0 +1,306 @@
+"""Road-network scenario tests: city generator, shortest-path metric,
+graph partition index, and the MSM walk running unchanged over them.
+
+The graph analogue of ``test_grid_hierarchy``: partition invariants
+(children partition the parent's vertex set exactly — no overlap, no
+gap), metric-axiom properties (Hypothesis: the triangle inequality on
+random weighted graphs), locate agreement between the scalar and
+vectorised paths, and an end-to-end walk with the privacy guard
+enabled at every node mechanism.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.core.msm import MultiStepMechanism
+from repro.exceptions import GridError, PrivacyViolationError
+from repro.geo.point import Point
+from repro.graph import (
+    GraphMetric,
+    GraphPartitionIndex,
+    RoadGraph,
+    VertexBins,
+    synthetic_city,
+)
+from repro.grid.regular import RegularGrid
+from repro.priors.base import GridPrior
+from repro.privacy.guard import guard_mechanism
+
+
+@pytest.fixture(scope="module")
+def city() -> RoadGraph:
+    return synthetic_city(blocks=7, block_km=0.5, seed=42)
+
+
+@pytest.fixture(scope="module")
+def metric(city) -> GraphMetric:
+    return GraphMetric(city)
+
+
+@pytest.fixture(scope="module")
+def partition(city) -> GraphPartitionIndex:
+    return GraphPartitionIndex(city, fanout=4, height=2)
+
+
+@pytest.fixture(scope="module")
+def graph_msm(city, partition, metric) -> MultiStepMechanism:
+    prior = GridPrior.uniform(RegularGrid(city.bounds, 8))
+    msm = MultiStepMechanism(
+        partition, (0.8, 0.8), prior, dq=metric, dx=metric
+    )
+    msm.precompute()
+    return msm
+
+
+class TestSyntheticCity:
+    def test_deterministic_in_seed(self):
+        a = synthetic_city(blocks=4, seed=7)
+        b = synthetic_city(blocks=4, seed=7)
+        assert np.array_equal(a.coords, b.coords)
+        assert (a.csr != b.csr).nnz == 0
+
+    def test_seed_changes_graph(self):
+        a = synthetic_city(blocks=4, seed=7)
+        b = synthetic_city(blocks=4, seed=8)
+        assert not np.array_equal(a.coords, b.coords)
+
+    def test_vertex_count_and_connectivity(self, city):
+        assert city.n_vertices == 64
+        # Connectivity is validated in the constructor; a finite
+        # all-pairs row from any source re-checks it end to end.
+        m = GraphMetric(city)
+        row = m.pairwise([city.vertex_point(0)], city.vertex_points())
+        assert np.all(np.isfinite(row))
+
+    def test_weights_at_least_planar_length(self, city):
+        m = GraphMetric(city)
+        for v, w in [(0, 1), (3, 50), (10, 60)]:
+            planar = city.vertex_point(v).distance_to(city.vertex_point(w))
+            assert m.vertex_distance(v, w) >= planar - 1e-9
+
+    def test_disconnected_graph_rejected(self):
+        coords = np.array([[0.0, 0.0], [1.0, 0.0], [5.0, 5.0], [6.0, 5.0]])
+        edges = np.array([[0, 1], [2, 3]])
+        with pytest.raises(GridError, match="connected"):
+            RoadGraph(coords, edges, np.ones(2))
+
+
+class TestGraphMetric:
+    def test_identity_and_symmetry(self, city, metric):
+        p = city.vertex_point(12)
+        q = city.vertex_point(40)
+        assert metric(p, p) == 0.0
+        assert metric(p, q) == pytest.approx(metric(q, p))
+
+    def test_snapping_pseudometric(self, city, metric):
+        """Two points snapping to the same vertex are at distance 0."""
+        v = city.vertex_point(5)
+        nearby = Point(v.x + 1e-6, v.y + 1e-6)
+        assert metric(v, nearby) == 0.0
+
+    def test_axioms_pass_on_vertices(self, city, metric):
+        metric.check_axioms(city.vertex_points()[:50])
+
+    def test_row_cache_grows_then_hits(self, city):
+        m = GraphMetric(city)
+        xs = [city.vertex_point(v) for v in (1, 2, 3)]
+        m.pairwise(xs, xs)
+        assert m.cached_sources == 3
+        m.pairwise(xs, [city.vertex_point(9)])  # all sources cached
+        assert m.cached_sources == 3
+
+    @given(seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=20, deadline=None)
+    def test_triangle_inequality_random_graphs(self, seed):
+        """Shortest-path distance on random positively weighted graphs
+        satisfies the triangle inequality (the axiom SQUARED_EUCLIDEAN
+        famously breaks) — on every vertex triple."""
+        g = synthetic_city(
+            blocks=3,
+            jitter=0.4,
+            drop_probability=0.4,
+            max_weight_factor=3.0,
+            seed=seed,
+        )
+        m = GraphMetric(g)
+        m.check_axioms(g.vertex_points())
+
+    def test_guard_accepts_graph_metric_as_dx(self, city, metric, graph_msm):
+        """Every cached node mechanism re-passes the guard at its level
+        epsilon under the graph metric (the acceptance criterion: guard
+        passes on every graph node mechanism at full epsilon)."""
+        entries = graph_msm.cache.snapshot()
+        assert entries, "precompute should have populated the cache"
+        for entry in entries.values():
+            assert entry.epsilon is not None
+            guard_mechanism(entry.matrix, entry.epsilon, dx=metric)
+
+
+class TestGraphPartitionIndex:
+    def test_children_partition_parent_exactly(self, partition):
+        """No overlap, no gap — at every internal node."""
+        stack = [partition.root]
+        while stack:
+            node = stack.pop()
+            kids = partition.children(node)
+            if not kids:
+                continue
+            union: set[int] = set()
+            for kid in kids:
+                vs = set(kid.vertex_ids)
+                assert vs, f"empty child at {kid.path}"
+                assert not (union & vs), f"overlap at {kid.path}"
+                union |= vs
+            assert union == set(node.vertex_ids), f"gap under {node.path}"
+            stack.extend(kids)
+
+    def test_balanced_fanout(self, partition):
+        kids = partition.children(partition.root)
+        sizes = [len(k.vertex_ids) for k in kids]
+        assert len(kids) == 4
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_medoid_is_member_vertex(self, partition, city):
+        for node in partition.leaves():
+            assert node.medoid in node.vertex_ids
+            assert node.center == city.vertex_point(node.medoid)
+
+    def test_scalar_vectorised_locate_agree(self, partition, city):
+        rng = np.random.default_rng(3)
+        b = city.bounds
+        coords = np.stack(
+            [
+                rng.uniform(b.min_x, b.max_x, 300),
+                rng.uniform(b.min_y, b.max_y, 300),
+            ],
+            axis=1,
+        )
+        stack = [partition.root]
+        while stack:
+            node = stack.pop()
+            kids = partition.children(node)
+            if not kids:
+                continue
+            vec = partition.locate_child_indices(node, coords)
+            for (x, y), v in zip(coords, vec):
+                child = partition.locate_child(node, Point(x, y))
+                expect = -1 if child is None else child.path[-1]
+                assert v == expect
+            stack.extend(kids)
+
+    def test_contains_mask_is_vertex_membership(self, partition, city):
+        coords = city.coords
+        for kid in partition.children(partition.root):
+            mask = partition.contains_mask(kid, coords)
+            members = np.zeros(city.n_vertices, dtype=bool)
+            members[list(kid.vertex_ids)] = True
+            assert np.array_equal(mask, members)
+
+    def test_uncompilable_stays_staged(self, partition):
+        assert partition.child_geometry(partition.root) is None
+        for node in partition.children(partition.root):
+            assert partition.child_geometry(node) is None
+
+    def test_too_small_graph_rejected(self):
+        g = synthetic_city(blocks=1, seed=0)  # 4 vertices
+        with pytest.raises(GridError, match="at least"):
+            GraphPartitionIndex(g, fanout=4, height=2)
+
+    def test_drifted_point_gets_none(self, partition, city):
+        """A point snapping to a vertex outside the node drifts (None /
+        -1), triggering Algorithm 1's uniform fallback."""
+        kids = partition.children(partition.root)
+        inner = partition.children(kids[0])[0]
+        outside_vertex = next(
+            v
+            for v in range(city.n_vertices)
+            if v not in kids[0].vertex_ids
+        )
+        p = city.vertex_point(outside_vertex)
+        assert partition.locate_child(inner, p) is None
+
+
+class TestGraphWalk:
+    def test_walk_unchanged_over_graph_nodes(self, graph_msm, city):
+        """The staged engine runs the graph index with no special-casing:
+        every reported point is a stop-node medoid vertex."""
+        rng = np.random.default_rng(0)
+        xs = [city.vertex_point(v) for v in rng.integers(0, 64, 40)]
+        stops = {n.center for n in graph_msm.stop_nodes()}
+        for z in graph_msm.sample_many(xs, rng):
+            assert z in stops
+
+    def test_scalar_equals_batch_of_one(self, graph_msm, city):
+        x = city.vertex_point(17)
+        a = graph_msm.sample(x, np.random.default_rng(99))
+        [b] = graph_msm.sample_many([x], np.random.default_rng(99))
+        assert a == b
+
+    def test_to_matrix_generic_path(self, graph_msm):
+        matrix = graph_msm.to_matrix()
+        n = len(graph_msm.stop_nodes())
+        assert matrix.shape == (n, n)
+        assert np.allclose(matrix.k.sum(axis=1), 1.0)
+
+    def test_uncompilable_index_stays_staged(self, graph_msm, city):
+        """``child_geometry`` is None everywhere, so the kernel compile
+        must refuse the graph index and the engine must keep serving on
+        the staged path — even under ``kernel='always'``."""
+        engine = graph_msm.engine
+        old = engine.kernel
+        try:
+            engine.kernel = "always"
+            assert engine.compile(build=True) is None
+            out = graph_msm.sample_many(
+                [city.vertex_point(1)], np.random.default_rng(1)
+            )
+            assert len(out) == 1
+        finally:
+            engine.kernel = old
+
+
+@pytest.mark.statistical
+class TestGraphStatistical:
+    N = 5000
+    ALPHA = 0.01
+    MIN_POOLED = 10
+
+    def _vertex_counts(self, city, points) -> np.ndarray:
+        bins = VertexBins(city)
+        counts = np.zeros(bins.n_cells, dtype=float)
+        for p in points:
+            counts[bins.locate(p).index] += 1
+        return counts
+
+    def test_chi_square_scalar_vs_batch(self, graph_msm, city):
+        """Graph-MSM scalar and batch walks draw from the same
+        stop-vertex distribution (two-sample chi-square, fixed seeds)."""
+        x = city.vertex_point(27)
+        single = [
+            graph_msm.sample(x, rng)
+            for rng in [np.random.default_rng(1101)]
+            for _ in range(self.N)
+        ]
+        batch = graph_msm.sample_many(
+            [x] * self.N, np.random.default_rng(2202)
+        )
+        a = self._vertex_counts(city, single)
+        b = self._vertex_counts(city, batch)
+        pooled = a + b
+        keep = pooled >= self.MIN_POOLED
+        table = np.vstack(
+            [
+                np.append(a[keep], a[~keep].sum()),
+                np.append(b[keep], b[~keep].sum()),
+            ]
+        )
+        table = table[:, table.sum(axis=0) > 0]
+        _, p_value, _, _ = stats.chi2_contingency(table)
+        assert p_value >= self.ALPHA, (
+            f"graph scalar and batch walks diverge (p={p_value:.4g})"
+        )

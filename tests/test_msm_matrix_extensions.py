@@ -68,13 +68,22 @@ class TestToMatrix:
         )
         assert row_loss == pytest.approx(msm2.expected_loss(x), abs=1e-9)
 
-    def test_requires_hierarchical_grid(self, fine_prior, small_dataset,
-                                        rng):
+    def test_generic_path_on_kdtree(self, fine_prior, small_dataset, rng):
         sample = small_dataset.sample_requests(200, rng)
         index = KDTreeIndex(small_dataset.bounds, sample, max_depth=2)
         msm = MultiStepMechanism(index, (0.2, 0.2), fine_prior)
-        with pytest.raises(MechanismError, match="HierarchicalGrid"):
-            msm.to_matrix()
+        matrix = msm.to_matrix()
+        stops = msm.stop_nodes()
+        assert matrix.shape == (len(stops), len(stops))
+        assert np.allclose(matrix.k.sum(axis=1), 1.0)
+        # Each row is the exact reported distribution of that stop point.
+        x = stops[0].center
+        points, probs = msm.reported_distribution(x)
+        rebuilt = np.zeros(len(stops))
+        centers = [n.center for n in stops]
+        for p, mass in zip(points, probs):
+            rebuilt[centers.index(p)] += mass
+        assert np.allclose(matrix.k[0], rebuilt)
 
 
 class TestRemapAndAttackOnMSM:
